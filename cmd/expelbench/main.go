@@ -1,0 +1,79 @@
+// Command expelbench regenerates the paper's evaluation: Table II, the
+// repository-growth figures (3a–3c), the publish-time figures (4a–4b), the
+// retrieval figures (5a–5b) and the ablation studies, printing each as an
+// aligned text table with the paper's reference values where available.
+//
+// Usage:
+//
+//	expelbench [-exp all|table2,fig3a,fig3b,fig3c,fig4a,fig4b,fig5a,fig5b,abl1,abl2,abl3] [-ide-builds 40]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"expelliarmus/internal/bench"
+)
+
+func main() {
+	exps := flag.String("exp", "all", "comma-separated experiments to run, or 'all'")
+	ideBuilds := flag.Int("ide-builds", 40, "number of successive IDE builds for fig3c")
+	flag.Parse()
+
+	selected := map[string]bool{}
+	if *exps == "all" {
+		for _, e := range []string{"table2", "fig3a", "fig3b", "fig3c", "fig4a", "fig4b", "fig5a", "fig5b", "abl1", "abl2", "abl3", "abl4"} {
+			selected[e] = true
+		}
+	} else {
+		for _, e := range strings.Split(*exps, ",") {
+			selected[strings.TrimSpace(e)] = true
+		}
+	}
+
+	r := bench.NewRunner()
+	run := func(name string, fn func() (fmt.Stringer, error)) {
+		if !selected[name] {
+			return
+		}
+		start := time.Now()
+		out, err := fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "expelbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s (generated in %.1fs wall clock) ===\n%s\n", name, time.Since(start).Seconds(), out)
+	}
+
+	run("table2", func() (fmt.Stringer, error) { return r.TableII() })
+	run("fig3a", func() (fmt.Stringer, error) { return fig(r.Fig3a()) })
+	run("fig3b", func() (fmt.Stringer, error) { return fig(r.Fig3b()) })
+	run("fig3c", func() (fmt.Stringer, error) { return fig(r.Fig3c(*ideBuilds)) })
+	run("fig4a", func() (fmt.Stringer, error) { return fig(r.Fig4a()) })
+	run("fig4b", func() (fmt.Stringer, error) { return fig(r.Fig4b()) })
+	run("fig5a", func() (fmt.Stringer, error) { return fig(r.Fig5a()) })
+	run("fig5b", func() (fmt.Stringer, error) { return fig(r.Fig5b()) })
+	run("abl1", func() (fmt.Stringer, error) { return r.AblationChunking() })
+	run("abl2", func() (fmt.Stringer, error) { return r.AblationMasterGraph([]int{1, 5, 10, 19}) })
+	run("abl3", func() (fmt.Stringer, error) { return r.AblationBaseSelection() })
+	run("abl4", func() (fmt.Stringer, error) { return r.AblationUploadOrder() })
+
+	if selected["fig3a"] || selected["fig3b"] || selected["fig3c"] {
+		fmt.Println("paper reference endpoints (GB):")
+		for _, name := range []string{"fig3a", "fig3b", "fig3c"} {
+			if selected[name] {
+				fmt.Printf("  %s: %v\n", name, bench.PaperFig3[name])
+			}
+		}
+	}
+}
+
+func fig(f *bench.Figure, err error) (fmt.Stringer, error) {
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}

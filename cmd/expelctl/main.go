@@ -1,0 +1,167 @@
+// Command expelctl drives an Expelliarmus session from the command line:
+// it builds synthetic evaluation images, publishes them into a repository,
+// retrieves or assembles VMIs and reports repository statistics — the
+// Fig. 2 workflow end to end.
+//
+// Usage:
+//
+//	expelctl -publish Mini,Redis,Base [-retrieve Redis] [-assemble combo=redis-server+apache2] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"expelliarmus"
+)
+
+func main() {
+	publish := flag.String("publish", "", "comma-separated template names to build and publish, or 'all'")
+	retrieve := flag.String("retrieve", "", "VMI name to retrieve after publishing")
+	assemble := flag.String("assemble", "", "custom assembly as name=pkg1+pkg2+...")
+	noDedup := flag.Bool("no-dedup", false, "disable semantic dedup (the paper's 'Semantic' variant)")
+	noBaseSel := flag.Bool("no-base-selection", false, "disable base image selection (Algorithm 2)")
+	remove := flag.String("remove", "", "VMI name to remove (with garbage collection)")
+	saveFile := flag.String("save", "", "write the repository snapshot to this file when done")
+	loadFile := flag.String("load", "", "restore the repository from this snapshot file first")
+	dotFile := flag.String("dot", "", "write the master graph(s) in Graphviz DOT format to this file")
+	verbose := flag.Bool("v", false, "verbose per-operation phase breakdowns")
+	flag.Parse()
+
+	if *publish == "" && *loadFile == "" {
+		fmt.Fprintln(os.Stderr, "expelctl: -publish is required; templates:")
+		fmt.Fprintf(os.Stderr, "  %s\n", strings.Join(expelliarmus.Templates(), ", "))
+		os.Exit(2)
+	}
+
+	opts := expelliarmus.Options{
+		NoSemanticDedup: *noDedup,
+		NoBaseSelection: *noBaseSel,
+	}
+	var sys *expelliarmus.System
+	if *loadFile != "" {
+		snap, err := os.ReadFile(*loadFile)
+		if err != nil {
+			fail(err)
+		}
+		sys, err = expelliarmus.Restore(snap, opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("restored repository from %s\n", *loadFile)
+	} else {
+		sys = expelliarmus.NewWithOptions(opts)
+	}
+
+	var names []string
+	switch {
+	case *publish == "all":
+		names = expelliarmus.Templates()
+	case *publish != "":
+		names = strings.Split(*publish, ",")
+	}
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		img, err := sys.BuildImage(name)
+		if err != nil {
+			fail(err)
+		}
+		st, err := img.Stats()
+		if err != nil {
+			fail(err)
+		}
+		pub, err := sys.Publish(img)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("published %-14s mounted %.3f GB, %6d files, SimG %.2f, %5.1fs, exported %d pkgs (skipped %d)\n",
+			name, st.MountedGB, st.Files, pub.Similarity, pub.Seconds, len(pub.Exported), pub.Skipped)
+		if *verbose {
+			printPhases(pub.Phases)
+		}
+	}
+
+	rs := sys.RepoStats()
+	fmt.Printf("repository: %d VMIs, %d base image(s), %d packages, %.2f GB\n",
+		rs.VMIs, rs.BaseImages, rs.Packages, rs.TotalGB)
+
+	if *retrieve != "" {
+		img, ret, err := sys.Retrieve(*retrieve)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("retrieved %s in %.1fs (%d packages imported)\n",
+			img.Name(), ret.Seconds, len(ret.Imported))
+		if *verbose {
+			printPhases(ret.Phases)
+		}
+	}
+
+	if *remove != "" {
+		if err := sys.Remove(*remove); err != nil {
+			fail(err)
+		}
+		rs := sys.RepoStats()
+		fmt.Printf("removed %s; repository now %d VMIs, %d packages, %.2f GB\n",
+			*remove, rs.VMIs, rs.Packages, rs.TotalGB)
+	}
+
+	if *assemble != "" {
+		name, spec, ok := strings.Cut(*assemble, "=")
+		if !ok {
+			fail(fmt.Errorf("bad -assemble %q, want name=pkg1+pkg2", *assemble))
+		}
+		primaries := strings.Split(spec, "+")
+		img, ret, err := sys.Assemble(name, primaries, "")
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("assembled %s with %v in %.1fs (%d packages imported)\n",
+			img.Name(), primaries, ret.Seconds, len(ret.Imported))
+		if *verbose {
+			printPhases(ret.Phases)
+		}
+	}
+
+	if *dotFile != "" {
+		dot, err := sys.MasterGraphDOT()
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*dotFile, []byte(dot), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("master graphs written to %s\n", *dotFile)
+	}
+
+	saveIfRequested(sys, *saveFile)
+}
+
+func saveIfRequested(sys *expelliarmus.System, file string) {
+	if file == "" {
+		return
+	}
+	if err := os.WriteFile(file, sys.Save(), 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("repository snapshot written to %s\n", file)
+}
+
+func printPhases(phases map[string]float64) {
+	keys := make([]string, 0, len(phases))
+	for k := range phases {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("    %-12s %6.2fs\n", k, phases[k])
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "expelctl: %v\n", err)
+	os.Exit(1)
+}

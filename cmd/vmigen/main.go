@@ -1,0 +1,79 @@
+// Command vmigen materialises the synthetic evaluation VMI set to disk as
+// serialized qcow2-like image files plus a manifest, the equivalent of the
+// paper's virt-builder scripts. The generated files can be inspected,
+// diffed across runs (they are fully deterministic) or fed to external
+// tooling.
+//
+// Usage:
+//
+//	vmigen -out ./images [-templates Mini,Redis | all] [-ide-builds 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"expelliarmus/internal/builder"
+	"expelliarmus/internal/catalog"
+)
+
+func main() {
+	out := flag.String("out", "images", "output directory")
+	templates := flag.String("templates", "all", "comma-separated template names, or 'all'")
+	ideBuilds := flag.Int("ide-builds", 0, "additionally generate n successive IDE builds")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fail(err)
+	}
+	var tpls []catalog.Template
+	if *templates == "all" {
+		tpls = catalog.Paper19()
+	} else {
+		for _, name := range strings.Split(*templates, ",") {
+			t, ok := catalog.Find(strings.TrimSpace(name))
+			if !ok {
+				fail(fmt.Errorf("unknown template %q", name))
+			}
+			tpls = append(tpls, t)
+		}
+	}
+	tpls = append(tpls, catalog.IDEBuilds(*ideBuilds)...)
+
+	b := builder.New(catalog.NewUniverse())
+	manifest := &strings.Builder{}
+	fmt.Fprintf(manifest, "# synthetic VMI set (byte scale 1/%d, file scale 1/%d)\n",
+		catalog.ByteScale, catalog.FileScale)
+	fmt.Fprintf(manifest, "# name  file  bytes  mounted-paper-GB  files-paper\n")
+	for _, t := range tpls {
+		img, err := b.Build(t)
+		if err != nil {
+			fail(err)
+		}
+		data := img.Serialize()
+		file := filepath.Join(*out, t.Name+".qgo")
+		if err := os.WriteFile(file, data, 0o644); err != nil {
+			fail(err)
+		}
+		st, err := img.Stats()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(manifest, "%s  %s  %d  %.3f  %d\n",
+			t.Name, filepath.Base(file), len(data),
+			float64(catalog.Paper(st.MountedBytes))/1e9, catalog.PaperFiles(st.Files))
+		fmt.Printf("wrote %s (%d bytes, %.3f paper-GB mounted)\n",
+			file, len(data), float64(catalog.Paper(st.MountedBytes))/1e9)
+	}
+	if err := os.WriteFile(filepath.Join(*out, "MANIFEST.txt"), []byte(manifest.String()), 0o644); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "vmigen: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,47 @@
+// Assembly: Sec. IV-D's on-the-fly VMI composition. After publishing
+// several stacks, a VMI that was never uploaded — Redis and Apache
+// together, carrying the Redis image's user data — is assembled from
+// stored packages on a compatible base image.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"expelliarmus"
+)
+
+func main() {
+	sys := expelliarmus.New()
+
+	for _, name := range []string{"Mini", "Redis", "Base"} {
+		img, err := sys.BuildImage(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pub, err := sys.Publish(img)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("published %-6s (exported: %v)\n", name, pub.Exported)
+	}
+
+	// redis-server and apache2 were published by different users in
+	// different VMIs; assemble them into one image.
+	img, ret, err := sys.Assemble("redis-web", []string{"redis-server", "apache2"}, "Redis")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nassembled %q in %.1f modeled seconds\n", img.Name(), ret.Seconds)
+	fmt.Printf("imported packages: %s\n", strings.Join(ret.Imported, ", "))
+
+	for _, path := range []string{"/usr/bin/redis-server", "/usr/bin/apache2"} {
+		fmt.Printf("  %-24s present: %v\n", path, img.HasFile(path))
+	}
+
+	// A request for a package nobody published fails cleanly.
+	if _, _, err := sys.Assemble("impossible", []string{"mongodb-org"}, ""); err != nil {
+		fmt.Printf("\nassembling unavailable package correctly fails: %v\n", err)
+	}
+}

@@ -1,0 +1,55 @@
+// Quickstart: publish two VMIs into an Expelliarmus repository and
+// retrieve one back, demonstrating semantic deduplication — the second
+// image's base is never stored twice and only its new packages are
+// exported.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"expelliarmus"
+)
+
+func main() {
+	sys := expelliarmus.New()
+
+	// Build a minimal Ubuntu image and a Redis stack on the same base.
+	mini, err := sys.BuildImage("Mini")
+	if err != nil {
+		log.Fatal(err)
+	}
+	redis, err := sys.BuildImage("Redis")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Publish Mini: the repository is empty, so its base image is stored.
+	pub, err := sys.Publish(mini)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("published Mini:  base stored=%v, %5.1f modeled seconds\n", pub.BaseStored, pub.Seconds)
+
+	// Publish Redis: semantically similar base → only redis-server stored.
+	pub, err = sys.Publish(redis)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("published Redis: base stored=%v, similarity %.2f, exported %v, %5.1f modeled seconds\n",
+		pub.BaseStored, pub.Similarity, pub.Exported, pub.Seconds)
+
+	st := sys.RepoStats()
+	fmt.Printf("repository: %d VMIs share %d base image and hold %d package(s), %.2f GB total\n",
+		st.VMIs, st.BaseImages, st.Packages, st.TotalGB)
+
+	// Retrieve Redis: base copy + reset + package import (Fig. 5a phases).
+	img, ret, err := sys.Retrieve("Redis")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("retrieved %s in %.1f modeled seconds (imported %v)\n", img.Name(), ret.Seconds, ret.Imported)
+	fmt.Printf("  copy=%.1fs launch=%.1fs reset=%.1fs import=%.1fs\n",
+		ret.Phases["copy"], ret.Phases["launch"], ret.Phases["reset"], ret.Phases["import"])
+	fmt.Printf("redis binary present: %v\n", img.HasFile("/usr/bin/redis-server"))
+}

@@ -1,0 +1,439 @@
+// Package expelliarmus is a Go reproduction of "Semantics-aware Virtual
+// Machine Image Management in IaaS Clouds" (Saurabh et al., IPDPS 2019):
+// a VMI repository that models images as semantic graphs, deduplicates
+// them at the level of base images and software packages, and reassembles
+// VMIs on demand.
+//
+// This root package is the public facade. A System owns an Expelliarmus
+// repository; images are built from the synthetic evaluation catalog (or
+// custom package selections), published (semantic decomposition,
+// Algorithm 1 + base-image selection, Algorithm 2) and retrieved or
+// assembled (Algorithm 3). Baseline stores (qcow2, gzip, Mirage, Hemera,
+// block-level dedup) are available for comparison, and the bench runner
+// regenerates every table and figure of the paper's evaluation.
+//
+// Quick start:
+//
+//	sys := expelliarmus.New()
+//	img, _ := sys.BuildImage("Redis")
+//	pub, _ := sys.Publish(img)
+//	fmt.Printf("similarity %.2f, repo %.2f GB\n", pub.Similarity, sys.RepoStats().TotalGB)
+//	redis, ret, _ := sys.Retrieve("Redis")
+package expelliarmus
+
+import (
+	"fmt"
+
+	"expelliarmus/internal/builder"
+	"expelliarmus/internal/catalog"
+	"expelliarmus/internal/chunker"
+	"expelliarmus/internal/containerize"
+	"expelliarmus/internal/core"
+	"expelliarmus/internal/pkgmgr"
+	"expelliarmus/internal/simio"
+	"expelliarmus/internal/stores"
+	"expelliarmus/internal/vmi"
+	"expelliarmus/internal/vmirepo"
+)
+
+// Options configure a System.
+type Options struct {
+	// NoSemanticDedup disables the repository-existence check during
+	// package export (the paper's "Semantic" comparison variant).
+	NoSemanticDedup bool
+	// NoBaseSelection disables base-image selection (Algorithm 2).
+	NoBaseSelection bool
+}
+
+// System is an Expelliarmus VMI management system over an in-memory
+// repository, with an image builder for the synthetic evaluation catalog.
+type System struct {
+	dev *simio.Device
+	sys *core.System
+	b   *builder.Builder
+}
+
+// New creates a System with the paper-calibrated cost model.
+func New() *System { return NewWithOptions(Options{}) }
+
+// NewWithOptions creates a System with explicit options.
+func NewWithOptions(o Options) *System {
+	dev := simio.NewDevice(simio.PaperProfile().Scaled(catalog.ByteScale, catalog.FileScale))
+	return &System{
+		dev: dev,
+		sys: core.NewSystem(dev, core.Options{
+			NoSemanticDedup: o.NoSemanticDedup,
+			NoBaseSelection: o.NoBaseSelection,
+		}),
+		b: builder.New(catalog.NewUniverse()),
+	}
+}
+
+// Image is a virtual machine image.
+type Image struct {
+	inner *vmi.Image
+}
+
+// Name returns the image name.
+func (im *Image) Name() string { return im.inner.Name }
+
+// Primaries returns the image's primary package set.
+func (im *Image) Primaries() []string {
+	return append([]string(nil), im.inner.Primaries...)
+}
+
+// Stats describes an image's size characteristics at paper scale.
+type ImageStats struct {
+	MountedGB    float64
+	Files        int
+	SerializedGB float64
+}
+
+// Stats mounts the image and reports its characteristics.
+func (im *Image) Stats() (ImageStats, error) {
+	st, err := im.inner.Stats()
+	if err != nil {
+		return ImageStats{}, err
+	}
+	return ImageStats{
+		MountedGB:    float64(catalog.Paper(st.MountedBytes)) / 1e9,
+		Files:        catalog.PaperFiles(st.Files),
+		SerializedGB: float64(catalog.Paper(st.SerializedBytes)) / 1e9,
+	}, nil
+}
+
+// InstalledPackages lists the packages installed in the image.
+func (im *Image) InstalledPackages() ([]string, error) {
+	fs, err := im.inner.Mount()
+	if err != nil {
+		return nil, err
+	}
+	mgr, err := pkgmgr.New(fs)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := mgr.Installed()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(pkgs))
+	for i, p := range pkgs {
+		out[i] = p.Name
+	}
+	return out, nil
+}
+
+// HasFile reports whether the guest filesystem contains the path.
+func (im *Image) HasFile(path string) bool {
+	fs, err := im.inner.Mount()
+	if err != nil {
+		return false
+	}
+	fi, err := fs.Stat(path)
+	return err == nil && !fi.IsDir
+}
+
+// WriteUserFile writes a file under a user-data root inside the image
+// (e.g. "/home/user/notes.txt"), simulating user activity between
+// publishes.
+func (im *Image) WriteUserFile(path string, data []byte) error {
+	fs, err := im.inner.Mount()
+	if err != nil {
+		return err
+	}
+	if err := fs.MkdirAll(parentDir(path)); err != nil {
+		return err
+	}
+	return fs.WriteFile(path, data)
+}
+
+func parentDir(p string) string {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] == '/' {
+			if i == 0 {
+				return "/"
+			}
+			return p[:i]
+		}
+	}
+	return "/"
+}
+
+// Templates lists the names of the paper's 19 evaluation images in the
+// Table II upload order.
+func Templates() []string {
+	tpls := catalog.Paper19()
+	out := make([]string, len(tpls))
+	for i, t := range tpls {
+		out[i] = t.Name
+	}
+	return out
+}
+
+// BuildImage builds one of the catalog's evaluation images by name
+// ("Mini", "Redis", ..., "ElasticStack").
+func (s *System) BuildImage(template string) (*Image, error) {
+	tpl, ok := catalog.Find(template)
+	if !ok {
+		return nil, fmt.Errorf("expelliarmus: unknown template %q (see Templates())", template)
+	}
+	img, err := s.b.Build(tpl)
+	if err != nil {
+		return nil, err
+	}
+	return &Image{inner: img}, nil
+}
+
+// BuildIDESeries builds n successive IDE images (the Fig. 3c workload).
+func (s *System) BuildIDESeries(n int) ([]*Image, error) {
+	out := make([]*Image, 0, n)
+	for _, tpl := range catalog.IDEBuilds(n) {
+		img, err := s.b.Build(tpl)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &Image{inner: img})
+	}
+	return out, nil
+}
+
+// PublishResult reports a publish operation.
+type PublishResult struct {
+	// Similarity is SimG against the best-matching master graph.
+	Similarity float64
+	// Exported lists the packages stored by this publish.
+	Exported []string
+	// Skipped counts packages already in the repository.
+	Skipped int
+	// BaseStored reports whether a new base image was stored.
+	BaseStored bool
+	// Seconds is the modeled publish time; Phases decomposes it.
+	Seconds float64
+	Phases  map[string]float64
+}
+
+// Publish decomposes and stores an image. The caller's Image remains
+// usable (publishing operates on an internal clone).
+func (s *System) Publish(img *Image) (*PublishResult, error) {
+	rep, err := s.sys.Publish(img.inner.Clone())
+	if err != nil {
+		return nil, err
+	}
+	return &PublishResult{
+		Similarity: rep.Similarity,
+		Exported:   append([]string(nil), rep.Exported...),
+		Skipped:    rep.Skipped,
+		BaseStored: rep.BaseStored,
+		Seconds:    rep.Seconds(),
+		Phases:     phaseMap(rep.Meter),
+	}, nil
+}
+
+// RetrieveResult reports a retrieval operation.
+type RetrieveResult struct {
+	// Imported lists the packages installed during assembly.
+	Imported []string
+	// Seconds is the modeled retrieval time; Phases decomposes it into the
+	// paper's Fig. 5a components (copy, launch, reset, import, ...).
+	Seconds float64
+	Phases  map[string]float64
+}
+
+// Retrieve reassembles a published VMI by name.
+func (s *System) Retrieve(name string) (*Image, *RetrieveResult, error) {
+	img, rep, err := s.sys.Retrieve(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Image{inner: img}, &RetrieveResult{
+		Imported: append([]string(nil), rep.Imported...),
+		Seconds:  rep.Seconds(),
+		Phases:   phaseMap(rep.Meter),
+	}, nil
+}
+
+// Assemble builds a VMI that was never uploaded in this exact form from
+// stored packages and a compatible base image. userDataFrom optionally
+// names a published VMI whose user data to import.
+func (s *System) Assemble(name string, primaries []string, userDataFrom string) (*Image, *RetrieveResult, error) {
+	img, rep, err := s.sys.Assemble(name, primaries, userDataFrom)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Image{inner: img}, &RetrieveResult{
+		Imported: append([]string(nil), rep.Imported...),
+		Seconds:  rep.Seconds(),
+		Phases:   phaseMap(rep.Meter),
+	}, nil
+}
+
+func phaseMap(m *simio.Meter) map[string]float64 {
+	out := map[string]float64{}
+	for ph, d := range m.Snapshot() {
+		out[string(ph)] = d.Seconds()
+	}
+	return out
+}
+
+// RepoStats summarises the repository at paper scale.
+type RepoStats struct {
+	Packages   int
+	BaseImages int
+	VMIs       int
+	TotalGB    float64
+}
+
+// RepoStats returns current repository statistics.
+func (s *System) RepoStats() RepoStats {
+	st := s.sys.Repo().Stats()
+	return RepoStats{
+		Packages:   st.Packages,
+		BaseImages: st.Bases,
+		VMIs:       st.VMIs,
+		TotalGB:    float64(catalog.Paper(st.TotalBytes)) / 1e9,
+	}
+}
+
+// MasterGraphDOT renders the repository's master graphs in Graphviz DOT
+// format for inspection.
+func (s *System) MasterGraphDOT() (string, error) { return s.sys.MasterDOT() }
+
+// Remove deletes a published VMI, garbage-collecting packages, user data
+// and base images no remaining VMI references.
+func (s *System) Remove(name string) error { return s.sys.Remove(name) }
+
+// Save serialises the repository (blobs and metadata) for durable storage.
+func (s *System) Save() []byte { return s.sys.Repo().Snapshot() }
+
+// Restore creates a System over a previously saved repository image.
+func Restore(snapshot []byte, o Options) (*System, error) {
+	dev := simio.NewDevice(simio.PaperProfile().Scaled(catalog.ByteScale, catalog.FileScale))
+	repo, err := vmirepo.Load(snapshot, dev)
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		dev: dev,
+		sys: core.NewSystemWithRepo(repo, dev, core.Options{
+			NoSemanticDedup: o.NoSemanticDedup,
+			NoBaseSelection: o.NoBaseSelection,
+		}),
+		b: builder.New(catalog.NewUniverse()),
+	}, nil
+}
+
+// ContainerLayer describes one layer of an exported container image.
+type ContainerLayer struct {
+	MediaType string
+	Digest    string
+	SizeGB    float64
+	CreatedBy string
+}
+
+// ContainerManifest describes an exported container image.
+type ContainerManifest struct {
+	Name   string
+	Base   string
+	Layers []ContainerLayer
+}
+
+// ContainerExporter converts published VMIs into layered container images
+// (the paper's Sec. VII future work). Layers are content-addressed and
+// shared across exports.
+type ContainerExporter struct {
+	e *containerize.Exporter
+}
+
+// NewContainerExporter returns an exporter over this system's repository.
+func (s *System) NewContainerExporter() *ContainerExporter {
+	return &ContainerExporter{e: containerize.NewExporter(s.sys.Repo())}
+}
+
+// Export converts a published VMI into a container image manifest.
+func (c *ContainerExporter) Export(vmiName string) (*ContainerManifest, error) {
+	m, err := c.e.Export(vmiName)
+	if err != nil {
+		return nil, err
+	}
+	out := &ContainerManifest{Name: m.Name, Base: m.Base}
+	for _, l := range m.Layers {
+		out.Layers = append(out.Layers, ContainerLayer{
+			MediaType: l.MediaType,
+			Digest:    l.Digest,
+			SizeGB:    float64(catalog.Paper(l.Size)) / 1e9,
+			CreatedBy: l.CreatedBy,
+		})
+	}
+	return out, nil
+}
+
+// StoreGB is the unique layer bytes held across all exports, at paper
+// scale — shared layers count once.
+func (c *ContainerExporter) StoreGB() float64 {
+	return float64(catalog.Paper(c.e.TotalBytes())) / 1e9
+}
+
+// BaselineKind selects a comparison storage scheme.
+type BaselineKind string
+
+// Available baseline schemes (the paper's comparison systems plus the
+// block-level dedup baseline from its related work).
+const (
+	BaselineQcow2      BaselineKind = "qcow2"
+	BaselineGzip       BaselineKind = "qcow2+gzip"
+	BaselineMirage     BaselineKind = "mirage"
+	BaselineHemera     BaselineKind = "hemera"
+	BaselineBlockFixed BaselineKind = "block-fixed"
+	BaselineBlockRabin BaselineKind = "block-rabin"
+)
+
+// Baseline is a comparison VMI store.
+type Baseline struct {
+	store stores.Store
+}
+
+// NewBaseline creates a fresh baseline store of the given kind.
+func (s *System) NewBaseline(kind BaselineKind) (*Baseline, error) {
+	switch kind {
+	case BaselineQcow2:
+		return &Baseline{stores.NewQcow2(s.dev)}, nil
+	case BaselineGzip:
+		return &Baseline{stores.NewGzip(s.dev)}, nil
+	case BaselineMirage:
+		return &Baseline{stores.NewMirage(s.dev)}, nil
+	case BaselineHemera:
+		return &Baseline{stores.NewHemera(s.dev)}, nil
+	case BaselineBlockFixed:
+		return &Baseline{stores.NewBlockDedup(s.dev, chunker.NewFixed(catalog.ClusterSize))}, nil
+	case BaselineBlockRabin:
+		return &Baseline{stores.NewBlockDedup(s.dev, chunker.NewRabin(1024))}, nil
+	default:
+		return nil, fmt.Errorf("expelliarmus: unknown baseline %q", kind)
+	}
+}
+
+// Name returns the scheme name.
+func (b *Baseline) Name() string { return b.store.Name() }
+
+// Publish stores the image and returns the modeled publish seconds.
+func (b *Baseline) Publish(img *Image) (float64, error) {
+	st, err := b.store.Publish(img.inner)
+	if err != nil {
+		return 0, err
+	}
+	return st.Seconds, nil
+}
+
+// Retrieve reconstructs a stored image and returns the modeled seconds.
+func (b *Baseline) Retrieve(name string) (*Image, float64, error) {
+	img, st, err := b.store.Retrieve(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	return &Image{inner: img}, st.Seconds, nil
+}
+
+// SizeGB returns the repository footprint at paper scale.
+func (b *Baseline) SizeGB() float64 {
+	return float64(catalog.Paper(b.store.SizeBytes())) / 1e9
+}

@@ -1,0 +1,241 @@
+package expelliarmus
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTemplates(t *testing.T) {
+	names := Templates()
+	if len(names) != 19 {
+		t.Fatalf("Templates = %d entries", len(names))
+	}
+	if names[0] != "Mini" || names[18] != "ElasticStack" {
+		t.Fatalf("order: %v", names)
+	}
+}
+
+func TestFacadePublishRetrieve(t *testing.T) {
+	sys := New()
+	img, err := sys.BuildImage("Redis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := img.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MountedGB < 1.5 || st.MountedGB > 2.5 {
+		t.Fatalf("MountedGB = %.2f", st.MountedGB)
+	}
+	pub, err := sys.Publish(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pub.BaseStored {
+		t.Fatal("first publish should store the base")
+	}
+	if len(pub.Exported) != 1 || pub.Exported[0] != "redis-server" {
+		t.Fatalf("Exported = %v", pub.Exported)
+	}
+	// The caller's image survives publishing.
+	if !img.HasFile("/usr/bin/redis-server") {
+		t.Fatal("publish consumed the caller's image")
+	}
+	rs := sys.RepoStats()
+	if rs.VMIs != 1 || rs.BaseImages != 1 || rs.Packages != 1 {
+		t.Fatalf("RepoStats = %+v", rs)
+	}
+	if rs.TotalGB < 1.5 || rs.TotalGB > 2.5 {
+		t.Fatalf("TotalGB = %.2f", rs.TotalGB)
+	}
+
+	got, ret, err := sys.Retrieve("Redis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.HasFile("/usr/bin/redis-server") {
+		t.Fatal("retrieved image missing redis")
+	}
+	if ret.Seconds <= 0 || ret.Phases["launch"] <= 0 {
+		t.Fatalf("retrieve result: %+v", ret)
+	}
+	pkgs, err := got.InstalledPackages()
+	if err != nil || len(pkgs) < 40 {
+		t.Fatalf("InstalledPackages = %d, %v", len(pkgs), err)
+	}
+}
+
+func TestFacadeAssemble(t *testing.T) {
+	sys := New()
+	for _, n := range []string{"Redis", "Base"} {
+		img, err := sys.BuildImage(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.Publish(img); err != nil {
+			t.Fatal(err)
+		}
+	}
+	custom, ret, err := sys.Assemble("combo", []string{"redis-server", "apache2"}, "Redis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !custom.HasFile("/usr/bin/redis-server") || !custom.HasFile("/usr/bin/apache2") {
+		t.Fatal("assembled image missing binaries")
+	}
+	if len(ret.Imported) < 2 {
+		t.Fatalf("Imported = %v", ret.Imported)
+	}
+}
+
+func TestFacadeUserDataFlow(t *testing.T) {
+	sys := New()
+	img, err := sys.BuildImage("Mini")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := img.WriteUserFile("/home/user/project/notes.txt", []byte("remember the milk")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Publish(img); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := sys.Retrieve("Mini")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.HasFile("/home/user/project/notes.txt") {
+		t.Fatal("user data lost through publish/retrieve")
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	sys := New()
+	img, err := sys.BuildImage("Mini")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []BaselineKind{
+		BaselineQcow2, BaselineGzip, BaselineMirage, BaselineHemera,
+		BaselineBlockFixed, BaselineBlockRabin,
+	} {
+		b, err := sys.NewBaseline(kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Publish(img); err != nil {
+			t.Fatalf("%s publish: %v", kind, err)
+		}
+		got, secs, err := b.Retrieve("Mini")
+		if err != nil {
+			t.Fatalf("%s retrieve: %v", kind, err)
+		}
+		if secs <= 0 {
+			t.Errorf("%s retrieve seconds = %v", kind, secs)
+		}
+		if !got.HasFile("/usr/bin/bash") {
+			t.Errorf("%s lost guest content", kind)
+		}
+		if b.SizeGB() <= 0 {
+			t.Errorf("%s SizeGB = %v", kind, b.SizeGB())
+		}
+	}
+	if _, err := sys.NewBaseline("bogus"); err == nil {
+		t.Fatal("bogus baseline accepted")
+	}
+}
+
+func TestFacadeErrors(t *testing.T) {
+	sys := New()
+	if _, err := sys.BuildImage("NoSuchTemplate"); err == nil ||
+		!strings.Contains(err.Error(), "unknown template") {
+		t.Fatalf("BuildImage error = %v", err)
+	}
+	if _, _, err := sys.Retrieve("never-published"); err == nil {
+		t.Fatal("retrieve of unknown VMI succeeded")
+	}
+}
+
+func TestFacadeVariants(t *testing.T) {
+	plain := NewWithOptions(Options{NoSemanticDedup: true, NoBaseSelection: true})
+	img, err := plain.BuildImage("Redis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plain.Publish(img); err != nil {
+		t.Fatal(err)
+	}
+	if plain.RepoStats().BaseImages != 1 {
+		t.Fatal("variant publish failed")
+	}
+}
+
+func TestFacadeRemoveAndPersistence(t *testing.T) {
+	sys := New()
+	for _, n := range []string{"Mini", "Redis"} {
+		img, err := sys.BuildImage(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.Publish(img); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := sys.Save()
+	if len(snap) == 0 {
+		t.Fatal("empty snapshot")
+	}
+	restored, err := Restore(snap, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.RepoStats() != sys.RepoStats() {
+		t.Fatalf("restored stats differ: %+v vs %+v", restored.RepoStats(), sys.RepoStats())
+	}
+	img, _, err := restored.Retrieve("Redis")
+	if err != nil || !img.HasFile("/usr/bin/redis-server") {
+		t.Fatalf("restored retrieval: %v", err)
+	}
+	if err := restored.Remove("Redis"); err != nil {
+		t.Fatal(err)
+	}
+	if restored.RepoStats().VMIs != 1 {
+		t.Fatalf("stats after remove: %+v", restored.RepoStats())
+	}
+	if err := restored.Remove("Redis"); err == nil {
+		t.Fatal("double remove succeeded")
+	}
+	if _, err := Restore([]byte("junk"), Options{}); err == nil {
+		t.Fatal("restored garbage")
+	}
+}
+
+func TestBuildIDESeries(t *testing.T) {
+	sys := New()
+	builds, err := sys.BuildIDESeries(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(builds) != 2 {
+		t.Fatalf("builds = %d", len(builds))
+	}
+	if builds[0].Name() == builds[1].Name() {
+		t.Fatal("builds share a name")
+	}
+	p1, err := sys.Publish(builds[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := sys.Publish(builds[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second build: everything dedups (packages identical).
+	if len(p2.Exported) != 0 {
+		t.Fatalf("second build exported %v", p2.Exported)
+	}
+	if p2.Skipped == 0 || p1.Skipped != 0 {
+		t.Fatalf("skip counts: first=%d second=%d", p1.Skipped, p2.Skipped)
+	}
+}

@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Series is one line of a figure.
+type Series struct {
+	Label string
+	Y     []float64
+}
+
+// Figure is a line/bar chart rendered as a table: one row per x point, one
+// column per series.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	X      []string
+	Series []Series
+}
+
+// Final returns the last y value of the named series, or NaN.
+func (f *Figure) Final(label string) float64 {
+	for _, s := range f.Series {
+		if s.Label == label && len(s.Y) > 0 {
+			return s.Y[len(s.Y)-1]
+		}
+	}
+	return nan
+}
+
+// At returns series label's value at x index i, or NaN.
+func (f *Figure) At(label string, i int) float64 {
+	for _, s := range f.Series {
+		if s.Label == label && i >= 0 && i < len(s.Y) {
+			return s.Y[i]
+		}
+	}
+	return nan
+}
+
+var nan = math.NaN()
+
+// Table renders the figure data as a table.
+func (f *Figure) Table() *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("%s  (y: %s)", f.Title, f.YLabel),
+		Columns: append([]string{f.XLabel}, labels(f.Series)...),
+	}
+	for i, x := range f.X {
+		row := []string{x}
+		for _, s := range f.Series {
+			if i < len(s.Y) {
+				row = append(row, fmt.Sprintf("%.2f", s.Y[i]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+func labels(series []Series) []string {
+	out := make([]string, len(series))
+	for i, s := range series {
+		out[i] = s.Label
+	}
+	return out
+}
+
+// String renders the figure as its table form.
+func (f *Figure) String() string { return f.Table().String() }

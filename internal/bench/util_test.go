@@ -1,0 +1,9 @@
+package bench
+
+import "fmt"
+
+// fmtSscanf and fmtSscanfInt are tiny wrappers so test assertions read
+// cleanly when parsing rendered table cells.
+func fmtSscanf(s string, f *float64) (int, error) { return fmt.Sscanf(s, "%f", f) }
+
+func fmtSscanfInt(s string, i *int) (int, error) { return fmt.Sscanf(s, "%d", i) }

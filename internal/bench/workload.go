@@ -1,0 +1,71 @@
+// Package bench drives the paper's evaluation: it rebuilds every table and
+// figure of Sec. VI (Table II, Figs. 3a–3c, 4a–4b, 5a–5b) against the
+// synthetic workload, plus the ablation studies listed in DESIGN.md.
+// Results carry the paper's reference numbers alongside the measured ones
+// so EXPERIMENTS.md can be generated mechanically.
+package bench
+
+import (
+	"fmt"
+	"sync"
+
+	"expelliarmus/internal/builder"
+	"expelliarmus/internal/catalog"
+	"expelliarmus/internal/simio"
+	"expelliarmus/internal/vmi"
+)
+
+// Workload builds and caches evaluation images. Images are expensive to
+// build (hundreds of package installs each), so every experiment shares
+// one cache and publishes clones.
+type Workload struct {
+	mu     sync.Mutex
+	b      *builder.Builder
+	images map[string]*vmi.Image
+}
+
+// NewWorkload returns an empty workload cache over a fresh universe.
+func NewWorkload() *Workload {
+	return &Workload{
+		b:      builder.New(catalog.NewUniverse()),
+		images: map[string]*vmi.Image{},
+	}
+}
+
+// Builder exposes the underlying image builder.
+func (w *Workload) Builder() *builder.Builder { return w.b }
+
+// Image returns a clone of the built template image, building on first use.
+func (w *Workload) Image(t catalog.Template) (*vmi.Image, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if img, ok := w.images[t.Name]; ok {
+		return img.Clone(), nil
+	}
+	img, err := w.b.Build(t)
+	if err != nil {
+		return nil, fmt.Errorf("bench: build %s: %w", t.Name, err)
+	}
+	w.images[t.Name] = img
+	return img.Clone(), nil
+}
+
+// Runner executes experiments on one device profile and workload.
+type Runner struct {
+	Dev *simio.Device
+	WL  *Workload
+}
+
+// NewRunner returns a runner using the paper-calibrated device profile
+// scaled to the generated workload.
+func NewRunner() *Runner {
+	return &Runner{
+		Dev: simio.NewDevice(simio.PaperProfile().Scaled(catalog.ByteScale, catalog.FileScale)),
+		WL:  NewWorkload(),
+	}
+}
+
+// paperGB converts real bytes to paper-equivalent gigabytes.
+func paperGB(realBytes int64) float64 {
+	return float64(catalog.Paper(realBytes)) / 1e9
+}

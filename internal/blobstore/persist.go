@@ -1,0 +1,83 @@
+package blobstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+var snapshotMagic = []byte("EXPBLB1\n")
+
+// Snapshot serialises the store — blob contents and reference counts — in
+// deterministic (ID-sorted) order.
+func (s *Store) Snapshot() []byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := make([]ID, 0, len(s.blobs))
+	for id := range s.blobs {
+		ids = append(ids, id)
+	}
+	// Sort without the exported helper to avoid re-locking.
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && string(ids[j][:]) < string(ids[j-1][:]); j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	var buf bytes.Buffer
+	buf.Write(snapshotMagic)
+	var tmp [binary.MaxVarintLen64]byte
+	writeU := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		buf.Write(tmp[:n])
+	}
+	writeU(uint64(len(ids)))
+	for _, id := range ids {
+		e := s.blobs[id]
+		writeU(uint64(e.refs))
+		writeU(uint64(len(e.data)))
+		buf.Write(e.data)
+	}
+	return buf.Bytes()
+}
+
+// Load restores a store from a Snapshot image. Blob IDs are recomputed
+// from content and verified implicitly by the addressing scheme.
+func Load(image []byte) (*Store, error) {
+	r := bytes.NewReader(image)
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(r, magic); err != nil || !bytes.Equal(magic, snapshotMagic) {
+		return nil, fmt.Errorf("blobstore: bad snapshot magic")
+	}
+	count, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("blobstore: corrupt snapshot: %w", err)
+	}
+	s := New()
+	for i := uint64(0); i < count; i++ {
+		refs, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, fmt.Errorf("blobstore: corrupt refcount: %w", err)
+		}
+		if refs == 0 {
+			return nil, fmt.Errorf("blobstore: snapshot contains dead blob")
+		}
+		n, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, fmt.Errorf("blobstore: corrupt length: %w", err)
+		}
+		if n > uint64(r.Len()) {
+			return nil, fmt.Errorf("blobstore: blob length %d exceeds remaining %d", n, r.Len())
+		}
+		data := make([]byte, n)
+		if n > 0 {
+			if _, err := io.ReadFull(r, data); err != nil {
+				return nil, err
+			}
+		}
+		id := Sum(data)
+		s.blobs[id] = &entry{data: data, refs: int(refs)}
+		s.bytes += int64(len(data))
+	}
+	return s, nil
+}

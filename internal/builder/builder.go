@@ -1,0 +1,125 @@
+// Package builder constructs synthetic VMIs from catalog templates — the
+// virt-builder of the reproduction (Sec. V: "We create each VMI using
+// virt-builder"). A build creates a sparse disk, formats the guest
+// filesystem, installs the essential base OS plus the template's primary
+// packages (with dependencies, in SCC-aware order), and writes the
+// template's system churn and user data.
+package builder
+
+import (
+	"fmt"
+	"path"
+
+	"expelliarmus/internal/catalog"
+	"expelliarmus/internal/fstree"
+	"expelliarmus/internal/pkgfmt"
+	"expelliarmus/internal/pkgmgr"
+	"expelliarmus/internal/vdisk"
+	"expelliarmus/internal/vmi"
+)
+
+// Builder builds images against one package universe.
+type Builder struct {
+	uni *catalog.Universe
+}
+
+// New returns a builder over the universe.
+func New(u *catalog.Universe) *Builder { return &Builder{uni: u} }
+
+// Universe returns the builder's package universe.
+func (b *Builder) Universe() *catalog.Universe { return b.uni }
+
+// Build materialises the template as a VMI.
+func (b *Builder) Build(t catalog.Template) (*vmi.Image, error) {
+	// Full package set: essential base OS plus the primaries' closure.
+	roots := append(b.uni.EssentialNames(), t.Primaries...)
+	names, err := pkgmgr.Closure(b.uni, roots)
+	if err != nil {
+		return nil, fmt.Errorf("builder %s: %w", t.Name, err)
+	}
+
+	// Size the disk: content plus generous headroom for metadata and
+	// temporary package imports during later reassembly.
+	var contentReal int64
+	realFiles := 0
+	for _, n := range names {
+		spec, _ := b.uni.Spec(n)
+		contentReal += catalog.Real(spec.InstalledSize)
+		realFiles += catalog.RealFiles(spec.FileCount) + 1 // + conf file
+	}
+	contentReal += catalog.Real(t.ChurnBytes + t.SharedChurnBytes + t.UserDataBytes)
+	realFiles += catalog.RealFiles(t.ChurnFiles) + catalog.RealFiles(t.SharedChurnFiles) +
+		catalog.RealFiles(t.UserDataFiles)
+
+	maxInodes := uint32(realFiles+realFiles/4+128) + 512
+	virtualSize := contentReal*3 + int64(maxInodes)*64*2 + 1<<20
+	// Round up to a cluster multiple.
+	virtualSize = (virtualSize + catalog.ClusterSize - 1) / catalog.ClusterSize * catalog.ClusterSize
+
+	disk := vdisk.New(t.Name, virtualSize, catalog.ClusterSize)
+	fs, err := fstree.Format(disk, maxInodes)
+	if err != nil {
+		return nil, fmt.Errorf("builder %s: format: %w", t.Name, err)
+	}
+	mgr, err := pkgmgr.New(fs)
+	if err != nil {
+		return nil, fmt.Errorf("builder %s: %w", t.Name, err)
+	}
+
+	// Install all packages dependencies-first, cycles grouped.
+	order, err := pkgmgr.InstallOrder(b.uni, names)
+	if err != nil {
+		return nil, fmt.Errorf("builder %s: %w", t.Name, err)
+	}
+	for _, group := range order {
+		for _, name := range group {
+			spec, _ := b.uni.Spec(name)
+			files, err := b.uni.FilesFor(name)
+			if err != nil {
+				return nil, err
+			}
+			if err := mgr.InstallPackage(spec.Package, files); err != nil {
+				return nil, fmt.Errorf("builder %s: install %s: %w", t.Name, name, err)
+			}
+		}
+	}
+
+	// System churn and user data (outside package management).
+	if err := writeDataFiles(fs, t.ChurnFileSet()); err != nil {
+		return nil, fmt.Errorf("builder %s: churn: %w", t.Name, err)
+	}
+	if err := writeDataFiles(fs, t.UserDataFileSet()); err != nil {
+		return nil, fmt.Errorf("builder %s: user data: %w", t.Name, err)
+	}
+
+	// Instance identity files (cleared by sysprep on reassembly).
+	if err := fs.MkdirAll("/etc"); err != nil {
+		return nil, err
+	}
+	id := fmt.Sprintf("machine-id-%016x\n", t.InstanceSeed)
+	if err := fs.WriteFile("/etc/machine-id", []byte(id)); err != nil {
+		return nil, err
+	}
+	if err := fs.WriteFile("/etc/hostname", []byte(t.Name+"\n")); err != nil {
+		return nil, err
+	}
+
+	return &vmi.Image{
+		Name:      t.Name,
+		Base:      b.uni.Release().Base,
+		Primaries: append([]string(nil), t.Primaries...),
+		Disk:      disk,
+	}, nil
+}
+
+func writeDataFiles(fs *fstree.FS, files []pkgfmt.File) error {
+	for _, f := range files {
+		if err := fs.MkdirAll(path.Dir(f.Path)); err != nil {
+			return err
+		}
+		if err := fs.WriteFile(f.Path, f.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}

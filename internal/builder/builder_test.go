@@ -1,0 +1,173 @@
+package builder
+
+import (
+	"bytes"
+	"compress/gzip"
+	"testing"
+
+	"expelliarmus/internal/catalog"
+	"expelliarmus/internal/fstree"
+	"expelliarmus/internal/pkgmgr"
+)
+
+func TestBuildMini(t *testing.T) {
+	u := catalog.NewUniverse()
+	b := New(u)
+	tpl, _ := catalog.Find("Mini")
+	img, err := b.Build(tpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Name != "Mini" || img.Base != catalog.DefaultBase {
+		t.Fatalf("metadata: %+v", img)
+	}
+	if len(img.Primaries) != 0 {
+		t.Fatalf("Mini has primaries: %v", img.Primaries)
+	}
+	fs, err := img.Mount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := pkgmgr.New(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := mgr.Installed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != len(u.EssentialNames()) {
+		t.Fatalf("Mini has %d packages, want %d essential", len(pkgs), len(u.EssentialNames()))
+	}
+	// Identity and churn exist.
+	if !fs.Exists("/etc/machine-id") || !fs.Exists("/etc/hostname") {
+		t.Fatal("identity files missing")
+	}
+	churn := false
+	fs.Walk("/var/log", func(fi fstree.FileInfo) error { churn = true; return nil })
+	if !churn {
+		t.Fatal("no churn under /var/log")
+	}
+}
+
+func TestBuildRedisInstallsStack(t *testing.T) {
+	u := catalog.NewUniverse()
+	b := New(u)
+	tpl, _ := catalog.Find("Redis")
+	img, err := b.Build(tpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, _ := img.Mount()
+	mgr, _ := pkgmgr.New(fs)
+	if !mgr.IsInstalled("redis-server") {
+		t.Fatal("redis-server not installed")
+	}
+	if !fs.Exists("/usr/bin/redis-server") {
+		t.Fatal("redis binary missing")
+	}
+	// User data exists under a user-data root.
+	found := false
+	for _, root := range catalog.UserDataRoots {
+		fs.Walk(root, func(fi fstree.FileInfo) error {
+			if !fi.IsDir {
+				found = true
+			}
+			return nil
+		})
+	}
+	if !found {
+		t.Fatal("no user data files")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	u := catalog.NewUniverse()
+	tpl, _ := catalog.Find("Redis")
+	a, err := New(u).Build(tpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(u).Build(tpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Serialize(), b.Serialize()) {
+		t.Fatal("same template built different images")
+	}
+}
+
+func TestBuildUnknownPrimaryFails(t *testing.T) {
+	u := catalog.NewUniverse()
+	tpl, _ := catalog.Find("Mini")
+	tpl.Primaries = []string{"does-not-exist"}
+	if _, err := New(u).Build(tpl); err == nil {
+		t.Fatal("build with unknown primary succeeded")
+	}
+}
+
+// TestBuildSizesNearTableII checks the calibration anchors: Mini's mounted
+// size should be near the paper's 1.913 GB (paper scale) and its file
+// count near 75,749.
+func TestBuildSizesNearTableII(t *testing.T) {
+	u := catalog.NewUniverse()
+	b := New(u)
+	tpl, _ := catalog.Find("Mini")
+	img, err := b.Build(tpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := img.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	paperGB := float64(catalog.Paper(st.MountedBytes)) / 1e9
+	if paperGB < 1.6 || paperGB > 2.4 {
+		t.Errorf("Mini mounted = %.3f GB (paper scale), want ~1.9", paperGB)
+	}
+	paperFiles := catalog.PaperFiles(st.Files)
+	if paperFiles < 60000 || paperFiles > 95000 {
+		t.Errorf("Mini files = %d (paper scale), want ~75.7k", paperFiles)
+	}
+	t.Logf("Mini: mounted %.3f GB, %d files (paper scale), serialized %.3f GB",
+		paperGB, paperFiles, float64(catalog.Paper(st.SerializedBytes))/1e9)
+}
+
+// TestImageGzipRatio verifies the whole-image compressibility anchor
+// (Fig. 3b: 41.81 GB of qcow2 compresses to ~15 GB, a 2.8x ratio).
+func TestImageGzipRatio(t *testing.T) {
+	u := catalog.NewUniverse()
+	tpl, _ := catalog.Find("Mini")
+	img, err := New(u).Build(tpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := img.Serialize()
+	var buf bytes.Buffer
+	w, _ := gzip.NewWriterLevel(&buf, gzip.DefaultCompression)
+	w.Write(raw)
+	w.Close()
+	ratio := float64(len(raw)) / float64(buf.Len())
+	if ratio < 2.0 || ratio > 4.2 {
+		t.Errorf("image gzip ratio = %.2fx, want ~2.8x (band [2.0,4.2])", ratio)
+	}
+	t.Logf("image gzip ratio = %.2fx", ratio)
+}
+
+func TestImageCloneIndependent(t *testing.T) {
+	u := catalog.NewUniverse()
+	tpl, _ := catalog.Find("Mini")
+	img, err := New(u).Build(tpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := img.Clone()
+	fs, _ := clone.Mount()
+	if err := fs.RemoveAll("/usr"); err != nil {
+		t.Fatal(err)
+	}
+	origFS, _ := img.Mount()
+	if !origFS.Exists("/usr/bin/bash") {
+		t.Fatal("mutating clone affected original")
+	}
+}

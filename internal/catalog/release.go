@@ -1,0 +1,38 @@
+package catalog
+
+import "expelliarmus/internal/pkgmeta"
+
+// Release identifies one guest OS release: a base-image attribute
+// quadruple plus the package version its packages carry. The paper's
+// evaluation uses a single release (Ubuntu 16.04); additional releases
+// exercise the multi-master-graph paths of Algorithms 1–2 (simBI < 1
+// between releases, so base images are never replaced across them) and
+// lay the groundwork for the paper's multi-OS future work.
+type Release struct {
+	// Base is the base-image attribute quadruple of the release.
+	Base pkgmeta.BaseAttrs
+	// PkgVersion is the version string of every package in the release;
+	// differing versions make cross-release packages semantically distinct
+	// (simP < 1) with distinct content.
+	PkgVersion string
+}
+
+// ReleaseXenial is the paper's testbed release (Ubuntu 16.04).
+var ReleaseXenial = Release{
+	Base:       pkgmeta.BaseAttrs{Type: "linux", Distro: "ubuntu", Version: "16.04", Arch: "x86_64"},
+	PkgVersion: "1.0-ubuntu1",
+}
+
+// ReleaseBionic is a newer release of the same distribution: same type,
+// distro and architecture, different major version, so SimBI = 0.5 and
+// base-image selection keeps the releases' bases separate.
+var ReleaseBionic = Release{
+	Base:       pkgmeta.BaseAttrs{Type: "linux", Distro: "ubuntu", Version: "18.04", Arch: "x86_64"},
+	PkgVersion: "2.0-ubuntu2",
+}
+
+// ReleaseStretch is a different distribution entirely (SimBI = 0).
+var ReleaseStretch = Release{
+	Base:       pkgmeta.BaseAttrs{Type: "linux", Distro: "debian", Version: "9", Arch: "x86_64"},
+	PkgVersion: "1.0-deb9",
+}

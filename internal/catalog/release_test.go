@@ -1,0 +1,77 @@
+package catalog
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestReleasesDiffer(t *testing.T) {
+	x := NewUniverseFor(ReleaseXenial)
+	b := NewUniverseFor(ReleaseBionic)
+	if x.Release() == b.Release() {
+		t.Fatal("releases identical")
+	}
+	px, _ := x.Lookup("libc6")
+	pb, _ := b.Lookup("libc6")
+	if px.Version == pb.Version {
+		t.Fatal("cross-release packages share a version")
+	}
+	if px.Ref() == pb.Ref() {
+		t.Fatal("cross-release refs collide")
+	}
+	// Same structure: names and dependency graph identical.
+	if len(x.Names()) != len(b.Names()) {
+		t.Fatal("package sets differ across releases")
+	}
+	if len(px.Depends) != len(pb.Depends) {
+		t.Fatal("dependency structure differs across releases")
+	}
+}
+
+func TestReleaseContentDiffers(t *testing.T) {
+	x := NewUniverseFor(ReleaseXenial)
+	b := NewUniverseFor(ReleaseBionic)
+	fx, err := x.FilesFor("bash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := b.FilesFor("bash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fx) != len(fb) {
+		t.Fatal("file counts differ across releases")
+	}
+	same := 0
+	for i := range fx {
+		if bytes.Equal(fx[i].Data, fb[i].Data) {
+			same++
+		}
+	}
+	// Content is keyed by name=version, so essentially every payload file
+	// differs between releases.
+	if same > 1 {
+		t.Fatalf("%d/%d files identical across releases", same, len(fx))
+	}
+}
+
+func TestDefaultUniverseIsXenial(t *testing.T) {
+	u := NewUniverse()
+	if u.Release() != ReleaseXenial {
+		t.Fatalf("default release = %+v", u.Release())
+	}
+	if u.Release().Base != DefaultBase {
+		t.Fatal("DefaultBase drifted from ReleaseXenial")
+	}
+}
+
+func TestStretchIsDifferentDistro(t *testing.T) {
+	if ReleaseStretch.Base.Distro == ReleaseXenial.Base.Distro {
+		t.Fatal("stretch should be a different distribution")
+	}
+	u := NewUniverseFor(ReleaseStretch)
+	p, _ := u.Lookup("libc6")
+	if p.Distro != "debian" {
+		t.Fatalf("stretch package distro = %q", p.Distro)
+	}
+}

@@ -1,0 +1,67 @@
+// Package chunker implements the content chunking schemes used by the
+// block-level deduplication baselines discussed in the paper's related work
+// (Jin et al., SYSTOR'09; Zhao et al., Liquid): fixed-size chunking and
+// variable-size content-defined chunking with Rabin fingerprinting.
+//
+// These schemes are the "content level" dedup against which the paper's
+// semantics-aware approach is contrasted, and they power the
+// internal/stores/blockdedup ablation baseline.
+package chunker
+
+import "fmt"
+
+// Chunk is a contiguous span of the input produced by a Chunker.
+type Chunk struct {
+	// Offset is the byte offset of the chunk within the input.
+	Offset int64
+	// Data aliases the corresponding span of the input slice.
+	Data []byte
+}
+
+// Chunker splits byte streams into chunks. Implementations must be
+// deterministic: equal inputs produce equal chunkings.
+type Chunker interface {
+	// Split partitions data into consecutive, non-empty chunks covering the
+	// whole input. Split(nil) returns no chunks.
+	Split(data []byte) []Chunk
+	// Name identifies the scheme, e.g. "fixed-4096" or "rabin-8192".
+	Name() string
+}
+
+// Fixed is a fixed-size chunker, the scheme Jin et al. found most effective
+// for VMI deduplication.
+type Fixed struct {
+	size int
+}
+
+// NewFixed returns a fixed-size chunker with the given chunk size in bytes.
+func NewFixed(size int) *Fixed {
+	if size <= 0 {
+		panic(fmt.Sprintf("chunker: invalid fixed chunk size %d", size))
+	}
+	return &Fixed{size: size}
+}
+
+// Size returns the configured chunk size.
+func (f *Fixed) Size() int { return f.size }
+
+// Name implements Chunker.
+func (f *Fixed) Name() string { return fmt.Sprintf("fixed-%d", f.size) }
+
+// Split implements Chunker. All chunks have exactly f.Size() bytes except
+// possibly the last.
+func (f *Fixed) Split(data []byte) []Chunk {
+	if len(data) == 0 {
+		return nil
+	}
+	n := (len(data) + f.size - 1) / f.size
+	out := make([]Chunk, 0, n)
+	for off := 0; off < len(data); off += f.size {
+		end := off + f.size
+		if end > len(data) {
+			end = len(data)
+		}
+		out = append(out, Chunk{Offset: int64(off), Data: data[off:end]})
+	}
+	return out
+}

@@ -1,0 +1,650 @@
+// Package core implements the Expelliarmus system of Sec. IV: the semantic
+// analyzer, the VMI decomposer (publishing, Algorithm 1), base-image
+// selection (Algorithm 2) and the VMI assembler (retrieval, Algorithm 3),
+// orchestrated over the repository of Fig. 2.
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"path"
+	"sort"
+
+	"expelliarmus/internal/catalog"
+	"expelliarmus/internal/fstree"
+	"expelliarmus/internal/guestfs"
+	"expelliarmus/internal/master"
+	"expelliarmus/internal/pkgfmt"
+	"expelliarmus/internal/pkgmeta"
+	"expelliarmus/internal/pkgmgr"
+	"expelliarmus/internal/semgraph"
+	"expelliarmus/internal/similarity"
+	"expelliarmus/internal/simio"
+	"expelliarmus/internal/vdisk"
+	"expelliarmus/internal/vmi"
+	"expelliarmus/internal/vmirepo"
+)
+
+// Options configure the system. The zero value enables the full design;
+// the flags exist for the paper's "semantic decomposition" variant
+// (Fig. 4b) and the ablation studies in DESIGN.md.
+type Options struct {
+	// NoSemanticDedup disables the repository-existence check during
+	// export: every required package is repacked and stored, as in the
+	// paper's "Semantic" comparison variant.
+	NoSemanticDedup bool
+	// NoBaseSelection disables Algorithm 2: every published VMI stores its
+	// own base image (ablation A3).
+	NoBaseSelection bool
+}
+
+// System is the Expelliarmus VMI management system.
+type System struct {
+	repo *vmirepo.Repo
+	dev  *simio.Device
+	opts Options
+}
+
+// NewSystem creates a system over a fresh repository.
+func NewSystem(dev *simio.Device, opts Options) *System {
+	return &System{repo: vmirepo.New(dev), dev: dev, opts: opts}
+}
+
+// Repo exposes the underlying repository.
+func (s *System) Repo() *vmirepo.Repo { return s.repo }
+
+// PublishReport describes one publish operation.
+type PublishReport struct {
+	Image string
+	// Similarity is SimG between the uploaded VMI's semantic graph and the
+	// best-matching master graph (0 when the repository holds none with
+	// matching base attributes) — Table II's "Similarity [SimG]".
+	Similarity float64
+	// Exported lists the packages repacked and stored (non-redundant).
+	Exported []string
+	// ExportedBytes is their total installed size (paper scale).
+	ExportedBytes int64
+	// Skipped counts packages already present in the repository.
+	Skipped int
+	// BaseStored reports whether this publish stored a new base image.
+	BaseStored bool
+	// BaseID is the base image the VMI was clustered on.
+	BaseID string
+	// ReplacedBases lists base images removed by Algorithm 2.
+	ReplacedBases []string
+	// Meter holds the publish cost decomposition.
+	Meter *simio.Meter
+}
+
+// Seconds returns the total modeled publish time.
+func (r *PublishReport) Seconds() float64 { return r.Meter.Seconds() }
+
+// Publish runs the semantic analyzer and the decomposer on the image
+// (Algorithm 1). Publishing consumes the image: its primary packages,
+// unused dependencies and user data are removed in place. Callers that
+// need the image afterwards must Clone it first.
+func (s *System) Publish(img *vmi.Image) (*PublishReport, error) {
+	rep := &PublishReport{Image: img.Name, Meter: &simio.Meter{}}
+
+	// Step 2 (Fig. 2): guestfs access and semantic analysis.
+	h := guestfs.New(img.Disk, s.dev, rep.Meter)
+	if err := h.Launch(); err != nil {
+		return nil, fmt.Errorf("core: publish %s: %w", img.Name, err)
+	}
+	fs, _ := h.FS()
+	mgr, err := h.PackageManager()
+	if err != nil {
+		return nil, err
+	}
+	installed, err := mgr.Installed()
+	if err != nil {
+		return nil, err
+	}
+	g := semgraph.Build(img.Base, installed, img.Primaries)
+	rep.Meter.Charge(simio.PhaseSimilarity, s.dev.SimilarityCost(g.Len()))
+	rep.Similarity = s.bestSimilarity(g)
+
+	// Algorithm 1 line 1: extract the primary package subgraph.
+	ps := g.PrimarySubgraph()
+
+	// Lines 2–5: store non-redundant primary-subgraph packages. Essential
+	// packages stay with the base image and are never exported.
+	for _, v := range ps.Vertices() {
+		if v.Pkg.Essential {
+			continue
+		}
+		ref := v.Pkg.Ref()
+		if !s.opts.NoSemanticDedup && s.repo.HasPackage(ref, rep.Meter) {
+			rep.Skipped++
+			continue
+		}
+		blob, err := mgr.Repack(v.Pkg.Name)
+		if err != nil {
+			return nil, fmt.Errorf("core: publish %s: %w", img.Name, err)
+		}
+		rep.Meter.Charge(simio.PhaseExport,
+			s.dev.RepackCost(catalog.Real(v.Pkg.InstalledSize), 1))
+		if s.opts.NoSemanticDedup && s.repo.HasPackage(ref, rep.Meter) {
+			// The variant still repacks (paying the cost) but cannot store
+			// the same ref twice.
+			rep.Skipped++
+			continue
+		}
+		if err := s.repo.PutPackage(v.Pkg, blob, rep.Meter); err != nil {
+			return nil, err
+		}
+		rep.Exported = append(rep.Exported, v.Pkg.Name)
+		rep.ExportedBytes += v.Pkg.InstalledSize
+	}
+
+	// Line 6: store the user data.
+	userFiles, err := collectUserData(fs)
+	if err != nil {
+		return nil, err
+	}
+	if len(userFiles) > 0 {
+		archive, err := pkgfmt.PackTar(userFiles)
+		if err != nil {
+			return nil, err
+		}
+		rep.Meter.Charge(simio.PhaseExport, s.dev.ReadCost(int64(len(archive))))
+		s.repo.PutUserData(img.Name, archive, rep.Meter)
+	}
+
+	// Lines 7–11: remove primaries, unused dependencies and user data,
+	// leaving only the base image BI (line 12).
+	filesBefore := fs.NumFiles()
+	for _, p := range img.Primaries {
+		if mgr.IsInstalled(p) {
+			if err := mgr.Remove(p); err != nil {
+				return nil, fmt.Errorf("core: publish %s: %w", img.Name, err)
+			}
+		}
+	}
+	if _, err := mgr.Autoremove(nil); err != nil {
+		return nil, err
+	}
+	for _, root := range vmi.UserDataRoots {
+		if err := fs.RemoveAll(root); err != nil {
+			return nil, err
+		}
+	}
+	// Removing files costs a per-file unlink, not a full open/read cycle.
+	rep.Meter.Charge(simio.PhaseCleanup, s.dev.ResetCost(filesBefore-fs.NumFiles()))
+
+	// Line 13: the base image subgraph.
+	remaining, err := mgr.Installed()
+	if err != nil {
+		return nil, err
+	}
+	baseSub := semgraph.Build(img.Base, remaining, nil)
+	baseID := s.baseIdentity(img, baseSub)
+
+	// Line 14: base image selection (Algorithm 2).
+	selected, replaceList, err := s.selectBaseImage(baseID, baseSub, ps, rep.Meter)
+	if err != nil {
+		return nil, err
+	}
+	rep.BaseID = selected
+
+	var mg *master.Graph
+	if selected == baseID && !s.repo.HasBase(selected, rep.Meter) {
+		// Lines 15–17: store this base image and create its master graph.
+		serialized := img.Disk.Serialize()
+		rep.Meter.Charge(simio.PhaseScan, s.dev.ReadCost(int64(len(serialized))))
+		if err := s.repo.PutBase(baseID, img.Base, serialized, rep.Meter); err != nil {
+			return nil, err
+		}
+		mg = master.New(baseID, baseSub)
+		rep.BaseStored = true
+	} else {
+		// Line 19: reuse the stored base image's master graph (either a
+		// different selected base, or a stored base with the same semantic
+		// identity as the decomposed one).
+		mg, err = s.repo.GetMaster(selected, rep.Meter)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Line 21: cluster this VMI's primary subgraph.
+	if err := mg.AddPrimarySubgraph(ps); err != nil {
+		return nil, err
+	}
+	// Lines 22–28: fold in and remove replaced base images.
+	for _, b := range replaceList {
+		if b == baseID || b == selected {
+			continue
+		}
+		other, err := s.repo.GetMaster(b, rep.Meter)
+		if err != nil {
+			return nil, err
+		}
+		if err := mg.Merge(other); err != nil {
+			return nil, err
+		}
+		if err := s.repo.RemoveBase(b, rep.Meter); err != nil {
+			return nil, err
+		}
+		s.repo.RemoveMaster(b, rep.Meter)
+		// VMIs clustered on the replaced base are now served by the
+		// selected one (their packages were merged into its master).
+		s.repo.RewireVMIs(b, selected, rep.Meter)
+		rep.ReplacedBases = append(rep.ReplacedBases, b)
+	}
+	// Line 29: update the master graph.
+	s.repo.PutMaster(mg, rep.Meter)
+
+	s.repo.PutVMI(vmirepo.VMIRecord{
+		Name:      img.Name,
+		BaseID:    selected,
+		Primaries: append([]string(nil), img.Primaries...),
+	}, rep.Meter)
+	h.Close()
+	return rep, nil
+}
+
+// bestSimilarity compares the uploaded graph against the master graphs
+// sharing its base attributes and returns the highest SimG.
+func (s *System) bestSimilarity(g *semgraph.Graph) float64 {
+	masters, err := s.repo.Masters()
+	if err != nil {
+		return 0
+	}
+	best := 0.0
+	for _, m := range masters {
+		if m.Attrs() != g.Base() {
+			continue
+		}
+		if sim := m.Similarity(g); sim > best {
+			best = sim
+		}
+	}
+	return best
+}
+
+// baseIdentity derives the identity of a decomposed base image: the hash
+// of its attribute quadruple and package refs. Two bases with identical
+// semantics share an identity even when their bytes differ (instance
+// churn), which is precisely the paper's semantic dedup of base images.
+// With base selection disabled every image keeps a distinct base identity.
+func (s *System) baseIdentity(img *vmi.Image, baseSub *semgraph.Graph) string {
+	hsh := sha256.New()
+	hsh.Write([]byte(img.Base.String()))
+	for _, v := range baseSub.Vertices() {
+		hsh.Write([]byte(v.Pkg.Ref()))
+		hsh.Write([]byte{0})
+	}
+	if s.opts.NoBaseSelection {
+		hsh.Write([]byte("image:" + img.Name))
+	}
+	return "base-" + hex.EncodeToString(hsh.Sum(nil))[:16]
+}
+
+// selectBaseImage implements Algorithm 2. It returns the ID of the base
+// image to cluster on (baseID itself when the new base must be stored) and
+// the list of stored base IDs it replaces.
+func (s *System) selectBaseImage(baseID string, baseSub, ps *semgraph.Graph, m *simio.Meter) (string, []string, error) {
+	if s.opts.NoBaseSelection {
+		return baseID, nil, nil
+	}
+	type entry struct {
+		id      string
+		baseSub *semgraph.Graph
+		psList  []*semgraph.Graph
+	}
+	// Line 1: the candidate list starts with the new base image.
+	list3 := []entry{{id: baseID, baseSub: baseSub, psList: []*semgraph.Graph{ps}}}
+
+	// Lines 3–12: add stored base images with simBI = 1 and their master
+	// graphs' primary subgraphs.
+	bases, err := s.repo.Bases()
+	if err != nil {
+		return "", nil, err
+	}
+	for _, b := range bases {
+		if similarity.SimBI(baseSub.Base(), b.Attrs) != 1 {
+			continue
+		}
+		mg, err := s.repo.GetMaster(b.ID, m)
+		if err != nil {
+			return "", nil, err
+		}
+		e := entry{id: b.ID, baseSub: mg.BaseSubgraph()}
+		for _, p := range mg.PrimaryNames() {
+			sub, err := mg.PrimarySubgraph(p)
+			if err != nil {
+				return "", nil, err
+			}
+			e.psList = append(e.psList, sub)
+		}
+		list3 = append(list3, e)
+	}
+
+	// Lines 13–26: build the quadruple list.
+	type quad struct {
+		id          string
+		replaceList []string
+		size        int64
+		isNew       bool
+	}
+	var list4 []quad
+	for i, ei := range list3 {
+		var replace []string
+		for j, ej := range list3 {
+			if i == j || ei.id == ej.id {
+				continue
+			}
+			compatible := true
+			for _, psj := range ej.psList {
+				if !similarity.Compatible(ei.baseSub, psj) {
+					compatible = false
+					break
+				}
+			}
+			if compatible {
+				replace = append(replace, ej.id)
+			}
+		}
+		if len(replace) == 0 {
+			continue
+		}
+		sort.Strings(replace)
+		list4 = append(list4, quad{
+			id:          ei.id,
+			replaceList: replace,
+			size:        ei.baseSub.TotalSize(),
+			isNew:       ei.id == baseID,
+		})
+	}
+
+	// Line 27: sort by replace-list size (desc), base size (asc), and
+	// prefer bases already in the repository (no unnecessary storage).
+	sort.Slice(list4, func(a, b int) bool {
+		qa, qb := list4[a], list4[b]
+		if len(qa.replaceList) != len(qb.replaceList) {
+			return len(qa.replaceList) > len(qb.replaceList)
+		}
+		if qa.size != qb.size {
+			return qa.size < qb.size
+		}
+		if qa.isNew != qb.isNew {
+			return !qa.isNew // existing base first
+		}
+		return qa.id < qb.id
+	})
+
+	// Lines 28–32: pick the first quadruple involving the new base.
+	for _, q := range list4 {
+		if q.id == baseID {
+			return q.id, q.replaceList, nil
+		}
+		for _, r := range q.replaceList {
+			if r == baseID {
+				return q.id, q.replaceList, nil
+			}
+		}
+	}
+	// Line 33: no candidate — store the new base.
+	return baseID, nil, nil
+}
+
+// collectUserData gathers all files under the user-data roots.
+func collectUserData(fs *fstree.FS) ([]pkgfmt.File, error) {
+	var out []pkgfmt.File
+	for _, root := range vmi.UserDataRoots {
+		if !fs.Exists(root) {
+			continue
+		}
+		err := fs.Walk(root, func(fi fstree.FileInfo) error {
+			if fi.IsDir {
+				return nil
+			}
+			data, err := fs.ReadFile(fi.Path)
+			if err != nil {
+				return err
+			}
+			out = append(out, pkgfmt.File{Path: fi.Path, Data: data})
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// RetrieveReport describes one retrieval operation.
+type RetrieveReport struct {
+	Image string
+	// Imported lists the installed packages.
+	Imported []string
+	// ImportedBytes is their total installed size (paper scale).
+	ImportedBytes int64
+	// Meter decomposes the retrieval cost into the Fig. 5a phases.
+	Meter *simio.Meter
+}
+
+// Seconds returns the total modeled retrieval time.
+func (r *RetrieveReport) Seconds() float64 { return r.Meter.Seconds() }
+
+// Retrieve assembles a previously published VMI by name (Algorithm 3).
+func (s *System) Retrieve(name string) (*vmi.Image, *RetrieveReport, error) {
+	rep := &RetrieveReport{Image: name, Meter: &simio.Meter{}}
+	rec, err := s.repo.GetVMI(name, rep.Meter)
+	if err != nil {
+		return nil, nil, err
+	}
+	img, err := s.assemble(name, rec.BaseID, rec.Primaries, name, rep)
+	if err != nil {
+		return nil, nil, err
+	}
+	return img, rep, nil
+}
+
+// Assemble builds a VMI that was never uploaded in this exact form: any
+// primary package combination available in the repository, on a compatible
+// stored base image ("VMI assembly either with identical or with differing
+// functionality", Sec. IV-D). userDataFrom optionally names a published
+// VMI whose user data to import.
+func (s *System) Assemble(name string, primaries []string, userDataFrom string) (*vmi.Image, *RetrieveReport, error) {
+	rep := &RetrieveReport{Image: name, Meter: &simio.Meter{}}
+	masters, err := s.repo.Masters()
+	if err != nil {
+		return nil, nil, err
+	}
+	sort.Slice(masters, func(i, j int) bool { return masters[i].BaseID < masters[j].BaseID })
+	for _, mg := range masters {
+		if !hasAll(mg.PrimaryNames(), primaries) {
+			continue
+		}
+		img, err := s.assemble(name, mg.BaseID, primaries, userDataFrom, rep)
+		if err != nil {
+			return nil, nil, err
+		}
+		return img, rep, nil
+	}
+	return nil, nil, fmt.Errorf("core: no stored base provides packages %v", primaries)
+}
+
+func hasAll(have []string, want []string) bool {
+	set := make(map[string]bool, len(have))
+	for _, h := range have {
+		set[h] = true
+	}
+	for _, w := range want {
+		if !set[w] {
+			return false
+		}
+	}
+	return true
+}
+
+// localRepoDir is the temporary in-guest package repository used during
+// assembly (Sec. V-4).
+const localRepoDir = "/var/local-repo"
+
+// assemble implements Algorithm 3 against a specific base image.
+func (s *System) assemble(name, baseID string, primaries []string, userDataFrom string, rep *RetrieveReport) (*vmi.Image, error) {
+	// Line 1: subgraphs from the repository.
+	mg, err := s.repo.GetMaster(baseID, rep.Meter)
+	if err != nil {
+		return nil, err
+	}
+	baseSub := mg.BaseSubgraph()
+	psUnion := semgraph.New(mg.Attrs())
+	for _, p := range primaries {
+		sub, err := mg.PrimarySubgraph(p)
+		if err != nil {
+			return nil, fmt.Errorf("core: assemble %s: %w", name, err)
+		}
+		psUnion.Union(sub)
+	}
+	// Line 2: compatibility check.
+	if !similarity.Compatible(baseSub, psUnion) {
+		return nil, fmt.Errorf("core: assemble %s: primary packages incompatible with base %s", name, baseID)
+	}
+
+	// Lines 3–4: copy the base image and reset it.
+	blob, err := s.repo.GetBase(baseID, simio.PhaseCopy, rep.Meter)
+	if err != nil {
+		return nil, err
+	}
+	disk, err := vdisk.Deserialize(name, blob)
+	if err != nil {
+		return nil, err
+	}
+	h := guestfs.New(disk, s.dev, rep.Meter)
+	if err := h.Launch(); err != nil {
+		return nil, err
+	}
+	if err := h.Sysprep(nil); err != nil {
+		return nil, err
+	}
+	fs, _ := h.FS()
+
+	// Line 5: import the user data.
+	if userDataFrom != "" {
+		archive, err := s.repo.GetUserData(userDataFrom, simio.PhaseImport, rep.Meter)
+		if err != nil {
+			return nil, err
+		}
+		if archive != nil {
+			files, err := pkgfmt.UnpackTar(archive)
+			if err != nil {
+				return nil, err
+			}
+			for _, f := range files {
+				if err := fs.MkdirAll(path.Dir(f.Path)); err != nil {
+					return nil, err
+				}
+				if err := fs.WriteFile(f.Path, f.Data); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	// Lines 6–10: packages in the primary subgraph missing from the base.
+	var missing []string
+	for _, v := range psUnion.Vertices() {
+		if !baseSub.HasVertex(v.Pkg.Name) {
+			missing = append(missing, v.Pkg.Name)
+		}
+	}
+
+	// Lines 11–13: import and install through the guest package manager
+	// from a temporary local repository.
+	mgr, err := h.PackageManager()
+	if err != nil {
+		return nil, err
+	}
+	order, err := pkgmgr.InstallOrder(graphUniverse{psUnion}, missing)
+	if err != nil {
+		return nil, err
+	}
+	if err := fs.MkdirAll(localRepoDir); err != nil {
+		return nil, err
+	}
+	if err := fs.MkdirAll("/etc/apt/sources.list.d"); err != nil {
+		return nil, err
+	}
+	if err := fs.WriteFile("/etc/apt/sources.list.d/local.list",
+		[]byte("deb [trusted=yes] file:"+localRepoDir+" ./\n")); err != nil {
+		return nil, err
+	}
+	for _, group := range order {
+		for _, pkgName := range group {
+			v, _ := psUnion.Vertex(pkgName)
+			_, blob, err := s.repo.GetPackage(v.Pkg.Ref(), simio.PhaseImport, rep.Meter)
+			if err != nil {
+				return nil, err
+			}
+			local := path.Join(localRepoDir, pkgName+".deb")
+			if err := fs.WriteFile(local, blob); err != nil {
+				return nil, err
+			}
+			if mgr.IsInstalled(pkgName) {
+				// Already present (e.g. imported by an earlier group).
+				fs.Remove(local)
+				continue
+			}
+			if err := mgr.Install(blob); err != nil {
+				return nil, err
+			}
+			rep.Meter.Charge(simio.PhaseImport,
+				s.dev.InstallCost(catalog.Real(v.Pkg.InstalledSize), 1))
+			rep.Imported = append(rep.Imported, pkgName)
+			rep.ImportedBytes += v.Pkg.InstalledSize
+			if err := fs.Remove(local); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Restore the default repository configuration (Sec. V-4).
+	if err := fs.RemoveAll(localRepoDir); err != nil {
+		return nil, err
+	}
+	if err := fs.Remove("/etc/apt/sources.list.d/local.list"); err != nil {
+		return nil, err
+	}
+	h.Close()
+
+	disk.SetName(name)
+	return &vmi.Image{
+		Name:      name,
+		Base:      mg.Attrs(),
+		Primaries: append([]string(nil), primaries...),
+		Disk:      disk,
+	}, nil
+}
+
+// graphUniverse adapts a semantic graph to the resolver's Universe.
+type graphUniverse struct{ g *semgraph.Graph }
+
+func (u graphUniverse) Lookup(name string) (pkgmeta.Package, bool) {
+	v, ok := u.g.Vertex(name)
+	return v.Pkg, ok
+}
+
+// MasterDOT renders every stored master graph in Graphviz DOT format —
+// the semantic-graph visualisation of Fig. 1a for the live repository.
+func (s *System) MasterDOT() (string, error) {
+	masters, err := s.repo.Masters()
+	if err != nil {
+		return "", err
+	}
+	var out string
+	for _, mg := range masters {
+		out += mg.G.DOT("master_" + mg.BaseID)
+	}
+	return out, nil
+}
+
+// DescribeRepo returns a human-readable repository summary.
+func (s *System) DescribeRepo() string {
+	st := s.repo.Stats()
+	return fmt.Sprintf("packages=%d bases=%d vmis=%d blob=%.2fMB db=%.2fMB total=%.2fMB",
+		st.Packages, st.Bases, st.VMIs,
+		float64(st.BlobBytes)/1e6, float64(st.DBBytes)/1e6, float64(st.TotalBytes)/1e6)
+}

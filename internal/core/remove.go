@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"expelliarmus/internal/master"
+	"expelliarmus/internal/simio"
+	"expelliarmus/internal/vmirepo"
+)
+
+// NewSystemWithRepo creates a system over an existing repository (e.g. one
+// restored from a snapshot).
+func NewSystemWithRepo(repo *vmirepo.Repo, dev *simio.Device, opts Options) *System {
+	return &System{repo: repo, dev: dev, opts: opts}
+}
+
+// vmiPackageRefs returns the non-base package refs a VMI's assembly pulls
+// from the repository: the union of its primaries' subgraphs within its
+// master graph, minus base-image packages.
+func (s *System) vmiPackageRefs(rec vmirepo.VMIRecord) (map[string]bool, error) {
+	mg, err := s.repo.GetMaster(rec.BaseID, nil)
+	if err != nil {
+		return nil, err
+	}
+	baseSub := mg.BaseSubgraph()
+	refs := map[string]bool{}
+	for _, p := range rec.Primaries {
+		sub, err := mg.PrimarySubgraph(p)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range sub.Vertices() {
+			if !baseSub.HasVertex(v.Pkg.Name) {
+				refs[v.Pkg.Ref()] = true
+			}
+		}
+	}
+	return refs, nil
+}
+
+// Remove deletes a published VMI and garbage-collects everything no
+// remaining VMI needs: packages referenced only by the removed image, its
+// user data, and — when it was the last VMI on its base — the base image
+// and master graph. When the base survives, the master graph is rebuilt
+// from the remaining VMIs so it no longer advertises unavailable packages.
+//
+// The paper treats the repository as append-only; removal closes the
+// loop for long-lived deployments (images are versioned, cloned and
+// eventually retired — the sprawl the paper opens with).
+func (s *System) Remove(name string) error {
+	rec, err := s.repo.GetVMI(name, nil)
+	if err != nil {
+		return err
+	}
+	target, err := s.vmiPackageRefs(rec)
+	if err != nil {
+		return fmt.Errorf("core: remove %s: %w", name, err)
+	}
+
+	// Survey the remaining VMIs: which packages and bases stay live.
+	usedRefs := map[string]bool{}
+	baseInUse := false
+	type survivor struct {
+		rec vmirepo.VMIRecord
+	}
+	var sameBase []survivor
+	for _, other := range s.repo.VMIs() {
+		if other == name {
+			continue
+		}
+		orec, err := s.repo.GetVMI(other, nil)
+		if err != nil {
+			return err
+		}
+		refs, err := s.vmiPackageRefs(orec)
+		if err != nil {
+			return err
+		}
+		for ref := range refs {
+			usedRefs[ref] = true
+		}
+		if orec.BaseID == rec.BaseID {
+			baseInUse = true
+			sameBase = append(sameBase, survivor{rec: orec})
+		}
+	}
+
+	// Drop packages only the removed VMI needed.
+	var obsolete []string
+	for ref := range target {
+		if !usedRefs[ref] {
+			obsolete = append(obsolete, ref)
+		}
+	}
+	sort.Strings(obsolete)
+	for _, ref := range obsolete {
+		if err := s.repo.RemovePackage(ref, nil); err != nil {
+			return err
+		}
+	}
+
+	if err := s.repo.RemoveUserData(name, nil); err != nil {
+		return err
+	}
+	s.repo.RemoveVMI(name, nil)
+
+	if !baseInUse {
+		if err := s.repo.RemoveBase(rec.BaseID, nil); err != nil {
+			return err
+		}
+		s.repo.RemoveMaster(rec.BaseID, nil)
+		return nil
+	}
+
+	// Rebuild the surviving master from the remaining VMIs' subgraphs so
+	// Assemble cannot offer packages that were just garbage-collected.
+	old, err := s.repo.GetMaster(rec.BaseID, nil)
+	if err != nil {
+		return err
+	}
+	rebuilt := master.New(rec.BaseID, old.BaseSubgraph())
+	for _, sv := range sameBase {
+		for _, p := range sv.rec.Primaries {
+			sub, err := old.PrimarySubgraph(p)
+			if err != nil {
+				return err
+			}
+			if err := rebuilt.AddPrimarySubgraph(sub); err != nil {
+				return err
+			}
+		}
+	}
+	s.repo.PutMaster(rebuilt, nil)
+	return nil
+}

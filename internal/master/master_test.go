@@ -1,0 +1,161 @@
+package master
+
+import (
+	"reflect"
+	"testing"
+
+	"expelliarmus/internal/pkgmeta"
+	"expelliarmus/internal/semgraph"
+)
+
+var base = pkgmeta.BaseAttrs{Type: "linux", Distro: "ubuntu", Version: "16.04", Arch: "x86_64"}
+
+func pkg(name string, essential bool, deps ...string) pkgmeta.Package {
+	return pkgmeta.Package{
+		Name: name, Version: "1.0", Arch: "amd64", Distro: "ubuntu",
+		InstalledSize: 100, Depends: deps, Essential: essential,
+	}
+}
+
+func baseSub() *semgraph.Graph {
+	return semgraph.Build(base, []pkgmeta.Package{
+		pkg("libc6", true, "perl-base"),
+		pkg("perl-base", true, "libc6"),
+		pkg("bash", true, "libc6"),
+	}, nil)
+}
+
+func redisSub() *semgraph.Graph {
+	g := semgraph.New(base)
+	g.AddVertex(pkg("redis", false, "libc6"), semgraph.KindPrimary)
+	g.AddVertex(pkg("libc6", true, "perl-base"), semgraph.KindBase)
+	g.AddEdge("redis", "libc6")
+	return g
+}
+
+func nginxSub() *semgraph.Graph {
+	g := semgraph.New(base)
+	g.AddVertex(pkg("nginx", false), semgraph.KindPrimary)
+	g.AddVertex(pkg("nginx-common", false), semgraph.KindDependency)
+	g.AddEdge("nginx", "nginx-common")
+	return g
+}
+
+func TestNewAndAdd(t *testing.T) {
+	m := New("base-1", baseSub())
+	if m.BaseID != "base-1" || m.Attrs() != base {
+		t.Fatalf("master metadata: %s %v", m.BaseID, m.Attrs())
+	}
+	if err := m.AddPrimarySubgraph(redisSub()); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddPrimarySubgraph(nginxSub()); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m.PrimaryNames(), []string{"nginx", "redis"}) {
+		t.Fatalf("primaries = %v", m.PrimaryNames())
+	}
+	// Base subgraph unchanged by clustering.
+	if got := m.BaseSubgraph().Names(); !reflect.DeepEqual(got, []string{"bash", "libc6", "perl-base"}) {
+		t.Fatalf("base subgraph = %v", got)
+	}
+}
+
+func TestAddIncompatibleRejected(t *testing.T) {
+	m := New("base-1", baseSub())
+	bad := semgraph.New(base)
+	skewed := pkg("libc6", true)
+	skewed.Version = "9.9"
+	bad.AddVertex(pkg("app", false, "libc6"), semgraph.KindPrimary)
+	bad.AddVertex(skewed, semgraph.KindBase)
+	bad.AddEdge("app", "libc6")
+	if err := m.AddPrimarySubgraph(bad); err == nil {
+		t.Fatal("incompatible subgraph accepted")
+	}
+}
+
+func TestPrimarySubgraphExtraction(t *testing.T) {
+	m := New("base-1", baseSub())
+	m.AddPrimarySubgraph(redisSub())
+	m.AddPrimarySubgraph(nginxSub())
+
+	sub, err := m.PrimarySubgraph("redis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// redis closure within the master: redis, libc6, perl-base (via cycle
+	// edge from libc6).
+	if !sub.HasVertex("redis") || !sub.HasVertex("libc6") {
+		t.Fatalf("extraction = %v", sub.Names())
+	}
+	if sub.HasVertex("nginx") {
+		t.Fatal("extraction leaked another primary")
+	}
+	if _, err := m.PrimarySubgraph("bash"); err == nil {
+		t.Fatal("extracted non-primary")
+	}
+	if _, err := m.PrimarySubgraph("ghost"); err == nil {
+		t.Fatal("extracted missing vertex")
+	}
+}
+
+func TestSimilarityAgainstMaster(t *testing.T) {
+	m := New("base-1", baseSub())
+	m.AddPrimarySubgraph(redisSub())
+	// A graph equal to the master's content scores 1.
+	self := m.G.Clone()
+	if got := m.Similarity(self); got < 0.999 {
+		t.Fatalf("self similarity = %v", got)
+	}
+	// A fresh upload with one extra package scores below 1 but high.
+	g := m.G.Clone()
+	g.AddVertex(pkg("extra", false), semgraph.KindDependency)
+	sim := m.Similarity(g)
+	if sim >= 1 || sim < 0.5 {
+		t.Fatalf("similarity with extra package = %v", sim)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	m1 := New("base-1", baseSub())
+	m1.AddPrimarySubgraph(redisSub())
+	m2 := New("base-2", baseSub())
+	m2.AddPrimarySubgraph(nginxSub())
+
+	if err := m1.Merge(m2); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m1.PrimaryNames(), []string{"nginx", "redis"}) {
+		t.Fatalf("after merge primaries = %v", m1.PrimaryNames())
+	}
+	if !m1.G.HasVertex("nginx-common") {
+		t.Fatal("merge dropped dependency vertex")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	m := New("base-xyz", baseSub())
+	m.AddPrimarySubgraph(redisSub())
+	got, err := Unmarshal(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.BaseID != "base-xyz" {
+		t.Fatalf("BaseID = %q", got.BaseID)
+	}
+	if !reflect.DeepEqual(got.G.Names(), m.G.Names()) {
+		t.Fatalf("names = %v", got.G.Names())
+	}
+	if !reflect.DeepEqual(got.PrimaryNames(), m.PrimaryNames()) {
+		t.Fatalf("primaries = %v", got.PrimaryNames())
+	}
+}
+
+func TestUnmarshalRejectsCorrupt(t *testing.T) {
+	if _, err := Unmarshal([]byte{}); err == nil {
+		t.Fatal("accepted empty")
+	}
+	if _, err := Unmarshal([]byte{0, 99}); err == nil {
+		t.Fatal("accepted truncated id")
+	}
+}

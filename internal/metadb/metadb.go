@@ -1,0 +1,489 @@
+// Package metadb implements a small embedded, ordered key/value storage
+// engine with named buckets, range cursors and snapshot persistence. It
+// stands in for the SQLite database the paper uses for VMI metadata
+// (Sec. V: "we used the SQLite database engine, suitable for managing VMI
+// meta-data due to its self-contained, serverless, and zero-configuration
+// characteristics") and for the Hemera baseline's hybrid design, which
+// stores small files inside the database and large files on the filesystem.
+//
+// The engine is a classic B+tree: internal nodes hold separator keys and
+// children, leaves hold key/value pairs and are chained for in-order
+// scans. Inserts split full nodes; deletes are lazy (no eager rebalancing,
+// like several production engines that defer structural cleanup to
+// compaction), which keeps every tree invariant needed by readers while
+// simplifying the write path. Snapshot/Load give durable round trips.
+package metadb
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// PageSize is the modeled database page size, matching simio's cost model.
+const PageSize = 4096
+
+// maxKeys bounds the number of keys per node; nodes split above it.
+const maxKeys = 64
+
+// DB is a collection of named buckets. It is safe for concurrent use with
+// a single writer or multiple readers (an internal RWMutex serialises
+// access).
+type DB struct {
+	mu      sync.RWMutex
+	buckets map[string]*tree
+}
+
+// New returns an empty database.
+func New() *DB {
+	return &DB{buckets: make(map[string]*tree)}
+}
+
+// Bucket is a handle to one named keyspace.
+type Bucket struct {
+	db   *DB
+	name string
+	t    *tree
+}
+
+// CreateBucket returns the named bucket, creating it if needed.
+func (db *DB) CreateBucket(name string) *Bucket {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.buckets[name]
+	if !ok {
+		t = newTree()
+		db.buckets[name] = t
+	}
+	return &Bucket{db: db, name: name, t: t}
+}
+
+// Bucket returns the named bucket or nil if it does not exist.
+func (db *DB) Bucket(name string) *Bucket {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.buckets[name]
+	if !ok {
+		return nil
+	}
+	return &Bucket{db: db, name: name, t: t}
+}
+
+// DeleteBucket removes the named bucket and all its contents.
+func (db *DB) DeleteBucket(name string) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	delete(db.buckets, name)
+}
+
+// Buckets returns all bucket names in sorted order.
+func (db *DB) Buckets() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.buckets))
+	for name := range db.buckets {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Name returns the bucket's name.
+func (b *Bucket) Name() string { return b.name }
+
+// Put stores value under key, replacing any existing value. Key and value
+// are copied.
+func (b *Bucket) Put(key, value []byte) {
+	b.db.mu.Lock()
+	defer b.db.mu.Unlock()
+	b.t.put(cloneBytes(key), cloneBytes(value))
+}
+
+// Get returns the value stored under key. The returned slice must not be
+// modified.
+func (b *Bucket) Get(key []byte) ([]byte, bool) {
+	b.db.mu.RLock()
+	defer b.db.mu.RUnlock()
+	return b.t.get(key)
+}
+
+// Delete removes key. It reports whether the key was present.
+func (b *Bucket) Delete(key []byte) bool {
+	b.db.mu.Lock()
+	defer b.db.mu.Unlock()
+	return b.t.delete(key)
+}
+
+// Len returns the number of keys in the bucket.
+func (b *Bucket) Len() int {
+	b.db.mu.RLock()
+	defer b.db.mu.RUnlock()
+	return b.t.size
+}
+
+// PayloadBytes returns the total key+value bytes stored in the bucket.
+func (b *Bucket) PayloadBytes() int64 {
+	b.db.mu.RLock()
+	defer b.db.mu.RUnlock()
+	return b.t.payload
+}
+
+// ForEach calls fn for every key/value pair in ascending key order. If fn
+// returns false, iteration stops. The slices must not be modified.
+func (b *Bucket) ForEach(fn func(key, value []byte) bool) {
+	b.db.mu.RLock()
+	defer b.db.mu.RUnlock()
+	for leaf := b.t.firstLeaf(); leaf != nil; leaf = leaf.next {
+		for i, k := range leaf.keys {
+			if !fn(k, leaf.vals[i]) {
+				return
+			}
+		}
+	}
+}
+
+// Cursor returns a cursor positioned before the first key.
+func (b *Bucket) Cursor() *Cursor {
+	return &Cursor{bucket: b}
+}
+
+// Cursor iterates a bucket in ascending key order. The cursor observes a
+// live tree; interleaving writes with iteration is not supported.
+type Cursor struct {
+	bucket *Bucket
+	leaf   *node
+	idx    int
+}
+
+// First positions at the smallest key and returns it, or nil,nil when the
+// bucket is empty.
+func (c *Cursor) First() (key, value []byte) {
+	c.bucket.db.mu.RLock()
+	defer c.bucket.db.mu.RUnlock()
+	c.leaf = c.bucket.t.firstLeaf()
+	c.idx = 0
+	c.skipEmpty()
+	return c.current()
+}
+
+// Seek positions at the first key >= target and returns it, or nil,nil when
+// no such key exists.
+func (c *Cursor) Seek(target []byte) (key, value []byte) {
+	c.bucket.db.mu.RLock()
+	defer c.bucket.db.mu.RUnlock()
+	leaf := c.bucket.t.leafFor(target)
+	idx := sort.Search(len(leaf.keys), func(i int) bool {
+		return bytes.Compare(leaf.keys[i], target) >= 0
+	})
+	c.leaf, c.idx = leaf, idx
+	c.skipEmpty()
+	return c.current()
+}
+
+// Next advances to the next key and returns it, or nil,nil at the end.
+func (c *Cursor) Next() (key, value []byte) {
+	c.bucket.db.mu.RLock()
+	defer c.bucket.db.mu.RUnlock()
+	if c.leaf == nil {
+		return nil, nil
+	}
+	c.idx++
+	c.skipEmpty()
+	return c.current()
+}
+
+func (c *Cursor) skipEmpty() {
+	for c.leaf != nil && c.idx >= len(c.leaf.keys) {
+		c.leaf = c.leaf.next
+		c.idx = 0
+	}
+}
+
+func (c *Cursor) current() (key, value []byte) {
+	if c.leaf == nil {
+		return nil, nil
+	}
+	return c.leaf.keys[c.idx], c.leaf.vals[c.idx]
+}
+
+// --- B+tree internals ---
+
+type node struct {
+	leaf     bool
+	keys     [][]byte
+	vals     [][]byte // leaves only
+	children []*node  // internal nodes only
+	next     *node    // leaf chain
+}
+
+type tree struct {
+	root    *node
+	size    int
+	payload int64
+}
+
+func newTree() *tree {
+	return &tree{root: &node{leaf: true}}
+}
+
+func (t *tree) firstLeaf() *node {
+	n := t.root
+	for !n.leaf {
+		n = n.children[0]
+	}
+	return n
+}
+
+// leafFor descends to the leaf that would contain key.
+func (t *tree) leafFor(key []byte) *node {
+	n := t.root
+	for !n.leaf {
+		i := sort.Search(len(n.keys), func(i int) bool {
+			return bytes.Compare(key, n.keys[i]) < 0
+		})
+		n = n.children[i]
+	}
+	return n
+}
+
+func (t *tree) get(key []byte) ([]byte, bool) {
+	leaf := t.leafFor(key)
+	i := sort.Search(len(leaf.keys), func(i int) bool {
+		return bytes.Compare(leaf.keys[i], key) >= 0
+	})
+	if i < len(leaf.keys) && bytes.Equal(leaf.keys[i], key) {
+		return leaf.vals[i], true
+	}
+	return nil, false
+}
+
+func (t *tree) put(key, value []byte) {
+	promoted, right := t.insert(t.root, key, value)
+	if right != nil {
+		t.root = &node{
+			keys:     [][]byte{promoted},
+			children: []*node{t.root, right},
+		}
+	}
+}
+
+// insert adds key/value below n. When n splits, it returns the separator
+// key to promote and the new right sibling.
+func (t *tree) insert(n *node, key, value []byte) (promoted []byte, right *node) {
+	if n.leaf {
+		i := sort.Search(len(n.keys), func(i int) bool {
+			return bytes.Compare(n.keys[i], key) >= 0
+		})
+		if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
+			t.payload += int64(len(value)) - int64(len(n.vals[i]))
+			n.vals[i] = value
+			return nil, nil
+		}
+		n.keys = insertAt(n.keys, i, key)
+		n.vals = insertAt(n.vals, i, value)
+		t.size++
+		t.payload += int64(len(key) + len(value))
+		if len(n.keys) > maxKeys {
+			return t.splitLeaf(n)
+		}
+		return nil, nil
+	}
+	ci := sort.Search(len(n.keys), func(i int) bool {
+		return bytes.Compare(key, n.keys[i]) < 0
+	})
+	promoted, right = t.insert(n.children[ci], key, value)
+	if right == nil {
+		return nil, nil
+	}
+	n.keys = insertAt(n.keys, ci, promoted)
+	n.children = insertNodeAt(n.children, ci+1, right)
+	if len(n.keys) > maxKeys {
+		return t.splitInternal(n)
+	}
+	return nil, nil
+}
+
+func (t *tree) splitLeaf(n *node) ([]byte, *node) {
+	mid := len(n.keys) / 2
+	right := &node{
+		leaf: true,
+		keys: append([][]byte{}, n.keys[mid:]...),
+		vals: append([][]byte{}, n.vals[mid:]...),
+		next: n.next,
+	}
+	n.keys = n.keys[:mid:mid]
+	n.vals = n.vals[:mid:mid]
+	n.next = right
+	return right.keys[0], right
+}
+
+func (t *tree) splitInternal(n *node) ([]byte, *node) {
+	mid := len(n.keys) / 2
+	promoted := n.keys[mid]
+	right := &node{
+		keys:     append([][]byte{}, n.keys[mid+1:]...),
+		children: append([]*node{}, n.children[mid+1:]...),
+	}
+	n.keys = n.keys[:mid:mid]
+	n.children = n.children[: mid+1 : mid+1]
+	return promoted, right
+}
+
+// delete removes key from the tree. Removal is lazy: leaves may become
+// empty and are skipped by readers; separator keys in internal nodes remain
+// valid separators.
+func (t *tree) delete(key []byte) bool {
+	leaf := t.leafFor(key)
+	i := sort.Search(len(leaf.keys), func(i int) bool {
+		return bytes.Compare(leaf.keys[i], key) >= 0
+	})
+	if i >= len(leaf.keys) || !bytes.Equal(leaf.keys[i], key) {
+		return false
+	}
+	t.payload -= int64(len(leaf.keys[i]) + len(leaf.vals[i]))
+	leaf.keys = append(leaf.keys[:i], leaf.keys[i+1:]...)
+	leaf.vals = append(leaf.vals[:i], leaf.vals[i+1:]...)
+	t.size--
+	return true
+}
+
+func insertAt(s [][]byte, i int, v []byte) [][]byte {
+	s = append(s, nil)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func insertNodeAt(s []*node, i int, v *node) []*node {
+	s = append(s, nil)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func cloneBytes(b []byte) []byte {
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// --- persistence ---
+
+var snapshotMagic = []byte("EXPMDB1\n")
+
+// Snapshot serialises the whole database to a byte image. The format is
+// logical (buckets and sorted entries), so Load reproduces equal contents
+// regardless of the original tree shape.
+func (db *DB) Snapshot() []byte {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var buf bytes.Buffer
+	buf.Write(snapshotMagic)
+	names := make([]string, 0, len(db.buckets))
+	for name := range db.buckets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	writeUvarint(&buf, uint64(len(names)))
+	for _, name := range names {
+		t := db.buckets[name]
+		writeBytes(&buf, []byte(name))
+		writeUvarint(&buf, uint64(t.size))
+		for leaf := t.firstLeaf(); leaf != nil; leaf = leaf.next {
+			for i, k := range leaf.keys {
+				writeBytes(&buf, k)
+				writeBytes(&buf, leaf.vals[i])
+			}
+		}
+	}
+	return buf.Bytes()
+}
+
+// Load restores a database from a Snapshot image.
+func Load(image []byte) (*DB, error) {
+	r := bytes.NewReader(image)
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := r.Read(magic); err != nil || !bytes.Equal(magic, snapshotMagic) {
+		return nil, fmt.Errorf("metadb: bad snapshot magic")
+	}
+	db := New()
+	nBuckets, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("metadb: corrupt snapshot: %w", err)
+	}
+	for i := uint64(0); i < nBuckets; i++ {
+		name, err := readBytes(r)
+		if err != nil {
+			return nil, fmt.Errorf("metadb: corrupt bucket name: %w", err)
+		}
+		b := db.CreateBucket(string(name))
+		n, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, fmt.Errorf("metadb: corrupt bucket size: %w", err)
+		}
+		for j := uint64(0); j < n; j++ {
+			k, err := readBytes(r)
+			if err != nil {
+				return nil, fmt.Errorf("metadb: corrupt key: %w", err)
+			}
+			v, err := readBytes(r)
+			if err != nil {
+				return nil, fmt.Errorf("metadb: corrupt value: %w", err)
+			}
+			b.Put(k, v)
+		}
+	}
+	return db, nil
+}
+
+func writeUvarint(buf *bytes.Buffer, v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	buf.Write(tmp[:n])
+}
+
+func writeBytes(buf *bytes.Buffer, b []byte) {
+	writeUvarint(buf, uint64(len(b)))
+	buf.Write(b)
+}
+
+func readBytes(r *bytes.Reader) ([]byte, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(r.Len()) {
+		return nil, fmt.Errorf("length %d exceeds remaining %d", n, r.Len())
+	}
+	out := make([]byte, n)
+	if n == 0 {
+		return out, nil // bytes.Reader returns EOF even for empty reads
+	}
+	if _, err := io.ReadFull(r, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SizeBytes models the on-disk size of the database file: payload bytes
+// plus per-entry slot overhead, rounded up to whole pages at a typical
+// B+tree fill factor. This is the quantity Hemera's repository size
+// accounting includes in Fig. 3.
+func (db *DB) SizeBytes() int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	const slotOverhead = 16
+	const fillFactor = 0.92
+	var payload int64
+	for _, t := range db.buckets {
+		payload += t.payload + int64(t.size)*slotOverhead
+	}
+	if payload == 0 {
+		return PageSize // empty DB still occupies its header page
+	}
+	pages := int64(float64(payload)/(PageSize*fillFactor)) + 1
+	return (pages + 1) * PageSize // +1 header page
+}

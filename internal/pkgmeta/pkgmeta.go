@@ -1,0 +1,173 @@
+// Package pkgmeta defines the package and base-image metadata model shared
+// by the package manager, the binary package format, the synthetic catalog
+// and the semantic graph: the attribute quadruples of Sec. III-C of the
+// paper, plus the Debian-control-style text encoding used for status files
+// and package control data.
+package pkgmeta
+
+import (
+	"bufio"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ArchAll is the architecture value of portable packages; per Sec. III-C,
+// "an architecture attribute of 'all' means that the package is portable
+// and available on base images with any architecture".
+const ArchAll = "all"
+
+// BaseAttrs is the attribute quadruple of a base image:
+// attrs(BI) = (type, distro, ver, arch).
+type BaseAttrs struct {
+	Type    string // guest OS type, e.g. "linux"
+	Distro  string // distribution, e.g. "ubuntu"
+	Version string // distribution version, e.g. "16.04"
+	Arch    string // machine architecture, e.g. "x86_64"
+}
+
+// String renders the quadruple as "type/distro/version/arch".
+func (a BaseAttrs) String() string {
+	return a.Type + "/" + a.Distro + "/" + a.Version + "/" + a.Arch
+}
+
+// IsZero reports whether all attributes are empty.
+func (a BaseAttrs) IsZero() bool { return a == BaseAttrs{} }
+
+// Package describes one software package: the per-vertex attributes of the
+// VMI semantic graph (Sec. III-C/III-E) plus the dependency edges.
+type Package struct {
+	// Name is the package attribute ("pkg" in the paper), e.g. "mariadb".
+	Name string
+	// Version is the package version.
+	Version string
+	// Arch is the package architecture, or ArchAll for portable packages.
+	Arch string
+	// Distro is the distribution the package was built for.
+	Distro string
+	// Section classifies the package (libs, database, web, ...).
+	Section string
+	// InstalledSize is the disk space the installed package consumes
+	// (paper-scale bytes) — the "size" used by simsize in Sec. III-F.
+	InstalledSize int64
+	// Depends lists the names of directly required packages.
+	Depends []string
+	// Essential marks base-OS packages that are never auto-removed.
+	Essential bool
+}
+
+// Ref identifies the package as "name=version/arch".
+func (p Package) Ref() string {
+	return p.Name + "=" + p.Version + "/" + p.Arch
+}
+
+// Clone returns a deep copy of the package.
+func (p Package) Clone() Package {
+	q := p
+	q.Depends = append([]string(nil), p.Depends...)
+	return q
+}
+
+// --- control stanza encoding ---
+
+// FormatControl renders the package as a Debian-control-style stanza.
+func FormatControl(p Package) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Package: %s\n", p.Name)
+	fmt.Fprintf(&b, "Version: %s\n", p.Version)
+	fmt.Fprintf(&b, "Architecture: %s\n", p.Arch)
+	fmt.Fprintf(&b, "Distribution: %s\n", p.Distro)
+	if p.Section != "" {
+		fmt.Fprintf(&b, "Section: %s\n", p.Section)
+	}
+	fmt.Fprintf(&b, "Installed-Size: %d\n", p.InstalledSize)
+	if len(p.Depends) > 0 {
+		fmt.Fprintf(&b, "Depends: %s\n", strings.Join(p.Depends, ", "))
+	}
+	if p.Essential {
+		b.WriteString("Essential: yes\n")
+	}
+	return b.String()
+}
+
+// ParseControl parses a single control stanza.
+func ParseControl(s string) (Package, error) {
+	var p Package
+	sc := bufio.NewScanner(strings.NewReader(s))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		key, value, ok := strings.Cut(line, ":")
+		if !ok {
+			return p, fmt.Errorf("pkgmeta: malformed control line %q", line)
+		}
+		value = strings.TrimSpace(value)
+		switch key {
+		case "Package":
+			p.Name = value
+		case "Version":
+			p.Version = value
+		case "Architecture":
+			p.Arch = value
+		case "Distribution":
+			p.Distro = value
+		case "Section":
+			p.Section = value
+		case "Installed-Size":
+			n, err := strconv.ParseInt(value, 10, 64)
+			if err != nil {
+				return p, fmt.Errorf("pkgmeta: bad Installed-Size %q: %w", value, err)
+			}
+			p.InstalledSize = n
+		case "Depends":
+			for _, dep := range strings.Split(value, ",") {
+				dep = strings.TrimSpace(dep)
+				if dep != "" {
+					p.Depends = append(p.Depends, dep)
+				}
+			}
+		case "Essential":
+			p.Essential = value == "yes"
+		default:
+			// Unknown fields are ignored for forward compatibility.
+		}
+	}
+	if p.Name == "" {
+		return p, fmt.Errorf("pkgmeta: control stanza missing Package field")
+	}
+	return p, nil
+}
+
+// FormatStatus renders a set of packages as a multi-stanza status file,
+// sorted by name for determinism.
+func FormatStatus(pkgs []Package) string {
+	sorted := append([]Package(nil), pkgs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	var b strings.Builder
+	for i, p := range sorted {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		b.WriteString(FormatControl(p))
+	}
+	return b.String()
+}
+
+// ParseStatus parses a multi-stanza status file.
+func ParseStatus(s string) ([]Package, error) {
+	var out []Package
+	for _, stanza := range strings.Split(s, "\n\n") {
+		if strings.TrimSpace(stanza) == "" {
+			continue
+		}
+		p, err := ParseControl(stanza)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

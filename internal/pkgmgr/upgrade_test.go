@@ -1,0 +1,94 @@
+package pkgmgr
+
+import (
+	"testing"
+
+	"expelliarmus/internal/pkgfmt"
+	"expelliarmus/internal/pkgmeta"
+)
+
+func buildBlob(t *testing.T, p pkgmeta.Package, files []pkgfmt.File) []byte {
+	t.Helper()
+	blob, err := pkgfmt.Build(p, files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+func TestUpgradeReplacesFiles(t *testing.T) {
+	m, fs := newMgr(t)
+	v1 := pkg("nginx")
+	v1.Version = "1.0"
+	if err := m.InstallPackage(v1, []pkgfmt.File{
+		{Path: "/usr/bin/nginx", Data: []byte("v1 binary")},
+		{Path: "/usr/lib/nginx/old-module", Data: []byte("obsolete")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	v2 := pkg("nginx")
+	v2.Version = "2.0"
+	blob := buildBlob(t, v2, []pkgfmt.File{
+		{Path: "/usr/bin/nginx", Data: []byte("v2 binary")},
+		{Path: "/usr/lib/nginx/new-module", Data: []byte("fresh")},
+	})
+	if err := m.Upgrade(blob); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, _ := m.Get("nginx")
+	if !ok || got.Version != "2.0" {
+		t.Fatalf("after upgrade: %+v (ok=%v)", got, ok)
+	}
+	data, err := fs.ReadFile("/usr/bin/nginx")
+	if err != nil || string(data) != "v2 binary" {
+		t.Fatalf("binary = %q, %v", data, err)
+	}
+	if fs.Exists("/usr/lib/nginx/old-module") {
+		t.Fatal("old version's file survived upgrade")
+	}
+	if !fs.Exists("/usr/lib/nginx/new-module") {
+		t.Fatal("new version's file missing")
+	}
+}
+
+func TestUpgradeErrors(t *testing.T) {
+	m, _ := newMgr(t)
+	v1 := pkg("tool")
+	v1.Version = "1.0"
+	// Not installed yet.
+	if err := m.Upgrade(buildBlob(t, v1, nil)); err == nil {
+		t.Fatal("upgraded a package that is not installed")
+	}
+	if err := m.InstallPackage(v1, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Same version again.
+	if err := m.Upgrade(buildBlob(t, v1, nil)); err == nil {
+		t.Fatal("same-version upgrade accepted")
+	}
+	// Corrupt blob.
+	if err := m.Upgrade([]byte("junk")); err == nil {
+		t.Fatal("corrupt blob accepted")
+	}
+}
+
+func TestOutdated(t *testing.T) {
+	m, _ := newMgr(t)
+	v1 := pkg("libssl")
+	v1.Version = "1.0"
+	m.InstallPackage(v1, nil)
+	current := pkg("current")
+	current.Version = "1.0"
+	m.InstallPackage(current, nil)
+
+	newer := pkg("libssl")
+	newer.Version = "1.1"
+	u := MapUniverse{"libssl": newer, "current": current}
+	out, err := m.Outdated(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Name != "libssl" || out[0].Version != "1.1" {
+		t.Fatalf("Outdated = %+v", out)
+	}
+}

@@ -1,0 +1,285 @@
+package similarity
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"expelliarmus/internal/pkgmeta"
+	"expelliarmus/internal/semgraph"
+)
+
+var base = pkgmeta.BaseAttrs{Type: "linux", Distro: "ubuntu", Version: "16.04", Arch: "x86_64"}
+
+func pkg(name, ver, arch string, size int64) pkgmeta.Package {
+	return pkgmeta.Package{
+		Name: name, Version: ver, Arch: arch, Distro: "ubuntu", InstalledSize: size,
+	}
+}
+
+func TestSimPIdentical(t *testing.T) {
+	p := pkg("redis", "3.0", "amd64", 100)
+	if got := SimP(p, p); got != 1 {
+		t.Fatalf("SimP(p,p) = %v", got)
+	}
+}
+
+func TestSimPNameMismatch(t *testing.T) {
+	if got := SimP(pkg("a", "1", "amd64", 1), pkg("b", "1", "amd64", 1)); got != 0 {
+		t.Fatalf("SimP different names = %v", got)
+	}
+}
+
+func TestSimPVersionDegradation(t *testing.T) {
+	a := pkg("x", "2.4", "amd64", 1)
+	sameMajor := pkg("x", "2.9", "amd64", 1)
+	diffMajor := pkg("x", "3.0", "amd64", 1)
+	if got := SimP(a, sameMajor); got != 0.5 {
+		t.Fatalf("same major = %v, want 0.5", got)
+	}
+	if got := SimP(a, diffMajor); got != 0.25 {
+		t.Fatalf("different major = %v, want 0.25", got)
+	}
+}
+
+func TestSimPArchAll(t *testing.T) {
+	amd := pkg("x", "1", "amd64", 1)
+	all := pkg("x", "1", pkgmeta.ArchAll, 1)
+	arm := pkg("x", "1", "arm64", 1)
+	if got := SimP(amd, all); got != 1 {
+		t.Fatalf("amd64 vs all = %v (portable packages are compatible)", got)
+	}
+	if got := SimP(amd, arm); got != 0 {
+		t.Fatalf("amd64 vs arm64 = %v, want 0", got)
+	}
+}
+
+func TestSimPDistroMismatch(t *testing.T) {
+	a := pkg("x", "1", "amd64", 1)
+	b := a
+	b.Distro = "fedora"
+	if got := SimP(a, b); got != 0.5 {
+		t.Fatalf("distro mismatch = %v, want 0.5", got)
+	}
+}
+
+func TestSimPSymmetric(t *testing.T) {
+	a := pkg("x", "2.4", "amd64", 10)
+	b := pkg("x", "2.7", pkgmeta.ArchAll, 20)
+	if SimP(a, b) != SimP(b, a) {
+		t.Fatal("SimP not symmetric")
+	}
+}
+
+func TestSimBI(t *testing.T) {
+	if got := SimBI(base, base); got != 1 {
+		t.Fatalf("SimBI identical = %v", got)
+	}
+	other := base
+	other.Arch = "arm64"
+	if got := SimBI(base, other); got != 0 {
+		t.Fatalf("SimBI arch mismatch = %v", got)
+	}
+	ver := base
+	ver.Version = "16.10"
+	if got := SimBI(base, ver); got != 0.5 {
+		t.Fatalf("SimBI same major version = %v, want 0.5", got)
+	}
+	distro := base
+	distro.Distro = "debian"
+	if got := SimBI(base, distro); got != 0 {
+		t.Fatalf("SimBI distro mismatch = %v", got)
+	}
+}
+
+func TestSimSize(t *testing.T) {
+	a := pkg("x", "1", "amd64", 30)
+	b := pkg("x", "1", "amd64", 60)
+	if got := SimSize(a, b, 120); got != 0.5 {
+		t.Fatalf("SimSize = %v, want 0.5 (max 60 / 120)", got)
+	}
+	if got := SimSize(a, b, 0); got != 0 {
+		t.Fatalf("SimSize with zero max = %v", got)
+	}
+}
+
+func graphOf(primaries []string, pkgs ...pkgmeta.Package) *semgraph.Graph {
+	return semgraph.Build(base, pkgs, primaries)
+}
+
+func TestSimGSelfIsOne(t *testing.T) {
+	g := graphOf(nil, pkg("a", "1", "amd64", 100), pkg("b", "1", "amd64", 50))
+	if got := SimG(g, g); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("SimG(g,g) = %v", got)
+	}
+}
+
+func TestSimGDisjointIsZero(t *testing.T) {
+	g1 := graphOf(nil, pkg("a", "1", "amd64", 100))
+	g2 := graphOf(nil, pkg("b", "1", "amd64", 100))
+	if got := SimG(g1, g2); got != 0 {
+		t.Fatalf("SimG disjoint = %v", got)
+	}
+}
+
+func TestSimGBaseMismatchZero(t *testing.T) {
+	g1 := graphOf(nil, pkg("a", "1", "amd64", 100))
+	otherBase := base
+	otherBase.Distro = "debian"
+	g2 := semgraph.Build(otherBase, []pkgmeta.Package{pkg("a", "1", "amd64", 100)}, nil)
+	if got := SimG(g1, g2); got != 0 {
+		t.Fatalf("SimG across distros = %v", got)
+	}
+}
+
+func TestSimGWeighting(t *testing.T) {
+	// Shared huge package, unique tiny one: similarity stays high.
+	shared := pkg("big", "1", "amd64", 1000)
+	tiny := pkg("tiny", "1", "amd64", 10)
+	g1 := graphOf(nil, shared)
+	g2 := graphOf(nil, shared, tiny)
+	high := SimG(g1, g2)
+	if high < 0.9 {
+		t.Fatalf("SimG with tiny addition = %v, want > 0.9", high)
+	}
+	// Unique huge package: similarity drops substantially.
+	huge := pkg("huge", "1", "amd64", 2000)
+	g3 := graphOf(nil, shared, huge)
+	low := SimG(g1, g3)
+	if low >= high {
+		t.Fatalf("SimG should drop with large unique package: %v >= %v", low, high)
+	}
+	if low > 0.5 {
+		t.Fatalf("SimG with dominant unique package = %v, want <= 0.5", low)
+	}
+}
+
+func TestSimGSymmetric(t *testing.T) {
+	g1 := graphOf(nil, pkg("a", "1", "amd64", 100), pkg("b", "2", "amd64", 70))
+	g2 := graphOf(nil, pkg("a", "1", "amd64", 100), pkg("c", "1", "amd64", 30))
+	if math.Abs(SimG(g1, g2)-SimG(g2, g1)) > 1e-12 {
+		t.Fatal("SimG not symmetric")
+	}
+}
+
+func TestSimGEmptyGraphs(t *testing.T) {
+	g1 := graphOf(nil)
+	g2 := graphOf(nil)
+	if got := SimG(g1, g2); got != 1 {
+		t.Fatalf("SimG of empty graphs with equal base = %v, want 1 (pure base similarity)", got)
+	}
+}
+
+func TestCompVacuousAndExact(t *testing.T) {
+	baseSub := graphOf(nil, pkg("libc6", "2.23", "amd64", 100))
+	// No homonyms: vacuously compatible.
+	ps1 := graphOf([]string{"redis"}, pkg("redis", "3.0", "amd64", 10))
+	if !Compatible(baseSub, ps1) {
+		t.Fatal("disjoint subgraphs should be compatible")
+	}
+	// Homonym with identical attributes: compatible.
+	ps2 := graphOf([]string{"redis"},
+		pkg("redis", "3.0", "amd64", 10), pkg("libc6", "2.23", "amd64", 100))
+	if !Compatible(baseSub, ps2) {
+		t.Fatal("identical homonym should be compatible")
+	}
+	// Homonym with different version: incompatible.
+	ps3 := graphOf([]string{"redis"},
+		pkg("redis", "3.0", "amd64", 10), pkg("libc6", "2.24", "amd64", 100))
+	if Compatible(baseSub, ps3) {
+		t.Fatal("version-skewed homonym should be incompatible")
+	}
+	if got := Comp(baseSub, ps3); got != 0.5 {
+		t.Fatalf("Comp = %v, want 0.5", got)
+	}
+}
+
+func TestVersionSim(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"1.0", "1.0", 1}, {"1.0", "1.9", 0.5}, {"1.0", "2.0", 0.25},
+		{"2.4-ubuntu1", "2.5", 0.5}, {"", "", 1},
+	}
+	for _, c := range cases {
+		if got := VersionSim(c.a, c.b); got != c.want {
+			t.Errorf("VersionSim(%q,%q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestQuickMetricBounds: all metrics stay in [0,1] and SimP symmetric for
+// arbitrary attribute combinations.
+func TestQuickMetricBounds(t *testing.T) {
+	vers := []string{"1.0", "1.5", "2.0", "3.1-a", ""}
+	archs := []string{"amd64", "arm64", pkgmeta.ArchAll}
+	distros := []string{"ubuntu", "debian"}
+	err := quick.Check(func(n1, n2, v1, v2, a1, a2, d1, d2, s1, s2 uint8) bool {
+		p1 := pkgmeta.Package{
+			Name: string(rune('a' + n1%3)), Version: vers[int(v1)%len(vers)],
+			Arch: archs[int(a1)%len(archs)], Distro: distros[int(d1)%len(distros)],
+			InstalledSize: int64(s1),
+		}
+		p2 := pkgmeta.Package{
+			Name: string(rune('a' + n2%3)), Version: vers[int(v2)%len(vers)],
+			Arch: archs[int(a2)%len(archs)], Distro: distros[int(d2)%len(distros)],
+			InstalledSize: int64(s2),
+		}
+		sp := SimP(p1, p2)
+		if sp < 0 || sp > 1 || sp != SimP(p2, p1) {
+			return false
+		}
+		ss := SimSize(p1, p2, 255)
+		return ss >= 0 && ss <= 1
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSimGBounds: SimG in [0,1] for random graphs over a small
+// package pool.
+func TestQuickSimGBounds(t *testing.T) {
+	pool := []pkgmeta.Package{
+		pkg("a", "1.0", "amd64", 100), pkg("b", "2.0", "amd64", 300),
+		pkg("c", "1.0", pkgmeta.ArchAll, 50), pkg("d", "1.1", "amd64", 700),
+		pkg("e", "2.2", "amd64", 10),
+	}
+	err := quick.Check(func(m1, m2 uint8) bool {
+		var s1, s2 []pkgmeta.Package
+		for i, p := range pool {
+			if m1&(1<<i) != 0 {
+				s1 = append(s1, p)
+			}
+			if m2&(1<<i) != 0 {
+				s2 = append(s2, p)
+			}
+		}
+		g1, g2 := graphOf(nil, s1...), graphOf(nil, s2...)
+		sim := SimG(g1, g2)
+		if sim < 0 || sim > 1 {
+			return false
+		}
+		return math.Abs(sim-SimG(g2, g1)) < 1e-12
+	}, &quick.Config{MaxCount: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSimG(b *testing.B) {
+	var pkgs1, pkgs2 []pkgmeta.Package
+	for i := 0; i < 150; i++ {
+		p := pkg("pkg"+string(rune('a'+i%26))+string(rune('0'+i/26)), "1.0", "amd64", int64(i+1)*10)
+		pkgs1 = append(pkgs1, p)
+		if i%3 != 0 {
+			pkgs2 = append(pkgs2, p)
+		}
+	}
+	g1, g2 := graphOf(nil, pkgs1...), graphOf(nil, pkgs2...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SimG(g1, g2)
+	}
+}

@@ -1,0 +1,69 @@
+package stores
+
+import (
+	"sync"
+
+	"expelliarmus/internal/core"
+	"expelliarmus/internal/simio"
+	"expelliarmus/internal/vmi"
+)
+
+// Expel adapts the Expelliarmus system (internal/core) to the Store
+// interface used by the evaluation harness. Publishing clones the image
+// first, because semantic decomposition consumes it.
+type Expel struct {
+	mu  sync.Mutex
+	sys *core.System
+	// LastPublish and LastRetrieve keep the most recent detailed reports
+	// for harness code that needs the full phase breakdown.
+	LastPublish  *core.PublishReport
+	LastRetrieve *core.RetrieveReport
+}
+
+// NewExpel returns an Expelliarmus store over a fresh repository.
+func NewExpel(dev *simio.Device, opts core.Options) *Expel {
+	return &Expel{sys: core.NewSystem(dev, opts)}
+}
+
+// System exposes the wrapped system.
+func (s *Expel) System() *core.System { return s.sys }
+
+// Name implements Store.
+func (s *Expel) Name() string { return "expelliarmus" }
+
+// Publish implements Store.
+func (s *Expel) Publish(img *vmi.Image) (*PublishStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rep, err := s.sys.Publish(img.Clone())
+	if err != nil {
+		return nil, err
+	}
+	s.LastPublish = rep
+	return &PublishStats{
+		Image:      img.Name,
+		Seconds:    rep.Seconds(),
+		Phases:     phaseSeconds(rep.Meter),
+		Similarity: rep.Similarity,
+		Exported:   len(rep.Exported),
+	}, nil
+}
+
+// Retrieve implements Store.
+func (s *Expel) Retrieve(name string) (*vmi.Image, *RetrieveStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	img, rep, err := s.sys.Retrieve(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.LastRetrieve = rep
+	return img, &RetrieveStats{
+		Image:   name,
+		Seconds: rep.Seconds(),
+		Phases:  phaseSeconds(rep.Meter),
+	}, nil
+}
+
+// SizeBytes implements Store.
+func (s *Expel) SizeBytes() int64 { return s.sys.Repo().SizeBytes() }

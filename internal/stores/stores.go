@@ -1,0 +1,52 @@
+// Package stores implements the VMI encoding schemes compared in the
+// paper's evaluation (Sec. VI-B): plain Qcow2, Qcow2+Gzip, Mirage-style
+// file-level deduplication, Hemera-style hybrid database/file storage,
+// block-level deduplication (the related-work baseline), and Expelliarmus
+// itself. All schemes implement the same Store interface, charge their
+// operations to simio meters, and report their repository footprint — the
+// three quantities behind Figs. 3, 4 and 5.
+package stores
+
+import (
+	"expelliarmus/internal/simio"
+	"expelliarmus/internal/vmi"
+)
+
+// PublishStats describes one publish operation.
+type PublishStats struct {
+	Image   string
+	Seconds float64
+	Phases  map[simio.Phase]float64
+	// Similarity is SimG against the master graph (Expelliarmus only).
+	Similarity float64
+	// Exported counts packages stored (Expelliarmus only).
+	Exported int
+}
+
+// RetrieveStats describes one retrieval operation.
+type RetrieveStats struct {
+	Image   string
+	Seconds float64
+	Phases  map[simio.Phase]float64
+}
+
+func phaseSeconds(m *simio.Meter) map[simio.Phase]float64 {
+	out := map[simio.Phase]float64{}
+	for ph, d := range m.Snapshot() {
+		out[ph] = d.Seconds()
+	}
+	return out
+}
+
+// Store is a VMI repository encoding scheme.
+type Store interface {
+	// Name identifies the scheme (e.g. "qcow2", "mirage", "expelliarmus").
+	Name() string
+	// Publish stores the image. Implementations must not consume the
+	// caller's image (they clone or serialize as needed).
+	Publish(img *vmi.Image) (*PublishStats, error)
+	// Retrieve reconstructs a published image by name.
+	Retrieve(name string) (*vmi.Image, *RetrieveStats, error)
+	// SizeBytes is the repository footprint in real bytes.
+	SizeBytes() int64
+}

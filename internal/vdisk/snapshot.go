@@ -1,0 +1,71 @@
+package vdisk
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Snapshot records the disk's current contents under a name, like qcow2's
+// internal snapshots. Snapshots capture the effective state including the
+// backing chain, so later Flatten or backing changes do not disturb them.
+func (d *Disk) Snapshot(name string) error {
+	if name == "" {
+		return fmt.Errorf("vdisk %s: empty snapshot name", d.name)
+	}
+	if d.snapshots == nil {
+		d.snapshots = make(map[string]map[int64][]byte)
+	}
+	if _, exists := d.snapshots[name]; exists {
+		return fmt.Errorf("vdisk %s: snapshot %q already exists", d.name, name)
+	}
+	snap := make(map[int64][]byte)
+	for disk := d; disk != nil; disk = disk.backing {
+		for ci, data := range disk.clusters {
+			if _, ok := snap[ci]; !ok {
+				cp := make([]byte, len(data))
+				copy(cp, data)
+				snap[ci] = cp
+			}
+		}
+	}
+	d.snapshots[name] = snap
+	return nil
+}
+
+// Revert restores the disk to a snapshot's contents. The snapshot remains
+// available. Reverting detaches the backing chain (the snapshot already
+// includes its data).
+func (d *Disk) Revert(name string) error {
+	snap, ok := d.snapshots[name]
+	if !ok {
+		return fmt.Errorf("vdisk %s: snapshot %q not found", d.name, name)
+	}
+	clusters := make(map[int64][]byte, len(snap))
+	for ci, data := range snap {
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		clusters[ci] = cp
+	}
+	d.clusters = clusters
+	d.backing = nil
+	return nil
+}
+
+// DeleteSnapshot removes a snapshot.
+func (d *Disk) DeleteSnapshot(name string) error {
+	if _, ok := d.snapshots[name]; !ok {
+		return fmt.Errorf("vdisk %s: snapshot %q not found", d.name, name)
+	}
+	delete(d.snapshots, name)
+	return nil
+}
+
+// Snapshots lists snapshot names in sorted order.
+func (d *Disk) Snapshots() []string {
+	out := make([]string, 0, len(d.snapshots))
+	for name := range d.snapshots {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

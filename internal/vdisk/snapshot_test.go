@@ -1,0 +1,112 @@
+package vdisk
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestSnapshotRevert(t *testing.T) {
+	d := New("snap", 1<<20, DefaultClusterSize)
+	d.WriteAt([]byte("state one"), 0)
+	if err := d.Snapshot("s1"); err != nil {
+		t.Fatal(err)
+	}
+	d.WriteAt([]byte("state two"), 0)
+	d.WriteAt([]byte("extra"), 8192)
+
+	if err := d.Revert("s1"); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 9)
+	d.ReadAt(buf, 0)
+	if string(buf) != "state one" {
+		t.Fatalf("after revert: %q", buf)
+	}
+	// The post-snapshot write is gone entirely.
+	extra := make([]byte, 5)
+	d.ReadAt(extra, 8192)
+	if !bytes.Equal(extra, make([]byte, 5)) {
+		t.Fatal("post-snapshot cluster survived revert")
+	}
+	// Snapshot still available for a second revert.
+	d.WriteAt([]byte("state tre"), 0)
+	if err := d.Revert("s1"); err != nil {
+		t.Fatal(err)
+	}
+	d.ReadAt(buf, 0)
+	if string(buf) != "state one" {
+		t.Fatalf("second revert: %q", buf)
+	}
+}
+
+func TestSnapshotIncludesBackingChain(t *testing.T) {
+	parent := New("parent", 1<<20, DefaultClusterSize)
+	parent.WriteAt([]byte("from-parent"), 0)
+	child := parent.NewChild("child")
+	child.WriteAt([]byte("from-child"), 8192)
+
+	if err := child.Snapshot("s"); err != nil {
+		t.Fatal(err)
+	}
+	// Mutate the parent after snapshotting; the snapshot must not see it.
+	parent.WriteAt([]byte("MUTATED-PARE"), 0)
+	if err := child.Revert("s"); err != nil {
+		t.Fatal(err)
+	}
+	if child.Backing() != nil {
+		t.Fatal("revert kept backing chain")
+	}
+	buf := make([]byte, 11)
+	child.ReadAt(buf, 0)
+	if string(buf) != "from-parent" {
+		t.Fatalf("snapshot lost backing data: %q", buf)
+	}
+}
+
+func TestSnapshotErrors(t *testing.T) {
+	d := New("errs", 1<<20, DefaultClusterSize)
+	if err := d.Snapshot(""); err == nil {
+		t.Fatal("empty snapshot name accepted")
+	}
+	if err := d.Revert("missing"); err == nil {
+		t.Fatal("revert to missing snapshot succeeded")
+	}
+	if err := d.DeleteSnapshot("missing"); err == nil {
+		t.Fatal("delete of missing snapshot succeeded")
+	}
+	d.Snapshot("a")
+	if err := d.Snapshot("a"); err == nil {
+		t.Fatal("duplicate snapshot name accepted")
+	}
+}
+
+func TestSnapshotListAndDelete(t *testing.T) {
+	d := New("list", 1<<20, DefaultClusterSize)
+	d.Snapshot("zeta")
+	d.Snapshot("alpha")
+	if got := d.Snapshots(); !reflect.DeepEqual(got, []string{"alpha", "zeta"}) {
+		t.Fatalf("Snapshots = %v", got)
+	}
+	if err := d.DeleteSnapshot("zeta"); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Snapshots(); !reflect.DeepEqual(got, []string{"alpha"}) {
+		t.Fatalf("after delete: %v", got)
+	}
+}
+
+func TestSnapshotIsolatedFromLiveWrites(t *testing.T) {
+	d := New("iso", 1<<20, DefaultClusterSize)
+	d.WriteAt(bytes.Repeat([]byte{0xAA}, DefaultClusterSize), 0)
+	d.Snapshot("s")
+	// Overwrite the same cluster in place; the snapshot's copy must be
+	// unaffected (deep copy, not aliased).
+	d.WriteAt(bytes.Repeat([]byte{0xBB}, DefaultClusterSize), 0)
+	d.Revert("s")
+	buf := make([]byte, 1)
+	d.ReadAt(buf, 0)
+	if buf[0] != 0xAA {
+		t.Fatal("snapshot aliased live cluster data")
+	}
+}

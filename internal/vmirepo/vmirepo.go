@@ -1,0 +1,537 @@
+// Package vmirepo implements the Expelliarmus VMI repository of Fig. 2:
+// content-addressed storage for binary packages, base images and user-data
+// archives, plus the metadata database holding the Base Image, VMI and
+// Package tables and the serialized master graphs. All operations charge
+// their I/O to an optional simio.Meter so publish and retrieval times
+// decompose exactly as in the paper's Fig. 5a.
+package vmirepo
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"expelliarmus/internal/blobstore"
+	"expelliarmus/internal/master"
+	"expelliarmus/internal/metadb"
+	"expelliarmus/internal/pkgmeta"
+	"expelliarmus/internal/simio"
+)
+
+const (
+	bucketPackages = "packages"
+	bucketBases    = "bases"
+	bucketMasters  = "masters"
+	bucketVMIs     = "vmis"
+	bucketUserData = "userdata"
+)
+
+// Repo is the Expelliarmus repository.
+type Repo struct {
+	blobs *blobstore.Store
+	db    *metadb.DB
+	dev   *simio.Device
+}
+
+// New returns an empty repository using the device for cost accounting.
+func New(dev *simio.Device) *Repo {
+	r := &Repo{blobs: blobstore.New(), db: metadb.New(), dev: dev}
+	for _, b := range []string{bucketPackages, bucketBases, bucketMasters, bucketVMIs, bucketUserData} {
+		r.db.CreateBucket(b)
+	}
+	return r
+}
+
+// SizeBytes is the repository footprint: unique blob bytes plus the
+// metadata database file — the quantity plotted in Fig. 3.
+func (r *Repo) SizeBytes() int64 {
+	return r.blobs.TotalBytes() + r.db.SizeBytes()
+}
+
+func (r *Repo) chargeDB(m *simio.Meter, bytes int64) {
+	if m != nil {
+		m.Charge(simio.PhaseDB, r.dev.DBCost(bytes))
+	}
+}
+
+// --- packages ---
+
+// PackageRecord describes one stored binary package.
+type PackageRecord struct {
+	Pkg      pkgmeta.Package
+	BlobID   blobstore.ID
+	BlobSize int64
+}
+
+func encodePackageRecord(rec PackageRecord) []byte {
+	var buf bytes.Buffer
+	buf.Write(rec.BlobID[:])
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(rec.BlobSize))
+	buf.Write(tmp[:n])
+	buf.WriteString(pkgmeta.FormatControl(rec.Pkg))
+	return buf.Bytes()
+}
+
+func decodePackageRecord(data []byte) (PackageRecord, error) {
+	var rec PackageRecord
+	if len(data) < sha256.Size+1 {
+		return rec, fmt.Errorf("vmirepo: truncated package record")
+	}
+	copy(rec.BlobID[:], data[:sha256.Size])
+	r := bytes.NewReader(data[sha256.Size:])
+	size, err := binary.ReadUvarint(r)
+	if err != nil {
+		return rec, err
+	}
+	rec.BlobSize = int64(size)
+	control, err := io.ReadAll(r)
+	if err != nil {
+		return rec, err
+	}
+	rec.Pkg, err = pkgmeta.ParseControl(string(control))
+	return rec, err
+}
+
+// HasPackage reports whether a package with the given Ref is stored. The
+// index lookup charges one metadata access.
+func (r *Repo) HasPackage(ref string, m *simio.Meter) bool {
+	r.chargeDB(m, 0)
+	_, ok := r.db.Bucket(bucketPackages).Get([]byte(ref))
+	return ok
+}
+
+// PutPackage stores a binary package blob under its metadata Ref. Storing
+// an already-present Ref is an error (callers are expected to check
+// HasPackage; the decomposer's dedup path never stores twice).
+func (r *Repo) PutPackage(p pkgmeta.Package, blob []byte, m *simio.Meter) error {
+	key := []byte(p.Ref())
+	b := r.db.Bucket(bucketPackages)
+	if _, exists := b.Get(key); exists {
+		return fmt.Errorf("vmirepo: package %s already stored", p.Ref())
+	}
+	id, _ := r.blobs.Put(blob)
+	rec := PackageRecord{Pkg: p, BlobID: id, BlobSize: int64(len(blob))}
+	val := encodePackageRecord(rec)
+	b.Put(key, val)
+	if m != nil {
+		m.Charge(simio.PhaseStore, r.dev.WriteCost(int64(len(blob))))
+	}
+	r.chargeDB(m, int64(len(val)))
+	return nil
+}
+
+// GetPackage returns the stored package metadata and blob, charging the
+// blob read to the given phase.
+func (r *Repo) GetPackage(ref string, ph simio.Phase, m *simio.Meter) (pkgmeta.Package, []byte, error) {
+	val, ok := r.db.Bucket(bucketPackages).Get([]byte(ref))
+	r.chargeDB(m, 0)
+	if !ok {
+		return pkgmeta.Package{}, nil, fmt.Errorf("vmirepo: package %s not found", ref)
+	}
+	rec, err := decodePackageRecord(val)
+	if err != nil {
+		return pkgmeta.Package{}, nil, err
+	}
+	blob, ok := r.blobs.Get(rec.BlobID)
+	if !ok {
+		return pkgmeta.Package{}, nil, fmt.Errorf("vmirepo: package blob %s missing", rec.BlobID)
+	}
+	if m != nil {
+		m.Charge(ph, r.dev.ReadCost(int64(len(blob))))
+	}
+	return rec.Pkg, blob, nil
+}
+
+// Packages lists all stored package records sorted by Ref.
+func (r *Repo) Packages() ([]PackageRecord, error) {
+	var out []PackageRecord
+	var err error
+	r.db.Bucket(bucketPackages).ForEach(func(k, v []byte) bool {
+		var rec PackageRecord
+		rec, err = decodePackageRecord(v)
+		if err != nil {
+			return false
+		}
+		out = append(out, rec)
+		return true
+	})
+	return out, err
+}
+
+// --- base images ---
+
+// BaseRecord describes one stored base image.
+type BaseRecord struct {
+	ID       string
+	Attrs    pkgmeta.BaseAttrs
+	BlobID   blobstore.ID
+	BlobSize int64
+}
+
+func encodeBaseRecord(rec BaseRecord) []byte {
+	return []byte(fmt.Sprintf("%s\n%d\n%s\n%s\n%s\n%s",
+		hex.EncodeToString(rec.BlobID[:]), rec.BlobSize,
+		rec.Attrs.Type, rec.Attrs.Distro, rec.Attrs.Version, rec.Attrs.Arch))
+}
+
+func decodeBaseRecord(id string, data []byte) (BaseRecord, error) {
+	parts := strings.Split(string(data), "\n")
+	if len(parts) != 6 {
+		return BaseRecord{}, fmt.Errorf("vmirepo: corrupt base record for %s", id)
+	}
+	blobID, err := blobstore.ParseID(parts[0])
+	if err != nil {
+		return BaseRecord{}, err
+	}
+	var size int64
+	if _, err := fmt.Sscanf(parts[1], "%d", &size); err != nil {
+		return BaseRecord{}, err
+	}
+	return BaseRecord{
+		ID: id, BlobID: blobID, BlobSize: size,
+		Attrs: pkgmeta.BaseAttrs{Type: parts[2], Distro: parts[3], Version: parts[4], Arch: parts[5]},
+	}, nil
+}
+
+// HasBase reports whether the base image is stored.
+func (r *Repo) HasBase(id string, m *simio.Meter) bool {
+	r.chargeDB(m, 0)
+	_, ok := r.db.Bucket(bucketBases).Get([]byte(id))
+	return ok
+}
+
+// PutBase stores a serialized base image.
+func (r *Repo) PutBase(id string, attrs pkgmeta.BaseAttrs, image []byte, m *simio.Meter) error {
+	b := r.db.Bucket(bucketBases)
+	if _, exists := b.Get([]byte(id)); exists {
+		return fmt.Errorf("vmirepo: base %s already stored", id)
+	}
+	blobID, _ := r.blobs.Put(image)
+	rec := BaseRecord{ID: id, Attrs: attrs, BlobID: blobID, BlobSize: int64(len(image))}
+	b.Put([]byte(id), encodeBaseRecord(rec))
+	if m != nil {
+		m.Charge(simio.PhaseStore, r.dev.WriteCost(int64(len(image))))
+	}
+	r.chargeDB(m, 64)
+	return nil
+}
+
+// GetBase returns the serialized base image, charging the read to the
+// given phase (PhaseCopy during retrieval).
+func (r *Repo) GetBase(id string, ph simio.Phase, m *simio.Meter) ([]byte, error) {
+	val, ok := r.db.Bucket(bucketBases).Get([]byte(id))
+	r.chargeDB(m, 0)
+	if !ok {
+		return nil, fmt.Errorf("vmirepo: base %s not found", id)
+	}
+	rec, err := decodeBaseRecord(id, val)
+	if err != nil {
+		return nil, err
+	}
+	blob, ok := r.blobs.Get(rec.BlobID)
+	if !ok {
+		return nil, fmt.Errorf("vmirepo: base blob %s missing", rec.BlobID)
+	}
+	if m != nil {
+		m.Charge(ph, r.dev.ReadCost(int64(len(blob))))
+	}
+	return blob, nil
+}
+
+// RemoveBase deletes a stored base image, reclaiming its blob (Algorithm 1
+// line 27, remove(b, repo)).
+func (r *Repo) RemoveBase(id string, m *simio.Meter) error {
+	b := r.db.Bucket(bucketBases)
+	val, ok := b.Get([]byte(id))
+	r.chargeDB(m, 0)
+	if !ok {
+		return fmt.Errorf("vmirepo: base %s not found", id)
+	}
+	rec, err := decodeBaseRecord(id, val)
+	if err != nil {
+		return err
+	}
+	if err := r.blobs.Release(rec.BlobID); err != nil {
+		return err
+	}
+	b.Delete([]byte(id))
+	return nil
+}
+
+// Bases lists stored base images sorted by ID (Algorithm 2 line 3).
+func (r *Repo) Bases() ([]BaseRecord, error) {
+	var out []BaseRecord
+	var err error
+	r.db.Bucket(bucketBases).ForEach(func(k, v []byte) bool {
+		var rec BaseRecord
+		rec, err = decodeBaseRecord(string(k), v)
+		if err != nil {
+			return false
+		}
+		out = append(out, rec)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, err
+}
+
+// --- master graphs ---
+
+// PutMaster stores (or replaces) the master graph keyed by its base image.
+func (r *Repo) PutMaster(mg *master.Graph, m *simio.Meter) {
+	data := mg.Marshal()
+	r.db.Bucket(bucketMasters).Put([]byte(mg.BaseID), data)
+	r.chargeDB(m, int64(len(data)))
+}
+
+// GetMaster loads the master graph of a base image.
+func (r *Repo) GetMaster(baseID string, m *simio.Meter) (*master.Graph, error) {
+	val, ok := r.db.Bucket(bucketMasters).Get([]byte(baseID))
+	r.chargeDB(m, int64(len(val)))
+	if !ok {
+		return nil, fmt.Errorf("vmirepo: master graph for %s not found", baseID)
+	}
+	return master.Unmarshal(val)
+}
+
+// RemoveMaster deletes a master graph.
+func (r *Repo) RemoveMaster(baseID string, m *simio.Meter) {
+	r.db.Bucket(bucketMasters).Delete([]byte(baseID))
+	r.chargeDB(m, 0)
+}
+
+// Masters returns all master graphs sorted by base ID.
+func (r *Repo) Masters() ([]*master.Graph, error) {
+	var out []*master.Graph
+	var err error
+	r.db.Bucket(bucketMasters).ForEach(func(k, v []byte) bool {
+		var mg *master.Graph
+		mg, err = master.Unmarshal(v)
+		if err != nil {
+			return false
+		}
+		out = append(out, mg)
+		return true
+	})
+	return out, err
+}
+
+// --- VMI records ---
+
+// VMIRecord maps a published VMI name to its decomposition.
+type VMIRecord struct {
+	Name      string
+	BaseID    string
+	Primaries []string
+}
+
+// PutVMI stores a VMI record.
+func (r *Repo) PutVMI(rec VMIRecord, m *simio.Meter) {
+	val := rec.BaseID + "\n" + strings.Join(rec.Primaries, ",")
+	r.db.Bucket(bucketVMIs).Put([]byte(rec.Name), []byte(val))
+	r.chargeDB(m, int64(len(val)))
+}
+
+// GetVMI loads a VMI record by name.
+func (r *Repo) GetVMI(name string, m *simio.Meter) (VMIRecord, error) {
+	val, ok := r.db.Bucket(bucketVMIs).Get([]byte(name))
+	r.chargeDB(m, 0)
+	if !ok {
+		return VMIRecord{}, fmt.Errorf("vmirepo: VMI %q not found", name)
+	}
+	parts := strings.SplitN(string(val), "\n", 2)
+	if len(parts) != 2 {
+		return VMIRecord{}, fmt.Errorf("vmirepo: corrupt VMI record %q", name)
+	}
+	rec := VMIRecord{Name: name, BaseID: parts[0]}
+	if parts[1] != "" {
+		rec.Primaries = strings.Split(parts[1], ",")
+	}
+	return rec, nil
+}
+
+// RewireVMIs repoints every VMI record referencing oldBase to newBase,
+// used when base-image selection replaces an obsolete base (its clustered
+// primary subgraphs having been merged into the surviving master).
+func (r *Repo) RewireVMIs(oldBase, newBase string, m *simio.Meter) {
+	b := r.db.Bucket(bucketVMIs)
+	var names []string
+	b.ForEach(func(k, v []byte) bool {
+		parts := strings.SplitN(string(v), "\n", 2)
+		if len(parts) == 2 && parts[0] == oldBase {
+			names = append(names, string(k))
+		}
+		return true
+	})
+	for _, name := range names {
+		val, _ := b.Get([]byte(name))
+		parts := strings.SplitN(string(val), "\n", 2)
+		b.Put([]byte(name), []byte(newBase+"\n"+parts[1]))
+		r.chargeDB(m, int64(len(val)))
+	}
+}
+
+// VMIs lists stored VMI names.
+func (r *Repo) VMIs() []string {
+	var out []string
+	r.db.Bucket(bucketVMIs).ForEach(func(k, v []byte) bool {
+		out = append(out, string(k))
+		return true
+	})
+	return out
+}
+
+// --- user data ---
+
+// PutUserData stores a VMI's user-data archive.
+func (r *Repo) PutUserData(name string, archive []byte, m *simio.Meter) {
+	id, _ := r.blobs.Put(archive)
+	r.db.Bucket(bucketUserData).Put([]byte(name), id[:])
+	if m != nil {
+		m.Charge(simio.PhaseStore, r.dev.WriteCost(int64(len(archive))))
+	}
+	r.chargeDB(m, 40)
+}
+
+// GetUserData returns the archive, or nil when the VMI stored none.
+func (r *Repo) GetUserData(name string, ph simio.Phase, m *simio.Meter) ([]byte, error) {
+	val, ok := r.db.Bucket(bucketUserData).Get([]byte(name))
+	r.chargeDB(m, 0)
+	if !ok {
+		return nil, nil
+	}
+	var id blobstore.ID
+	copy(id[:], val)
+	blob, ok := r.blobs.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("vmirepo: user data blob for %q missing", name)
+	}
+	if m != nil {
+		m.Charge(ph, r.dev.ReadCost(int64(len(blob))))
+	}
+	return blob, nil
+}
+
+// RemovePackage deletes a stored package record and releases its blob.
+func (r *Repo) RemovePackage(ref string, m *simio.Meter) error {
+	b := r.db.Bucket(bucketPackages)
+	val, ok := b.Get([]byte(ref))
+	r.chargeDB(m, 0)
+	if !ok {
+		return fmt.Errorf("vmirepo: package %s not found", ref)
+	}
+	rec, err := decodePackageRecord(val)
+	if err != nil {
+		return err
+	}
+	if err := r.blobs.Release(rec.BlobID); err != nil {
+		return err
+	}
+	b.Delete([]byte(ref))
+	return nil
+}
+
+// RemoveUserData deletes a VMI's user-data archive if present.
+func (r *Repo) RemoveUserData(name string, m *simio.Meter) error {
+	b := r.db.Bucket(bucketUserData)
+	val, ok := b.Get([]byte(name))
+	r.chargeDB(m, 0)
+	if !ok {
+		return nil
+	}
+	var id blobstore.ID
+	copy(id[:], val)
+	if err := r.blobs.Release(id); err != nil {
+		return err
+	}
+	b.Delete([]byte(name))
+	return nil
+}
+
+// RemoveVMI deletes a VMI record.
+func (r *Repo) RemoveVMI(name string, m *simio.Meter) {
+	r.db.Bucket(bucketVMIs).Delete([]byte(name))
+	r.chargeDB(m, 0)
+}
+
+var repoSnapshotMagic = []byte("EXPREPO1")
+
+// Snapshot serialises the whole repository — blobs and metadata database —
+// for durable storage; Load restores it.
+func (r *Repo) Snapshot() []byte {
+	blobs := r.blobs.Snapshot()
+	db := r.db.Snapshot()
+	out := make([]byte, 0, len(repoSnapshotMagic)+16+len(blobs)+len(db))
+	out = append(out, repoSnapshotMagic...)
+	var lenBuf [8]byte
+	binary.BigEndian.PutUint64(lenBuf[:], uint64(len(blobs)))
+	out = append(out, lenBuf[:]...)
+	out = append(out, blobs...)
+	binary.BigEndian.PutUint64(lenBuf[:], uint64(len(db)))
+	out = append(out, lenBuf[:]...)
+	out = append(out, db...)
+	return out
+}
+
+// Load restores a repository from a Snapshot image.
+func Load(image []byte, dev *simio.Device) (*Repo, error) {
+	if len(image) < len(repoSnapshotMagic)+16 || !bytes.Equal(image[:len(repoSnapshotMagic)], repoSnapshotMagic) {
+		return nil, fmt.Errorf("vmirepo: bad snapshot magic")
+	}
+	rest := image[len(repoSnapshotMagic):]
+	blobLen := binary.BigEndian.Uint64(rest[:8])
+	rest = rest[8:]
+	if blobLen > uint64(len(rest)) {
+		return nil, fmt.Errorf("vmirepo: truncated blob section")
+	}
+	blobs, err := blobstore.Load(rest[:blobLen])
+	if err != nil {
+		return nil, err
+	}
+	rest = rest[blobLen:]
+	if len(rest) < 8 {
+		return nil, fmt.Errorf("vmirepo: truncated db section")
+	}
+	dbLen := binary.BigEndian.Uint64(rest[:8])
+	rest = rest[8:]
+	if dbLen > uint64(len(rest)) {
+		return nil, fmt.Errorf("vmirepo: truncated db payload")
+	}
+	db, err := metadb.Load(rest[:dbLen])
+	if err != nil {
+		return nil, err
+	}
+	r := &Repo{blobs: blobs, db: db, dev: dev}
+	for _, b := range []string{bucketPackages, bucketBases, bucketMasters, bucketVMIs, bucketUserData} {
+		r.db.CreateBucket(b)
+	}
+	return r, nil
+}
+
+// Stats summarises the repository.
+type Stats struct {
+	Packages   int
+	Bases      int
+	VMIs       int
+	BlobBytes  int64
+	DBBytes    int64
+	TotalBytes int64
+}
+
+// Stats returns current repository statistics.
+func (r *Repo) Stats() Stats {
+	return Stats{
+		Packages:   r.db.Bucket(bucketPackages).Len(),
+		Bases:      r.db.Bucket(bucketBases).Len(),
+		VMIs:       r.db.Bucket(bucketVMIs).Len(),
+		BlobBytes:  r.blobs.TotalBytes(),
+		DBBytes:    r.db.SizeBytes(),
+		TotalBytes: r.SizeBytes(),
+	}
+}
