@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	expelbench [-exp all|table2,fig3a,fig3b,fig3c,fig4a,fig4b,fig5a,fig5b,abl1,abl2,abl3] [-ide-builds 40]
+//	expelbench [-exp all|table2,fig3a,fig3b,fig3c,fig4a,fig4b,fig5a,fig5b,abl1,abl2,abl3,abl4,conc] [-ide-builds 40] [-clients 8]
 package main
 
 import (
@@ -21,11 +21,12 @@ import (
 func main() {
 	exps := flag.String("exp", "all", "comma-separated experiments to run, or 'all'")
 	ideBuilds := flag.Int("ide-builds", 40, "number of successive IDE builds for fig3c")
+	clients := flag.Int("clients", 8, "worker-pool bound for the concurrent-publish scenario")
 	flag.Parse()
 
 	selected := map[string]bool{}
 	if *exps == "all" {
-		for _, e := range []string{"table2", "fig3a", "fig3b", "fig3c", "fig4a", "fig4b", "fig5a", "fig5b", "abl1", "abl2", "abl3", "abl4"} {
+		for _, e := range []string{"table2", "fig3a", "fig3b", "fig3c", "fig4a", "fig4b", "fig5a", "fig5b", "abl1", "abl2", "abl3", "abl4", "conc"} {
 			selected[e] = true
 		}
 	} else {
@@ -60,6 +61,7 @@ func main() {
 	run("abl2", func() (fmt.Stringer, error) { return r.AblationMasterGraph([]int{1, 5, 10, 19}) })
 	run("abl3", func() (fmt.Stringer, error) { return r.AblationBaseSelection() })
 	run("abl4", func() (fmt.Stringer, error) { return r.AblationUploadOrder() })
+	run("conc", func() (fmt.Stringer, error) { return r.ConcurrentPublish(*clients) })
 
 	if selected["fig3a"] || selected["fig3b"] || selected["fig3c"] {
 		fmt.Println("paper reference endpoints (GB):")

@@ -1,0 +1,180 @@
+package expelliarmus
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentSystemStress shares one System between 8 goroutines that
+// build, publish, retrieve and remove disjoint template sets, while the
+// main goroutine takes Save snapshots mid-traffic and verifies each one
+// restores to a repository whose recorded VMIs are all retrievable.
+func TestConcurrentSystemStress(t *testing.T) {
+	sys := NewWithOptions(Options{Parallelism: 2})
+	names := Templates()
+	const workers = 8
+	if len(names) < 2*workers {
+		t.Fatalf("catalog too small: %d templates", len(names))
+	}
+
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			mine := names[2*w : 2*w+2]
+			for _, name := range mine {
+				img, err := sys.BuildImage(name)
+				if err != nil {
+					t.Errorf("worker %d build %s: %v", w, name, err)
+					return
+				}
+				if err := img.WriteUserFile("/home/user/"+name+".txt", []byte("data for "+name)); err != nil {
+					t.Errorf("worker %d user file %s: %v", w, name, err)
+					return
+				}
+				pub, err := sys.Publish(img)
+				if err != nil {
+					t.Errorf("worker %d publish %s: %v", w, name, err)
+					return
+				}
+				if pub.Seconds <= 0 {
+					t.Errorf("worker %d publish %s: no modeled cost", w, name)
+					return
+				}
+				got, ret, err := sys.Retrieve(name)
+				if err != nil {
+					t.Errorf("worker %d retrieve %s: %v", w, name, err)
+					return
+				}
+				if got.Name() != name || ret.Seconds <= 0 {
+					t.Errorf("worker %d retrieve %s: got %q (%.1fs)", w, name, got.Name(), ret.Seconds)
+					return
+				}
+				if !got.HasFile("/home/user/" + name + ".txt") {
+					t.Errorf("worker %d retrieve %s: user data missing", w, name)
+					return
+				}
+			}
+			// Churn: remove the first image and publish it again, racing
+			// the garbage collector against other workers' publishes.
+			if err := sys.Remove(mine[0]); err != nil {
+				t.Errorf("worker %d remove %s: %v", w, mine[0], err)
+				return
+			}
+			img, err := sys.BuildImage(mine[0])
+			if err != nil {
+				t.Errorf("worker %d rebuild %s: %v", w, mine[0], err)
+				return
+			}
+			if _, err := sys.Publish(img); err != nil {
+				t.Errorf("worker %d republish %s: %v", w, mine[0], err)
+				return
+			}
+		}(w)
+	}
+	go func() { wg.Wait(); close(done) }()
+
+	// Save/Restore round trips while traffic is in flight. Every snapshot
+	// must be internally consistent: Restore succeeds and every recorded
+	// VMI assembles.
+	snapshots := 0
+	for {
+		select {
+		case <-done:
+			if snapshots == 0 {
+				t.Fatal("traffic finished before any mid-flight snapshot")
+			}
+			if t.Failed() {
+				return
+			}
+			// Final round trip on the quiesced system.
+			restored, err := Restore(sys.Save(), Options{Parallelism: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := restored.RepoStats(), sys.RepoStats(); got != want {
+				t.Fatalf("restored stats %+v != live stats %+v", got, want)
+			}
+			for _, name := range sys.sys.Repo().VMIs() {
+				if _, _, err := restored.Retrieve(name); err != nil {
+					t.Fatalf("restored retrieve %s: %v", name, err)
+				}
+			}
+			return
+		default:
+		}
+		restored, err := Restore(sys.Save(), Options{})
+		if err != nil {
+			t.Fatalf("mid-flight snapshot %d: %v", snapshots, err)
+		}
+		for _, name := range restored.sys.Repo().VMIs() {
+			if _, _, err := restored.Retrieve(name); err != nil {
+				t.Fatalf("mid-flight snapshot %d: VMI %s not retrievable: %v", snapshots, name, err)
+			}
+		}
+		snapshots++
+	}
+}
+
+// TestPublishAllRetrieveAll checks the batch APIs: input-order results,
+// batch-wide dedup, and single-image semantics preserved.
+func TestPublishAllRetrieveAll(t *testing.T) {
+	sys := NewWithOptions(Options{Parallelism: 8})
+	names := []string{"Mini", "Redis", "PostgreSql", "Django", "Base", "Lapp"}
+	imgs := make([]*Image, len(names))
+	for i, n := range names {
+		img, err := sys.BuildImage(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		imgs[i] = img
+	}
+
+	pubs, err := sys.PublishAll(imgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pubs) != len(names) {
+		t.Fatalf("got %d publish results, want %d", len(pubs), len(names))
+	}
+	for i, p := range pubs {
+		if p == nil || p.Seconds <= 0 {
+			t.Fatalf("publish result %d (%s) invalid: %+v", i, names[i], p)
+		}
+	}
+
+	// Batch-wide dedup: apache2 appears in both Base and Lapp; exactly one
+	// publish may have exported it.
+	exporters := 0
+	for _, p := range pubs {
+		for _, e := range p.Exported {
+			if e == "apache2" {
+				exporters++
+			}
+		}
+	}
+	if exporters != 1 {
+		t.Fatalf("apache2 exported by %d publishes, want exactly 1", exporters)
+	}
+
+	got, rets, err := sys.RetrieveAll(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range names {
+		if got[i].Name() != names[i] {
+			t.Fatalf("retrieved[%d] = %q, want %q", i, got[i].Name(), names[i])
+		}
+		if rets[i].Seconds <= 0 {
+			t.Fatalf("retrieve %s: no modeled cost", names[i])
+		}
+	}
+
+	// The caller's images remain usable after PublishAll (clone semantics,
+	// matching Publish).
+	if _, err := imgs[0].Stats(); err != nil {
+		t.Fatalf("input image consumed by PublishAll: %v", err)
+	}
+}

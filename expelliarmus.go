@@ -43,10 +43,28 @@ type Options struct {
 	NoSemanticDedup bool
 	// NoBaseSelection disables base-image selection (Algorithm 2).
 	NoBaseSelection bool
+	// Parallelism bounds the total worker goroutines per operation: a solo
+	// Publish/Retrieve fans out per package, while PublishAll/RetrieveAll
+	// fan out across images (with sequential per-image internals), so the
+	// bound never compounds. Values <= 1 mean strictly sequential. For an
+	// operation running alone, Parallelism affects
+	// wall-clock time only — its modeled Seconds() are identical at every
+	// setting. When operations overlap (PublishAll, or explicit concurrent
+	// calls), modeled totals can shift slightly with the interleaving:
+	// e.g. two publishes racing on one shared package may both pay the
+	// repack cost sequential upload would have deduplicated away.
+	Parallelism int
 }
 
 // System is an Expelliarmus VMI management system over an in-memory
 // repository, with an image builder for the synthetic evaluation catalog.
+//
+// A System is safe for concurrent use: any number of goroutines may build,
+// publish, retrieve, assemble and remove images (and Save snapshots)
+// against the same System. Operations on the same image name should not
+// overlap — concurrently removing a VMI while retrieving it can surface a
+// not-found error mid-assembly — but the repository itself stays
+// consistent regardless.
 type System struct {
 	dev *simio.Device
 	sys *core.System
@@ -64,6 +82,7 @@ func NewWithOptions(o Options) *System {
 		sys: core.NewSystem(dev, core.Options{
 			NoSemanticDedup: o.NoSemanticDedup,
 			NoBaseSelection: o.NoBaseSelection,
+			Parallelism:     o.Parallelism,
 		}),
 		b: builder.New(catalog.NewUniverse()),
 	}
@@ -219,6 +238,10 @@ func (s *System) Publish(img *Image) (*PublishResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	return newPublishResult(rep), nil
+}
+
+func newPublishResult(rep *core.PublishReport) *PublishResult {
 	return &PublishResult{
 		Similarity: rep.Similarity,
 		Exported:   append([]string(nil), rep.Exported...),
@@ -226,7 +249,33 @@ func (s *System) Publish(img *Image) (*PublishResult, error) {
 		BaseStored: rep.BaseStored,
 		Seconds:    rep.Seconds(),
 		Phases:     phaseMap(rep.Meter),
-	}, nil
+	}
+}
+
+// PublishAll publishes a batch of images concurrently, bounded by
+// Options.Parallelism, into the one shared repository. Results are
+// returned in input order. Semantic deduplication applies across the whole
+// batch: a package shared by several images is stored exactly once no
+// matter how the concurrent publishes interleave.
+//
+// The batch is not a transaction: on error, publishes that already
+// committed stay in the repository, and the returned slice reports them
+// (one entry per input image, nil where a publish failed or never
+// started), so callers can tell which images landed.
+func (s *System) PublishAll(imgs []*Image) ([]*PublishResult, error) {
+	inner := make([]*vmi.Image, len(imgs))
+	for i, img := range imgs {
+		inner[i] = img.inner.Clone()
+	}
+	reps, err := s.sys.PublishAll(inner)
+	out := make([]*PublishResult, len(reps))
+	for i, rep := range reps {
+		if rep == nil {
+			continue
+		}
+		out[i] = newPublishResult(rep)
+	}
+	return out, err
 }
 
 // RetrieveResult reports a retrieval operation.
@@ -245,11 +294,34 @@ func (s *System) Retrieve(name string) (*Image, *RetrieveResult, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	return &Image{inner: img}, &RetrieveResult{
+	return &Image{inner: img}, newRetrieveResult(rep), nil
+}
+
+func newRetrieveResult(rep *core.RetrieveReport) *RetrieveResult {
+	return &RetrieveResult{
 		Imported: append([]string(nil), rep.Imported...),
 		Seconds:  rep.Seconds(),
 		Phases:   phaseMap(rep.Meter),
-	}, nil
+	}
+}
+
+// RetrieveAll reassembles a batch of published VMIs concurrently, bounded
+// by Options.Parallelism. Images and results are returned in input order;
+// on error the slices carry the successful entries (nil where a retrieval
+// failed or never started). Retrieval has no repository side effects, so
+// a failed batch can simply be retried.
+func (s *System) RetrieveAll(names []string) ([]*Image, []*RetrieveResult, error) {
+	imgs, reps, err := s.sys.RetrieveAll(names)
+	outImgs := make([]*Image, len(imgs))
+	outReps := make([]*RetrieveResult, len(reps))
+	for i := range imgs {
+		if imgs[i] == nil || reps[i] == nil {
+			continue
+		}
+		outImgs[i] = &Image{inner: imgs[i]}
+		outReps[i] = newRetrieveResult(reps[i])
+	}
+	return outImgs, outReps, err
 }
 
 // Assemble builds a VMI that was never uploaded in this exact form from
@@ -260,11 +332,7 @@ func (s *System) Assemble(name string, primaries []string, userDataFrom string) 
 	if err != nil {
 		return nil, nil, err
 	}
-	return &Image{inner: img}, &RetrieveResult{
-		Imported: append([]string(nil), rep.Imported...),
-		Seconds:  rep.Seconds(),
-		Phases:   phaseMap(rep.Meter),
-	}, nil
+	return &Image{inner: img}, newRetrieveResult(rep), nil
 }
 
 func phaseMap(m *simio.Meter) map[string]float64 {
@@ -303,7 +371,11 @@ func (s *System) MasterGraphDOT() (string, error) { return s.sys.MasterDOT() }
 func (s *System) Remove(name string) error { return s.sys.Remove(name) }
 
 // Save serialises the repository (blobs and metadata) for durable storage.
-func (s *System) Save() []byte { return s.sys.Repo().Snapshot() }
+// Save may be called while other operations are in flight: it waits out
+// any metadata commit in progress, and the captured state is
+// transactionally consistent — every VMI it records is retrievable after
+// Restore.
+func (s *System) Save() []byte { return s.sys.Snapshot() }
 
 // Restore creates a System over a previously saved repository image.
 func Restore(snapshot []byte, o Options) (*System, error) {
@@ -317,6 +389,7 @@ func Restore(snapshot []byte, o Options) (*System, error) {
 		sys: core.NewSystemWithRepo(repo, dev, core.Options{
 			NoSemanticDedup: o.NoSemanticDedup,
 			NoBaseSelection: o.NoBaseSelection,
+			Parallelism:     o.Parallelism,
 		}),
 		b: builder.New(catalog.NewUniverse()),
 	}, nil

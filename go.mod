@@ -1,0 +1,3 @@
+module expelliarmus
+
+go 1.24

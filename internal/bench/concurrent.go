@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"expelliarmus/internal/catalog"
+	"expelliarmus/internal/core"
+	"expelliarmus/internal/vmi"
+)
+
+// ConcurrentResult reports the concurrent-workload scenario: the Table II
+// catalog batch-published into one shared Expelliarmus repository, once
+// strictly sequentially and once with a bounded worker pool. The modeled
+// seconds stay identical by construction (parallelism changes wall-clock
+// time only), so the interesting quantities are host wall-clock and
+// aggregate throughput.
+type ConcurrentResult struct {
+	// Images is the catalog size (19 for Table II).
+	Images int
+	// Clients is the worker-pool bound used for the parallel run.
+	Clients int
+	// SequentialWall and ParallelWall are host wall-clock times for the
+	// whole batch.
+	SequentialWall time.Duration
+	ParallelWall   time.Duration
+	// SequentialModeled and ParallelModeled are the summed modeled publish
+	// seconds of the two runs. They can differ slightly: under concurrency
+	// two publishes may both repack a package that sequential upload would
+	// have deduplicated (exactly one still stores it).
+	SequentialModeled float64
+	ParallelModeled   float64
+	// SequentialRepoGB and ParallelRepoGB are the final repository sizes
+	// at paper scale; semantic dedup must hold under concurrency, so they
+	// should match closely.
+	SequentialRepoGB float64
+	ParallelRepoGB   float64
+}
+
+// Speedup is the wall-clock ratio sequential/parallel (>1 means the
+// parallel pipeline won).
+func (c *ConcurrentResult) Speedup() float64 {
+	if c.ParallelWall <= 0 {
+		return 0
+	}
+	return float64(c.SequentialWall) / float64(c.ParallelWall)
+}
+
+// Throughput returns images per wall-clock second for both runs.
+func (c *ConcurrentResult) Throughput() (sequential, parallel float64) {
+	if c.SequentialWall > 0 {
+		sequential = float64(c.Images) / c.SequentialWall.Seconds()
+	}
+	if c.ParallelWall > 0 {
+		parallel = float64(c.Images) / c.ParallelWall.Seconds()
+	}
+	return
+}
+
+// String renders the scenario result as a table.
+func (c *ConcurrentResult) String() string {
+	seqT, parT := c.Throughput()
+	tbl := &Table{
+		Title: fmt.Sprintf("Concurrent batch publish: %d VMIs, %d clients", c.Images, c.Clients),
+		Columns: []string{"run", "wall[s]", "throughput[VMI/s]",
+			"modeled[s]", "repo[GB]"},
+	}
+	tbl.AddRow("sequential",
+		fmt.Sprintf("%.3f", c.SequentialWall.Seconds()),
+		fmt.Sprintf("%.2f", seqT),
+		fmt.Sprintf("%.1f", c.SequentialModeled),
+		fmt.Sprintf("%.2f", c.SequentialRepoGB))
+	tbl.AddRow(fmt.Sprintf("parallel(%d)", c.Clients),
+		fmt.Sprintf("%.3f", c.ParallelWall.Seconds()),
+		fmt.Sprintf("%.2f", parT),
+		fmt.Sprintf("%.1f", c.ParallelModeled),
+		fmt.Sprintf("%.2f", c.ParallelRepoGB))
+	tbl.AddRow("speedup", fmt.Sprintf("%.2fx", c.Speedup()), "", "", "")
+	return tbl.String()
+}
+
+// ConcurrentPublish runs the concurrent-workload scenario: the full
+// Table II catalog is published into a fresh repository twice — first
+// strictly sequentially in upload order, then as a concurrent batch with
+// `clients` workers sharing one System. Image building happens before the
+// timed sections, so the measurement isolates the publish pipeline.
+func (r *Runner) ConcurrentPublish(clients int) (*ConcurrentResult, error) {
+	tpls := catalog.Paper19()
+	seqImgs := make([]*vmi.Image, len(tpls))
+	parImgs := make([]*vmi.Image, len(tpls))
+	for i, t := range tpls {
+		var err error
+		if seqImgs[i], err = r.WL.Image(t); err != nil {
+			return nil, err
+		}
+		if parImgs[i], err = r.WL.Image(t); err != nil {
+			return nil, err
+		}
+	}
+	res := &ConcurrentResult{Images: len(tpls), Clients: clients}
+
+	seqSys := core.NewSystem(r.Dev, core.Options{})
+	start := time.Now()
+	for i, img := range seqImgs {
+		rep, err := seqSys.Publish(img)
+		if err != nil {
+			return nil, fmt.Errorf("bench: sequential publish %s: %w", tpls[i].Name, err)
+		}
+		res.SequentialModeled += rep.Seconds()
+	}
+	res.SequentialWall = time.Since(start)
+	res.SequentialRepoGB = paperGB(seqSys.Repo().SizeBytes())
+
+	parSys := core.NewSystem(r.Dev, core.Options{Parallelism: clients})
+	start = time.Now()
+	reps, err := parSys.PublishAll(parImgs)
+	if err != nil {
+		return nil, fmt.Errorf("bench: parallel publish: %w", err)
+	}
+	res.ParallelWall = time.Since(start)
+	for _, rep := range reps {
+		res.ParallelModeled += rep.Seconds()
+	}
+	res.ParallelRepoGB = paperGB(parSys.Repo().SizeBytes())
+	return res, nil
+}

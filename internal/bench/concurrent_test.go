@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestConcurrentPublishScenario runs the concurrent-workload scenario and
+// checks its invariants: the parallel batch reaches the same deduplicated
+// repository, modeled costs stay in the sequential band, and (on multicore
+// hosts) the worker pool beats the sequential path in wall-clock time.
+func TestConcurrentPublishScenario(t *testing.T) {
+	res, err := sharedRunner.ConcurrentPublish(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Images != 19 {
+		t.Fatalf("images = %d, want the Table II catalog (19)", res.Images)
+	}
+	if res.SequentialWall <= 0 || res.ParallelWall <= 0 {
+		t.Fatalf("non-positive wall times: %+v", res)
+	}
+
+	// Semantic dedup must hold under concurrency: the parallel repository
+	// ends within a few percent of the sequential one (base-image
+	// selection may resolve replacement chains slightly differently
+	// depending on commit order).
+	if res.SequentialRepoGB <= 0 {
+		t.Fatalf("sequential repo empty: %+v", res)
+	}
+	ratio := res.ParallelRepoGB / res.SequentialRepoGB
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("parallel repo %.2f GB vs sequential %.2f GB (ratio %.3f), dedup degraded",
+			res.ParallelRepoGB, res.SequentialRepoGB, ratio)
+	}
+
+	// Modeled time: concurrency may add duplicate repack work (two
+	// publishes racing on one package) but never removes modeled work
+	// wholesale; keep it within a sane band of the sequential total.
+	mratio := res.ParallelModeled / res.SequentialModeled
+	if mratio < 0.95 || mratio > 1.5 {
+		t.Errorf("parallel modeled %.1fs vs sequential %.1fs (ratio %.3f)",
+			res.ParallelModeled, res.SequentialModeled, mratio)
+	}
+
+	seqT, parT := res.Throughput()
+	t.Logf("sequential %.3fs (%.2f VMI/s), parallel(%d) %.3fs (%.2f VMI/s), speedup %.2fx",
+		res.SequentialWall.Seconds(), seqT, res.Clients,
+		res.ParallelWall.Seconds(), parT, res.Speedup())
+
+	// The wall-clock win needs real cores; on a single-CPU host the pool
+	// can only interleave, so the strict assertion is multicore-only.
+	if runtime.NumCPU() < 2 || runtime.GOMAXPROCS(0) < 2 {
+		t.Skipf("single CPU (NumCPU=%d): skipping strict wall-clock speedup assertion", runtime.NumCPU())
+	}
+	if res.Speedup() <= 1.0 {
+		t.Errorf("parallel batch publish did not beat sequential: speedup %.2fx (seq %v, par %v)",
+			res.Speedup(), res.SequentialWall, res.ParallelWall)
+	}
+}

@@ -9,6 +9,13 @@
 // the paper contrasts with its semantic approach. Reference counting lets a
 // scheme release content (e.g. when Expelliarmus replaces an obsolete base
 // image, Algorithm 1 lines 22–28) and reclaim space deterministically.
+//
+// The store is mutex-striped: blobs live in shards keyed by the leading
+// byte of their content hash, so concurrent publishes writing different
+// packages lock different shards and proceed in parallel. SHA-256 output is
+// uniform, which makes the leading byte an ideal shard key. Aggregate
+// counters (unique bytes, put/hit statistics) are atomics, so size queries
+// never touch a shard lock.
 package blobstore
 
 import (
@@ -17,6 +24,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // ID is the SHA-256 digest addressing a blob.
@@ -47,45 +55,65 @@ type entry struct {
 	refs int
 }
 
-// Store is a content-addressed blob store. It is safe for concurrent use.
-// The zero value is not usable; construct with New.
-type Store struct {
+// numShards is the lock-stripe count. A power of two so the shard index is
+// a mask of the hash's leading byte; 64 stripes keep contention negligible
+// for any realistic publish fan-out while costing ~6 KB per store.
+const numShards = 64
+
+type shard struct {
 	mu    sync.RWMutex
 	blobs map[ID]*entry
-	bytes int64
-	puts  int64
-	hits  int64
+}
+
+// Store is a content-addressed blob store. It is safe for concurrent use;
+// operations on blobs whose IDs fall into different shards do not contend.
+// The zero value is not usable; construct with New.
+type Store struct {
+	shards [numShards]shard
+	bytes  atomic.Int64
+	puts   atomic.Int64
+	hits   atomic.Int64
 }
 
 // New returns an empty store.
 func New() *Store {
-	return &Store{blobs: make(map[ID]*entry)}
+	s := &Store{}
+	for i := range s.shards {
+		s.shards[i].blobs = make(map[ID]*entry)
+	}
+	return s
+}
+
+func (s *Store) shardFor(id ID) *shard {
+	return &s.shards[id[0]&(numShards-1)]
 }
 
 // Put stores data (if not already present) and takes one reference on it.
 // It returns the blob ID and whether the content was newly stored.
 func (s *Store) Put(data []byte) (ID, bool) {
 	id := Sum(data)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.puts++
-	if e, ok := s.blobs[id]; ok {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s.puts.Add(1)
+	if e, ok := sh.blobs[id]; ok {
 		e.refs++
-		s.hits++
+		s.hits.Add(1)
 		return id, false
 	}
 	cp := make([]byte, len(data))
 	copy(cp, data)
-	s.blobs[id] = &entry{data: cp, refs: 1}
-	s.bytes += int64(len(cp))
+	sh.blobs[id] = &entry{data: cp, refs: 1}
+	s.bytes.Add(int64(len(cp)))
 	return id, true
 }
 
 // Get returns the blob's contents. The returned slice must not be modified.
 func (s *Store) Get(id ID) ([]byte, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	e, ok := s.blobs[id]
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	e, ok := sh.blobs[id]
 	if !ok {
 		return nil, false
 	}
@@ -94,9 +122,10 @@ func (s *Store) Get(id ID) ([]byte, bool) {
 
 // Size returns the length of the blob without copying it.
 func (s *Store) Size(id ID) (int64, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	e, ok := s.blobs[id]
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	e, ok := sh.blobs[id]
 	if !ok {
 		return 0, false
 	}
@@ -105,17 +134,19 @@ func (s *Store) Size(id ID) (int64, bool) {
 
 // Has reports whether the blob exists.
 func (s *Store) Has(id ID) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	_, ok := s.blobs[id]
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	_, ok := sh.blobs[id]
 	return ok
 }
 
 // AddRef takes an additional reference on an existing blob.
 func (s *Store) AddRef(id ID) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	e, ok := s.blobs[id]
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.blobs[id]
 	if !ok {
 		return fmt.Errorf("blobstore: addref %s: not found", id)
 	}
@@ -125,9 +156,10 @@ func (s *Store) AddRef(id ID) error {
 
 // Refs returns the current reference count, or zero if absent.
 func (s *Store) Refs(id ID) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if e, ok := s.blobs[id]; ok {
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if e, ok := sh.blobs[id]; ok {
 		return e.refs
 	}
 	return 0
@@ -136,9 +168,10 @@ func (s *Store) Refs(id ID) int {
 // Release drops one reference; when the count reaches zero the blob is
 // deleted and its bytes reclaimed.
 func (s *Store) Release(id ID) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	e, ok := s.blobs[id]
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.blobs[id]
 	if !ok {
 		return fmt.Errorf("blobstore: release %s: not found", id)
 	}
@@ -147,41 +180,43 @@ func (s *Store) Release(id ID) error {
 		return fmt.Errorf("blobstore: release %s: refcount underflow", id)
 	}
 	if e.refs == 0 {
-		s.bytes -= int64(len(e.data))
-		delete(s.blobs, id)
+		s.bytes.Add(-int64(len(e.data)))
+		delete(sh.blobs, id)
 	}
 	return nil
 }
 
 // Len returns the number of distinct blobs stored.
 func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.blobs)
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.blobs)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // TotalBytes returns the number of unique bytes physically stored — the
 // quantity plotted on the y-axis of Fig. 3.
-func (s *Store) TotalBytes() int64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.bytes
-}
+func (s *Store) TotalBytes() int64 { return s.bytes.Load() }
 
 // Stats reports cumulative put and dedup-hit counts.
 func (s *Store) Stats() (puts, hits int64) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.puts, s.hits
+	return s.puts.Load(), s.hits.Load()
 }
 
 // IDs returns all blob IDs in lexicographic order (deterministic).
 func (s *Store) IDs() []ID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]ID, 0, len(s.blobs))
-	for id := range s.blobs {
-		out = append(out, id)
+	out := make([]ID, 0, s.Len())
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for id := range sh.blobs {
+			out = append(out, id)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool {
 		return string(out[i][:]) < string(out[j][:])

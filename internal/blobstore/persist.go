@@ -5,25 +5,34 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sort"
 )
 
 var snapshotMagic = []byte("EXPBLB1\n")
 
 // Snapshot serialises the store — blob contents and reference counts — in
-// deterministic (ID-sorted) order.
+// deterministic (ID-sorted) order. Each shard is captured under its read
+// lock; blob contents are immutable once stored, so the serialized bytes
+// are exact even when concurrent readers are active.
 func (s *Store) Snapshot() []byte {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ids := make([]ID, 0, len(s.blobs))
-	for id := range s.blobs {
-		ids = append(ids, id)
+	type captured struct {
+		id   ID
+		refs int
+		data []byte
 	}
-	// Sort without the exported helper to avoid re-locking.
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && string(ids[j][:]) < string(ids[j-1][:]); j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
+	var snap []captured
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for id, e := range sh.blobs {
+			snap = append(snap, captured{id: id, refs: e.refs, data: e.data})
 		}
+		sh.mu.RUnlock()
 	}
+	sort.Slice(snap, func(i, j int) bool {
+		return string(snap[i].id[:]) < string(snap[j].id[:])
+	})
+
 	var buf bytes.Buffer
 	buf.Write(snapshotMagic)
 	var tmp [binary.MaxVarintLen64]byte
@@ -31,12 +40,11 @@ func (s *Store) Snapshot() []byte {
 		n := binary.PutUvarint(tmp[:], v)
 		buf.Write(tmp[:n])
 	}
-	writeU(uint64(len(ids)))
-	for _, id := range ids {
-		e := s.blobs[id]
-		writeU(uint64(e.refs))
-		writeU(uint64(len(e.data)))
-		buf.Write(e.data)
+	writeU(uint64(len(snap)))
+	for _, c := range snap {
+		writeU(uint64(c.refs))
+		writeU(uint64(len(c.data)))
+		buf.Write(c.data)
 	}
 	return buf.Bytes()
 }
@@ -76,8 +84,8 @@ func Load(image []byte) (*Store, error) {
 			}
 		}
 		id := Sum(data)
-		s.blobs[id] = &entry{data: data, refs: int(refs)}
-		s.bytes += int64(len(data))
+		s.shardFor(id).blobs[id] = &entry{data: data, refs: int(refs)}
+		s.bytes.Add(int64(len(data)))
 	}
 	return s, nil
 }

@@ -7,9 +7,11 @@ package core
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"path"
 	"sort"
+	"sync"
 
 	"expelliarmus/internal/catalog"
 	"expelliarmus/internal/fstree"
@@ -18,6 +20,7 @@ import (
 	"expelliarmus/internal/pkgfmt"
 	"expelliarmus/internal/pkgmeta"
 	"expelliarmus/internal/pkgmgr"
+	"expelliarmus/internal/pool"
 	"expelliarmus/internal/semgraph"
 	"expelliarmus/internal/similarity"
 	"expelliarmus/internal/simio"
@@ -37,18 +40,90 @@ type Options struct {
 	// NoBaseSelection disables Algorithm 2: every published VMI stores its
 	// own base image (ablation A3).
 	NoBaseSelection bool
+	// Parallelism bounds the total worker goroutines per operation: a solo
+	// publish or retrieval fans out per package (the export loop of
+	// Algorithm 1, the per-group fetches of Algorithm 3), while
+	// PublishAll/RetrieveAll fan out across images with sequential
+	// per-image internals, so the bound never compounds. Values <= 1 run
+	// strictly sequentially. For
+	// an operation running alone the setting changes wall-clock time only
+	// (the Meter accumulates the same charges in any interleaving);
+	// overlapping operations can shift modeled totals slightly, e.g. when
+	// two publishes race to repack one shared package.
+	Parallelism int
 }
 
-// System is the Expelliarmus VMI management system.
+// System is the Expelliarmus VMI management system. One System may serve
+// many goroutines: publishes, retrievals, assemblies and removals can all
+// run concurrently against the shared repository.
+//
+// The concurrency design splits each operation into a parallel data plane
+// (repacking, hashing and storing package blobs — the dominant cost) and a
+// serialized metadata commit (base-image selection, master-graph update,
+// VMI record). commitMu serialises only the commits; package export from
+// different publishes proceeds in parallel, coordinated by the repository's
+// atomic EnsurePackage. The pin set bridges the gap between a publish
+// observing a package in the repository and its VMI record landing: Remove
+// never garbage-collects a pinned package, which closes the classic
+// check-then-commit race between concurrent publish and remove.
 type System struct {
 	repo *vmirepo.Repo
 	dev  *simio.Device
 	opts Options
+
+	// commitMu serialises multi-step metadata transactions: the tail of
+	// Publish (Algorithm 2 + master-graph update + VMI record), the whole
+	// of Remove, and Snapshot.
+	commitMu sync.Mutex
+
+	// pinMu guards pinned: package refs required by in-flight publishes
+	// whose VMI records have not committed yet, counted per publish.
+	pinMu  sync.Mutex
+	pinned map[string]int
 }
 
 // NewSystem creates a system over a fresh repository.
 func NewSystem(dev *simio.Device, opts Options) *System {
-	return &System{repo: vmirepo.New(dev), dev: dev, opts: opts}
+	return &System{repo: vmirepo.New(dev), dev: dev, opts: opts, pinned: make(map[string]int)}
+}
+
+// parallelism returns the effective worker bound (at least one).
+func (s *System) parallelism() int { return pool.Clamp(s.opts.Parallelism) }
+
+// pinPackage marks ref as required by an in-flight publish so concurrent
+// removals cannot garbage-collect it before the publish commits.
+func (s *System) pinPackage(ref string) {
+	s.pinMu.Lock()
+	s.pinned[ref]++
+	s.pinMu.Unlock()
+}
+
+// unpinPackages drops the pins a publish took, after its commit (or on
+// failure).
+func (s *System) unpinPackages(refs []string) {
+	s.pinMu.Lock()
+	for _, ref := range refs {
+		if s.pinned[ref] <= 1 {
+			delete(s.pinned, ref)
+		} else {
+			s.pinned[ref]--
+		}
+	}
+	s.pinMu.Unlock()
+}
+
+// removePackageUnlessPinned garbage-collects a package unless an in-flight
+// publish holds it. The pin check and the removal are atomic under pinMu:
+// a publish pins before its existence check, so either the pin lands first
+// (the package survives) or the removal lands first (the publish observes
+// the package as absent and re-exports it).
+func (s *System) removePackageUnlessPinned(ref string) error {
+	s.pinMu.Lock()
+	defer s.pinMu.Unlock()
+	if s.pinned[ref] > 0 {
+		return nil
+	}
+	return s.repo.RemovePackage(ref, nil)
 }
 
 // Repo exposes the underlying repository.
@@ -85,6 +160,13 @@ func (r *PublishReport) Seconds() float64 { return r.Meter.Seconds() }
 // unused dependencies and user data are removed in place. Callers that
 // need the image afterwards must Clone it first.
 func (s *System) Publish(img *vmi.Image) (*PublishReport, error) {
+	return s.publish(img, s.parallelism())
+}
+
+// publish is Publish with an explicit worker bound for the package export
+// loop. Batch operations pass 1 so Options.Parallelism bounds the total
+// goroutines across the batch rather than compounding per image.
+func (s *System) publish(img *vmi.Image, workers int) (*PublishReport, error) {
 	rep := &PublishReport{Image: img.Name, Meter: &simio.Meter{}}
 
 	// Step 2 (Fig. 2): guestfs access and semantic analysis.
@@ -109,33 +191,75 @@ func (s *System) Publish(img *vmi.Image) (*PublishReport, error) {
 	ps := g.PrimarySubgraph()
 
 	// Lines 2–5: store non-redundant primary-subgraph packages. Essential
-	// packages stay with the base image and are never exported.
-	for _, v := range ps.Vertices() {
+	// packages stay with the base image and are never exported. The
+	// pack → hash → store chain per package is independent, so it fans out
+	// over a bounded worker pool; outcomes are collected per vertex index
+	// and merged in vertex order, keeping the report deterministic. Every
+	// required ref is pinned (before its existence check) until the VMI
+	// record commits, so a concurrent Remove cannot collect it in between.
+	verts := ps.Vertices()
+	type outcome struct {
+		exported bool
+		skipped  bool
+		name     string
+		size     int64
+	}
+	outcomes := make([]outcome, len(verts))
+	var (
+		pinRefsMu sync.Mutex
+		pinRefs   []string
+	)
+	defer func() { s.unpinPackages(pinRefs) }()
+	exportErr := pool.Map(workers, len(verts), func(i int) error {
+		v := verts[i]
 		if v.Pkg.Essential {
-			continue
+			return nil
 		}
 		ref := v.Pkg.Ref()
+		s.pinPackage(ref)
+		pinRefsMu.Lock()
+		pinRefs = append(pinRefs, ref)
+		pinRefsMu.Unlock()
 		if !s.opts.NoSemanticDedup && s.repo.HasPackage(ref, rep.Meter) {
-			rep.Skipped++
-			continue
+			outcomes[i].skipped = true
+			return nil
 		}
 		blob, err := mgr.Repack(v.Pkg.Name)
 		if err != nil {
-			return nil, fmt.Errorf("core: publish %s: %w", img.Name, err)
+			return fmt.Errorf("core: publish %s: %w", img.Name, err)
 		}
 		rep.Meter.Charge(simio.PhaseExport,
 			s.dev.RepackCost(catalog.Real(v.Pkg.InstalledSize), 1))
 		if s.opts.NoSemanticDedup && s.repo.HasPackage(ref, rep.Meter) {
 			// The variant still repacks (paying the cost) but cannot store
 			// the same ref twice.
+			outcomes[i].skipped = true
+			return nil
+		}
+		stored, err := s.repo.EnsurePackage(v.Pkg, blob, rep.Meter)
+		if err != nil {
+			return err
+		}
+		if !stored {
+			// A concurrent publish stored the same ref first; equivalent
+			// to having observed it via the dedup check.
+			outcomes[i].skipped = true
+			return nil
+		}
+		outcomes[i] = outcome{exported: true, name: v.Pkg.Name, size: v.Pkg.InstalledSize}
+		return nil
+	})
+	if exportErr != nil {
+		return nil, exportErr
+	}
+	for _, o := range outcomes {
+		if o.skipped {
 			rep.Skipped++
-			continue
 		}
-		if err := s.repo.PutPackage(v.Pkg, blob, rep.Meter); err != nil {
-			return nil, err
+		if o.exported {
+			rep.Exported = append(rep.Exported, o.name)
+			rep.ExportedBytes += o.size
 		}
-		rep.Exported = append(rep.Exported, v.Pkg.Name)
-		rep.ExportedBytes += v.Pkg.InstalledSize
 	}
 
 	// Line 6: store the user data.
@@ -149,7 +273,9 @@ func (s *System) Publish(img *vmi.Image) (*PublishReport, error) {
 			return nil, err
 		}
 		rep.Meter.Charge(simio.PhaseExport, s.dev.ReadCost(int64(len(archive))))
-		s.repo.PutUserData(img.Name, archive, rep.Meter)
+		if err := s.repo.PutUserData(img.Name, archive, rep.Meter); err != nil {
+			return nil, err
+		}
 	}
 
 	// Lines 7–11: remove primaries, unused dependencies and user data,
@@ -180,6 +306,13 @@ func (s *System) Publish(img *vmi.Image) (*PublishReport, error) {
 	}
 	baseSub := semgraph.Build(img.Base, remaining, nil)
 	baseID := s.baseIdentity(img, baseSub)
+
+	// Lines 14–29 are the metadata commit: base-image selection reads
+	// global repository state and the master-graph update is a
+	// read-modify-write, so the whole transaction is serialized against
+	// other commits (and against Remove and Snapshot).
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
 
 	// Line 14: base image selection (Algorithm 2).
 	selected, replaceList, err := s.selectBaseImage(baseID, baseSub, ps, rep.Meter)
@@ -429,17 +562,37 @@ type RetrieveReport struct {
 func (r *RetrieveReport) Seconds() float64 { return r.Meter.Seconds() }
 
 // Retrieve assembles a previously published VMI by name (Algorithm 3).
+//
+// Under concurrent publish traffic, base-image selection may replace the
+// VMI's base between the record read and the master/base reads (the
+// record is atomically rewired to the surviving base). Retrieve absorbs
+// that window by re-reading the record and retrying; each attempt starts
+// a fresh meter, so the report reflects exactly one assembly.
 func (s *System) Retrieve(name string) (*vmi.Image, *RetrieveReport, error) {
-	rep := &RetrieveReport{Image: name, Meter: &simio.Meter{}}
-	rec, err := s.repo.GetVMI(name, rep.Meter)
-	if err != nil {
-		return nil, nil, err
+	return s.retrieve(name, s.parallelism())
+}
+
+// retrieve is Retrieve with an explicit worker bound for the per-group
+// package fetches (1 when called from RetrieveAll).
+func (s *System) retrieve(name string, workers int) (*vmi.Image, *RetrieveReport, error) {
+	const maxAttempts = 3
+	var lastErr error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		rep := &RetrieveReport{Image: name, Meter: &simio.Meter{}}
+		rec, err := s.repo.GetVMI(name, rep.Meter)
+		if err != nil {
+			return nil, nil, err
+		}
+		img, err := s.assemble(name, rec.BaseID, rec.Primaries, name, rep, workers)
+		if err == nil {
+			return img, rep, nil
+		}
+		if !errors.Is(err, vmirepo.ErrNotFound) {
+			return nil, nil, err
+		}
+		lastErr = err
 	}
-	img, err := s.assemble(name, rec.BaseID, rec.Primaries, name, rep)
-	if err != nil {
-		return nil, nil, err
-	}
-	return img, rep, nil
+	return nil, nil, fmt.Errorf("core: retrieve %s: %w", name, lastErr)
 }
 
 // Assemble builds a VMI that was never uploaded in this exact form: any
@@ -448,23 +601,39 @@ func (s *System) Retrieve(name string) (*vmi.Image, *RetrieveReport, error) {
 // functionality", Sec. IV-D). userDataFrom optionally names a published
 // VMI whose user data to import.
 func (s *System) Assemble(name string, primaries []string, userDataFrom string) (*vmi.Image, *RetrieveReport, error) {
-	rep := &RetrieveReport{Image: name, Meter: &simio.Meter{}}
-	masters, err := s.repo.Masters()
-	if err != nil {
-		return nil, nil, err
-	}
-	sort.Slice(masters, func(i, j int) bool { return masters[i].BaseID < masters[j].BaseID })
-	for _, mg := range masters {
-		if !hasAll(mg.PrimaryNames(), primaries) {
-			continue
-		}
-		img, err := s.assemble(name, mg.BaseID, primaries, userDataFrom, rep)
+	// Like Retrieve, Assemble retries when a candidate base disappears
+	// under it mid-assembly because a concurrent publish commit replaced
+	// it (the rescan then finds the surviving, merged master).
+	const maxAttempts = 3
+	var lastErr error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		rep := &RetrieveReport{Image: name, Meter: &simio.Meter{}}
+		masters, err := s.repo.Masters()
 		if err != nil {
 			return nil, nil, err
 		}
-		return img, rep, nil
+		sort.Slice(masters, func(i, j int) bool { return masters[i].BaseID < masters[j].BaseID })
+		found := false
+		for _, mg := range masters {
+			if !hasAll(mg.PrimaryNames(), primaries) {
+				continue
+			}
+			found = true
+			img, err := s.assemble(name, mg.BaseID, primaries, userDataFrom, rep, s.parallelism())
+			if err == nil {
+				return img, rep, nil
+			}
+			if !errors.Is(err, vmirepo.ErrNotFound) {
+				return nil, nil, err
+			}
+			lastErr = err
+			break
+		}
+		if !found {
+			return nil, nil, fmt.Errorf("core: no stored base provides packages %v", primaries)
+		}
 	}
-	return nil, nil, fmt.Errorf("core: no stored base provides packages %v", primaries)
+	return nil, nil, fmt.Errorf("core: assemble %s: %w", name, lastErr)
 }
 
 func hasAll(have []string, want []string) bool {
@@ -484,8 +653,9 @@ func hasAll(have []string, want []string) bool {
 // assembly (Sec. V-4).
 const localRepoDir = "/var/local-repo"
 
-// assemble implements Algorithm 3 against a specific base image.
-func (s *System) assemble(name, baseID string, primaries []string, userDataFrom string, rep *RetrieveReport) (*vmi.Image, error) {
+// assemble implements Algorithm 3 against a specific base image, fetching
+// each dependency group's packages with up to `workers` goroutines.
+func (s *System) assemble(name, baseID string, primaries []string, userDataFrom string, rep *RetrieveReport, workers int) (*vmi.Image, error) {
 	// Line 1: subgraphs from the repository.
 	mg, err := s.repo.GetMaster(baseID, rep.Meter)
 	if err != nil {
@@ -574,14 +744,26 @@ func (s *System) assemble(name, baseID string, primaries []string, userDataFrom 
 		return nil, err
 	}
 	for _, group := range order {
-		for _, pkgName := range group {
-			v, _ := psUnion.Vertex(pkgName)
+		// Fetch the group's packages from the repository in parallel (the
+		// guest-side installs below mutate the image filesystem and stay
+		// sequential, preserving dependency order and determinism).
+		blobs := make([][]byte, len(group))
+		fetchErr := pool.Map(workers, len(group), func(i int) error {
+			v, _ := psUnion.Vertex(group[i])
 			_, blob, err := s.repo.GetPackage(v.Pkg.Ref(), simio.PhaseImport, rep.Meter)
 			if err != nil {
-				return nil, err
+				return err
 			}
+			blobs[i] = blob
+			return nil
+		})
+		if fetchErr != nil {
+			return nil, fetchErr
+		}
+		for i, pkgName := range group {
+			v, _ := psUnion.Vertex(pkgName)
 			local := path.Join(localRepoDir, pkgName+".deb")
-			if err := fs.WriteFile(local, blob); err != nil {
+			if err := fs.WriteFile(local, blobs[i]); err != nil {
 				return nil, err
 			}
 			if mgr.IsInstalled(pkgName) {
@@ -589,7 +771,7 @@ func (s *System) assemble(name, baseID string, primaries []string, userDataFrom 
 				fs.Remove(local)
 				continue
 			}
-			if err := mgr.Install(blob); err != nil {
+			if err := mgr.Install(blobs[i]); err != nil {
 				return nil, err
 			}
 			rep.Meter.Charge(simio.PhaseImport,

@@ -12,7 +12,7 @@ import (
 // NewSystemWithRepo creates a system over an existing repository (e.g. one
 // restored from a snapshot).
 func NewSystemWithRepo(repo *vmirepo.Repo, dev *simio.Device, opts Options) *System {
-	return &System{repo: repo, dev: dev, opts: opts}
+	return &System{repo: repo, dev: dev, opts: opts, pinned: make(map[string]int)}
 }
 
 // vmiPackageRefs returns the non-base package refs a VMI's assembly pulls
@@ -48,7 +48,14 @@ func (s *System) vmiPackageRefs(rec vmirepo.VMIRecord) (map[string]bool, error) 
 // The paper treats the repository as append-only; removal closes the
 // loop for long-lived deployments (images are versioned, cloned and
 // eventually retired — the sprawl the paper opens with).
+//
+// Remove is one metadata transaction: it runs under the commit lock, so
+// its survey of live references is consistent with every committed VMI.
+// Packages pinned by in-flight publishes are never collected (see
+// removePackageUnlessPinned).
 func (s *System) Remove(name string) error {
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
 	rec, err := s.repo.GetVMI(name, nil)
 	if err != nil {
 		return err
@@ -95,7 +102,7 @@ func (s *System) Remove(name string) error {
 	}
 	sort.Strings(obsolete)
 	for _, ref := range obsolete {
-		if err := s.repo.RemovePackage(ref, nil); err != nil {
+		if err := s.removePackageUnlessPinned(ref); err != nil {
 			return err
 		}
 	}

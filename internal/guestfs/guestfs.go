@@ -28,6 +28,11 @@ var DefaultSysprepPaths = []string{
 // Launch fail until the handle is launched. The handle charges its
 // appliance-launch cost to the provided meter (both device and meter may be
 // nil for uncosted use, e.g. in tests).
+//
+// A Handle itself belongs to one operation and is not safe for concurrent
+// mutation, but the Device and Meter it charges are: the parallel package
+// export of a publish runs read-only repacks against one launched handle
+// from many goroutines, all charging the same meter.
 type Handle struct {
 	disk     *vdisk.Disk
 	dev      *simio.Device

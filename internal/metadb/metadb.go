@@ -29,11 +29,13 @@ const PageSize = 4096
 // maxKeys bounds the number of keys per node; nodes split above it.
 const maxKeys = 64
 
-// DB is a collection of named buckets. It is safe for concurrent use with
-// a single writer or multiple readers (an internal RWMutex serialises
-// access).
+// DB is a collection of named buckets. It is safe for concurrent use:
+// locking is per bucket (each tree carries its own RWMutex), so readers and
+// writers of different buckets — e.g. package-existence checks and base
+// lookups from concurrent publishes — never serialise on one lock. The
+// outer mutex only guards the bucket directory itself.
 type DB struct {
-	mu      sync.RWMutex
+	mu      sync.RWMutex // guards the buckets map, not bucket contents
 	buckets map[string]*tree
 }
 
@@ -97,45 +99,60 @@ func (b *Bucket) Name() string { return b.name }
 // Put stores value under key, replacing any existing value. Key and value
 // are copied.
 func (b *Bucket) Put(key, value []byte) {
-	b.db.mu.Lock()
-	defer b.db.mu.Unlock()
+	b.t.mu.Lock()
+	defer b.t.mu.Unlock()
 	b.t.put(cloneBytes(key), cloneBytes(value))
+}
+
+// PutIfAbsent stores value under key only when the key is not yet present,
+// atomically, and reports whether it stored. It is the check-and-insert
+// primitive concurrent publishes use so two uploads exporting the same
+// package cannot both win.
+func (b *Bucket) PutIfAbsent(key, value []byte) bool {
+	b.t.mu.Lock()
+	defer b.t.mu.Unlock()
+	if _, ok := b.t.get(key); ok {
+		return false
+	}
+	b.t.put(cloneBytes(key), cloneBytes(value))
+	return true
 }
 
 // Get returns the value stored under key. The returned slice must not be
 // modified.
 func (b *Bucket) Get(key []byte) ([]byte, bool) {
-	b.db.mu.RLock()
-	defer b.db.mu.RUnlock()
+	b.t.mu.RLock()
+	defer b.t.mu.RUnlock()
 	return b.t.get(key)
 }
 
 // Delete removes key. It reports whether the key was present.
 func (b *Bucket) Delete(key []byte) bool {
-	b.db.mu.Lock()
-	defer b.db.mu.Unlock()
+	b.t.mu.Lock()
+	defer b.t.mu.Unlock()
 	return b.t.delete(key)
 }
 
 // Len returns the number of keys in the bucket.
 func (b *Bucket) Len() int {
-	b.db.mu.RLock()
-	defer b.db.mu.RUnlock()
+	b.t.mu.RLock()
+	defer b.t.mu.RUnlock()
 	return b.t.size
 }
 
 // PayloadBytes returns the total key+value bytes stored in the bucket.
 func (b *Bucket) PayloadBytes() int64 {
-	b.db.mu.RLock()
-	defer b.db.mu.RUnlock()
+	b.t.mu.RLock()
+	defer b.t.mu.RUnlock()
 	return b.t.payload
 }
 
 // ForEach calls fn for every key/value pair in ascending key order. If fn
-// returns false, iteration stops. The slices must not be modified.
+// returns false, iteration stops. The slices must not be modified, and fn
+// must not write to this bucket (it runs under the bucket's read lock).
 func (b *Bucket) ForEach(fn func(key, value []byte) bool) {
-	b.db.mu.RLock()
-	defer b.db.mu.RUnlock()
+	b.t.mu.RLock()
+	defer b.t.mu.RUnlock()
 	for leaf := b.t.firstLeaf(); leaf != nil; leaf = leaf.next {
 		for i, k := range leaf.keys {
 			if !fn(k, leaf.vals[i]) {
@@ -161,8 +178,8 @@ type Cursor struct {
 // First positions at the smallest key and returns it, or nil,nil when the
 // bucket is empty.
 func (c *Cursor) First() (key, value []byte) {
-	c.bucket.db.mu.RLock()
-	defer c.bucket.db.mu.RUnlock()
+	c.bucket.t.mu.RLock()
+	defer c.bucket.t.mu.RUnlock()
 	c.leaf = c.bucket.t.firstLeaf()
 	c.idx = 0
 	c.skipEmpty()
@@ -172,8 +189,8 @@ func (c *Cursor) First() (key, value []byte) {
 // Seek positions at the first key >= target and returns it, or nil,nil when
 // no such key exists.
 func (c *Cursor) Seek(target []byte) (key, value []byte) {
-	c.bucket.db.mu.RLock()
-	defer c.bucket.db.mu.RUnlock()
+	c.bucket.t.mu.RLock()
+	defer c.bucket.t.mu.RUnlock()
 	leaf := c.bucket.t.leafFor(target)
 	idx := sort.Search(len(leaf.keys), func(i int) bool {
 		return bytes.Compare(leaf.keys[i], target) >= 0
@@ -185,8 +202,8 @@ func (c *Cursor) Seek(target []byte) (key, value []byte) {
 
 // Next advances to the next key and returns it, or nil,nil at the end.
 func (c *Cursor) Next() (key, value []byte) {
-	c.bucket.db.mu.RLock()
-	defer c.bucket.db.mu.RUnlock()
+	c.bucket.t.mu.RLock()
+	defer c.bucket.t.mu.RUnlock()
 	if c.leaf == nil {
 		return nil, nil
 	}
@@ -220,6 +237,7 @@ type node struct {
 }
 
 type tree struct {
+	mu      sync.RWMutex // per-bucket lock; guards everything below
 	root    *node
 	size    int
 	payload int64
@@ -391,6 +409,7 @@ func (db *DB) Snapshot() []byte {
 	for _, name := range names {
 		t := db.buckets[name]
 		writeBytes(&buf, []byte(name))
+		t.mu.RLock()
 		writeUvarint(&buf, uint64(t.size))
 		for leaf := t.firstLeaf(); leaf != nil; leaf = leaf.next {
 			for i, k := range leaf.keys {
@@ -398,6 +417,7 @@ func (db *DB) Snapshot() []byte {
 				writeBytes(&buf, leaf.vals[i])
 			}
 		}
+		t.mu.RUnlock()
 	}
 	return buf.Bytes()
 }
@@ -479,7 +499,9 @@ func (db *DB) SizeBytes() int64 {
 	const fillFactor = 0.92
 	var payload int64
 	for _, t := range db.buckets {
+		t.mu.RLock()
 		payload += t.payload + int64(t.size)*slotOverhead
+		t.mu.RUnlock()
 	}
 	if payload == 0 {
 		return PageSize // empty DB still occupies its header page

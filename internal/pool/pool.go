@@ -1,0 +1,81 @@
+// Package pool provides the bounded worker pool behind the parallel
+// publish/retrieve pipeline: the package export loop of Algorithm 1 and the
+// package import loop of Algorithm 3 fan out over it, as do the facade's
+// PublishAll/RetrieveAll batch operations.
+//
+// The pool is deliberately index-based rather than channel-of-work based:
+// callers keep results in a pre-sized slice indexed by task number, which is
+// what preserves deterministic report ordering no matter how the scheduler
+// interleaves workers.
+package pool
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Map runs fn(0), fn(1), ..., fn(n-1) using at most `workers` concurrent
+// goroutines and returns the error of the lowest-indexed failing call, or
+// nil when every call succeeds.
+//
+// With workers <= 1 the calls run inline on the caller's goroutine, strictly
+// in index order, stopping at the first error — byte-for-byte the behavior
+// of the sequential loop it replaces. With workers > 1 tasks are claimed
+// from an atomic counter; after a failure no new tasks are started, but
+// already-running tasks complete.
+func Map(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+
+	var (
+		next     atomic.Int64
+		failed   atomic.Bool
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstIdx = n
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					failed.Store(true)
+					mu.Lock()
+					if i < firstIdx {
+						firstIdx, firstErr = i, err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// Clamp normalises a parallelism knob: values below 1 mean sequential.
+func Clamp(parallelism int) int {
+	if parallelism < 1 {
+		return 1
+	}
+	return parallelism
+}

@@ -1,0 +1,101 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapRunsAllTasks(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 16} {
+		results := make([]int, 100)
+		err := Map(workers, len(results), func(i int) error {
+			results[i] = i * i
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, got := range results {
+			if got != i*i {
+				t.Fatalf("workers=%d: task %d not run (got %d)", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestMapSequentialOrderAndEarlyStop(t *testing.T) {
+	var order []int
+	boom := errors.New("boom")
+	err := Map(1, 10, func(i int) error {
+		order = append(order, i)
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	want := []int{0, 1, 2, 3}
+	if len(order) != len(want) {
+		t.Fatalf("ran %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("ran %v, want %v", order, want)
+		}
+	}
+}
+
+func TestMapReturnsLowestIndexedError(t *testing.T) {
+	err := Map(8, 50, func(i int) error {
+		if i%7 == 6 {
+			return fmt.Errorf("task %d failed", i)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if got := err.Error(); got != "task 6 failed" {
+		t.Fatalf("err = %q, want lowest-indexed failure", got)
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int64
+	err := Map(workers, 64, func(i int) error {
+		cur := inFlight.Add(1)
+		defer inFlight.Add(-1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("peak concurrency %d exceeds workers %d", p, workers)
+	}
+}
+
+func TestMapZeroTasks(t *testing.T) {
+	if err := Map(4, 0, func(int) error { return errors.New("must not run") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	for in, want := range map[int]int{-1: 1, 0: 1, 1: 1, 8: 8} {
+		if got := Clamp(in); got != want {
+			t.Fatalf("Clamp(%d) = %d, want %d", in, got, want)
+		}
+	}
+}

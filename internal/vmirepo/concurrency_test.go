@@ -1,0 +1,200 @@
+package vmirepo
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"expelliarmus/internal/catalog"
+	"expelliarmus/internal/pkgmeta"
+	"expelliarmus/internal/simio"
+)
+
+// TestNotFoundSentinel pins the error contract retrying readers rely on:
+// every missing-record lookup must wrap ErrNotFound.
+func TestNotFoundSentinel(t *testing.T) {
+	r := testRepo()
+	if _, _, err := r.GetPackage("nope", simio.PhaseFetch, nil); !errors.Is(err, ErrNotFound) {
+		t.Errorf("GetPackage error %v does not wrap ErrNotFound", err)
+	}
+	if _, err := r.GetBase("nope", simio.PhaseCopy, nil); !errors.Is(err, ErrNotFound) {
+		t.Errorf("GetBase error %v does not wrap ErrNotFound", err)
+	}
+	if _, err := r.GetMaster("nope", nil); !errors.Is(err, ErrNotFound) {
+		t.Errorf("GetMaster error %v does not wrap ErrNotFound", err)
+	}
+	if _, err := r.GetVMI("nope", nil); !errors.Is(err, ErrNotFound) {
+		t.Errorf("GetVMI error %v does not wrap ErrNotFound", err)
+	}
+	if err := r.RemovePackage("nope", nil); !errors.Is(err, ErrNotFound) {
+		t.Errorf("RemovePackage error %v does not wrap ErrNotFound", err)
+	}
+	if err := r.RemoveBase("nope", nil); !errors.Is(err, ErrNotFound) {
+		t.Errorf("RemoveBase error %v does not wrap ErrNotFound", err)
+	}
+}
+
+func testRepo() *Repo {
+	dev := simio.NewDevice(simio.PaperProfile().Scaled(catalog.ByteScale, catalog.FileScale))
+	return New(dev)
+}
+
+func testPkg(name string) pkgmeta.Package {
+	return pkgmeta.Package{
+		Name: name, Version: "1.0", Arch: "amd64", Distro: "ubuntu",
+		Section: "apps", InstalledSize: 1 << 20,
+	}
+}
+
+// TestEnsurePackageRace races many goroutines ensuring the same package:
+// exactly one may report stored=true, and the blob refcount must end at
+// exactly one so a later remove fully reclaims the space.
+func TestEnsurePackageRace(t *testing.T) {
+	r := testRepo()
+	p := testPkg("contended")
+	blob := []byte("identical package payload")
+	const workers = 16
+	var stored int32
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m := &simio.Meter{}
+			ok, err := r.EnsurePackage(p, blob, m)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if ok {
+				mu.Lock()
+				stored++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if stored != 1 {
+		t.Fatalf("stored %d times, want exactly 1", stored)
+	}
+	if !r.HasPackage(p.Ref(), nil) {
+		t.Fatal("package missing after ensure")
+	}
+	if err := r.RemovePackage(p.Ref(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Stats().BlobBytes; got != 0 {
+		t.Fatalf("blob bytes = %d after removal, want 0 (refcount leak)", got)
+	}
+}
+
+// TestConcurrentDistinctPackages stores distinct packages from many
+// goroutines; all must be present afterwards with exact byte accounting.
+func TestConcurrentDistinctPackages(t *testing.T) {
+	r := testRepo()
+	const workers = 8
+	const perWorker = 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				p := testPkg(fmt.Sprintf("pkg-%d-%d", w, i))
+				blob := []byte(fmt.Sprintf("payload of pkg-%d-%d", w, i))
+				ok, err := r.EnsurePackage(p, blob, &simio.Meter{})
+				if err != nil || !ok {
+					t.Errorf("pkg-%d-%d: stored=%v err=%v", w, i, ok, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Stats().Packages; got != workers*perWorker {
+		t.Fatalf("packages = %d, want %d", got, workers*perWorker)
+	}
+	pkgs, err := r.Packages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range pkgs {
+		if _, _, err := r.GetPackage(rec.Pkg.Ref(), simio.PhaseFetch, nil); err != nil {
+			t.Fatalf("get %s: %v", rec.Pkg.Ref(), err)
+		}
+	}
+}
+
+// TestSnapshotConsistentUnderTraffic takes snapshots while packages are
+// being stored; every snapshot must Load and every loaded package record
+// must have its blob (the blob/db sections are mutually consistent).
+func TestSnapshotConsistentUnderTraffic(t *testing.T) {
+	r := testRepo()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p := testPkg(fmt.Sprintf("traffic-%d-%d", w, i))
+				blob := []byte(fmt.Sprintf("blob %d %d", w, i))
+				if _, err := r.EnsurePackage(p, blob, nil); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	dev := simio.NewDevice(simio.PaperProfile())
+	for i := 0; i < 15; i++ {
+		snap := r.Snapshot()
+		restored, err := Load(snap, dev)
+		if err != nil {
+			t.Fatalf("snapshot %d: %v", i, err)
+		}
+		pkgs, err := restored.Packages()
+		if err != nil {
+			t.Fatalf("snapshot %d: packages: %v", i, err)
+		}
+		for _, rec := range pkgs {
+			if _, _, err := restored.GetPackage(rec.Pkg.Ref(), simio.PhaseFetch, nil); err != nil {
+				t.Fatalf("snapshot %d: record %s has no blob: %v", i, rec.Pkg.Ref(), err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestPutUserDataReplaceReclaims republishes user data under one name and
+// checks the old archive's bytes are reclaimed, including the
+// identical-content case.
+func TestPutUserDataReplaceReclaims(t *testing.T) {
+	r := testRepo()
+	r.PutUserData("vmi", []byte("first archive"), nil)
+	first := r.Stats().BlobBytes
+	r.PutUserData("vmi", []byte("second archive, a bit longer"), nil)
+	second := r.Stats().BlobBytes
+	if second != int64(len("second archive, a bit longer")) {
+		t.Fatalf("blob bytes = %d after replace, want only the new archive (old was %d)", second, first)
+	}
+	// Identical content: the refcount must stay at one.
+	r.PutUserData("vmi", []byte("second archive, a bit longer"), nil)
+	if got := r.Stats().BlobBytes; got != second {
+		t.Fatalf("blob bytes = %d after identical republish, want %d", got, second)
+	}
+	if err := r.RemoveUserData("vmi", nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Stats().BlobBytes; got != 0 {
+		t.Fatalf("blob bytes = %d after removal, want 0", got)
+	}
+}

@@ -4,6 +4,13 @@
 // Package tables and the serialized master graphs. All operations charge
 // their I/O to an optional simio.Meter so publish and retrieval times
 // decompose exactly as in the paper's Fig. 5a.
+//
+// A Repo is safe for concurrent use. Individual operations rely on the
+// sharded blob store and the per-bucket metadata locks; the check-and-store
+// of package export, which must be atomic against concurrent publishes,
+// goes through EnsurePackage. Snapshot quiesces all writers so the
+// serialized blob and metadata sections are mutually consistent even while
+// traffic is in flight.
 package vmirepo
 
 import (
@@ -11,10 +18,12 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
+	"sync"
 
 	"expelliarmus/internal/blobstore"
 	"expelliarmus/internal/master"
@@ -31,11 +40,28 @@ const (
 	bucketUserData = "userdata"
 )
 
+// ErrNotFound marks lookups of records that are not in the repository.
+// Under concurrency it is transient in one specific case: base-image
+// selection may replace a base (rewiring VMI records to the survivor)
+// between a reader's record fetch and its master/base fetch, so readers
+// that hit it can re-read the record and retry (see core.Retrieve).
+var ErrNotFound = errors.New("not found")
+
 // Repo is the Expelliarmus repository.
 type Repo struct {
 	blobs *blobstore.Store
 	db    *metadb.DB
 	dev   *simio.Device
+	// opMu is held in shared mode by every mutating operation and
+	// exclusively by Snapshot, so a snapshot never interleaves with the
+	// blob-put/record-put pair of a store operation (which would serialize
+	// a metadata record whose blob is missing from the blob section).
+	// Mutating operations on different keys still run concurrently — the
+	// shared mode only excludes snapshots.
+	opMu sync.RWMutex
+	// udMu serialises user-data replacement, whose release-old/store-new
+	// pair must be atomic to keep blob reference counts exact.
+	udMu sync.Mutex
 }
 
 // New returns an empty repository using the device for cost accounting.
@@ -108,22 +134,45 @@ func (r *Repo) HasPackage(ref string, m *simio.Meter) bool {
 
 // PutPackage stores a binary package blob under its metadata Ref. Storing
 // an already-present Ref is an error (callers are expected to check
-// HasPackage; the decomposer's dedup path never stores twice).
+// HasPackage; the decomposer's dedup path never stores twice). Concurrent
+// exporters that may race on the same Ref use EnsurePackage instead.
 func (r *Repo) PutPackage(p pkgmeta.Package, blob []byte, m *simio.Meter) error {
-	key := []byte(p.Ref())
-	b := r.db.Bucket(bucketPackages)
-	if _, exists := b.Get(key); exists {
+	stored, err := r.EnsurePackage(p, blob, m)
+	if err != nil {
+		return err
+	}
+	if !stored {
 		return fmt.Errorf("vmirepo: package %s already stored", p.Ref())
 	}
+	return nil
+}
+
+// EnsurePackage stores the package if its Ref is not yet present and
+// reports whether this call stored it. The check-and-insert is atomic, so
+// concurrent publishes exporting the same package agree on exactly one
+// winner; the loser's blob reference is released (the content-addressed
+// store already deduplicated the bytes). Only the winner is charged the
+// store write; the loser's outcome is equivalent to having observed the
+// package via HasPackage.
+func (r *Repo) EnsurePackage(p pkgmeta.Package, blob []byte, m *simio.Meter) (bool, error) {
+	r.opMu.RLock()
+	defer r.opMu.RUnlock()
+	key := []byte(p.Ref())
 	id, _ := r.blobs.Put(blob)
 	rec := PackageRecord{Pkg: p, BlobID: id, BlobSize: int64(len(blob))}
 	val := encodePackageRecord(rec)
-	b.Put(key, val)
+	if !r.db.Bucket(bucketPackages).PutIfAbsent(key, val) {
+		if err := r.blobs.Release(id); err != nil {
+			return false, err
+		}
+		r.chargeDB(m, 0)
+		return false, nil
+	}
 	if m != nil {
 		m.Charge(simio.PhaseStore, r.dev.WriteCost(int64(len(blob))))
 	}
 	r.chargeDB(m, int64(len(val)))
-	return nil
+	return true, nil
 }
 
 // GetPackage returns the stored package metadata and blob, charging the
@@ -132,7 +181,7 @@ func (r *Repo) GetPackage(ref string, ph simio.Phase, m *simio.Meter) (pkgmeta.P
 	val, ok := r.db.Bucket(bucketPackages).Get([]byte(ref))
 	r.chargeDB(m, 0)
 	if !ok {
-		return pkgmeta.Package{}, nil, fmt.Errorf("vmirepo: package %s not found", ref)
+		return pkgmeta.Package{}, nil, fmt.Errorf("vmirepo: package %s %w", ref, ErrNotFound)
 	}
 	rec, err := decodePackageRecord(val)
 	if err != nil {
@@ -208,6 +257,8 @@ func (r *Repo) HasBase(id string, m *simio.Meter) bool {
 
 // PutBase stores a serialized base image.
 func (r *Repo) PutBase(id string, attrs pkgmeta.BaseAttrs, image []byte, m *simio.Meter) error {
+	r.opMu.RLock()
+	defer r.opMu.RUnlock()
 	b := r.db.Bucket(bucketBases)
 	if _, exists := b.Get([]byte(id)); exists {
 		return fmt.Errorf("vmirepo: base %s already stored", id)
@@ -228,7 +279,7 @@ func (r *Repo) GetBase(id string, ph simio.Phase, m *simio.Meter) ([]byte, error
 	val, ok := r.db.Bucket(bucketBases).Get([]byte(id))
 	r.chargeDB(m, 0)
 	if !ok {
-		return nil, fmt.Errorf("vmirepo: base %s not found", id)
+		return nil, fmt.Errorf("vmirepo: base %s %w", id, ErrNotFound)
 	}
 	rec, err := decodeBaseRecord(id, val)
 	if err != nil {
@@ -247,11 +298,13 @@ func (r *Repo) GetBase(id string, ph simio.Phase, m *simio.Meter) ([]byte, error
 // RemoveBase deletes a stored base image, reclaiming its blob (Algorithm 1
 // line 27, remove(b, repo)).
 func (r *Repo) RemoveBase(id string, m *simio.Meter) error {
+	r.opMu.RLock()
+	defer r.opMu.RUnlock()
 	b := r.db.Bucket(bucketBases)
 	val, ok := b.Get([]byte(id))
 	r.chargeDB(m, 0)
 	if !ok {
-		return fmt.Errorf("vmirepo: base %s not found", id)
+		return fmt.Errorf("vmirepo: base %s %w", id, ErrNotFound)
 	}
 	rec, err := decodeBaseRecord(id, val)
 	if err != nil {
@@ -285,6 +338,8 @@ func (r *Repo) Bases() ([]BaseRecord, error) {
 
 // PutMaster stores (or replaces) the master graph keyed by its base image.
 func (r *Repo) PutMaster(mg *master.Graph, m *simio.Meter) {
+	r.opMu.RLock()
+	defer r.opMu.RUnlock()
 	data := mg.Marshal()
 	r.db.Bucket(bucketMasters).Put([]byte(mg.BaseID), data)
 	r.chargeDB(m, int64(len(data)))
@@ -295,13 +350,15 @@ func (r *Repo) GetMaster(baseID string, m *simio.Meter) (*master.Graph, error) {
 	val, ok := r.db.Bucket(bucketMasters).Get([]byte(baseID))
 	r.chargeDB(m, int64(len(val)))
 	if !ok {
-		return nil, fmt.Errorf("vmirepo: master graph for %s not found", baseID)
+		return nil, fmt.Errorf("vmirepo: master graph for %s %w", baseID, ErrNotFound)
 	}
 	return master.Unmarshal(val)
 }
 
 // RemoveMaster deletes a master graph.
 func (r *Repo) RemoveMaster(baseID string, m *simio.Meter) {
+	r.opMu.RLock()
+	defer r.opMu.RUnlock()
 	r.db.Bucket(bucketMasters).Delete([]byte(baseID))
 	r.chargeDB(m, 0)
 }
@@ -333,6 +390,8 @@ type VMIRecord struct {
 
 // PutVMI stores a VMI record.
 func (r *Repo) PutVMI(rec VMIRecord, m *simio.Meter) {
+	r.opMu.RLock()
+	defer r.opMu.RUnlock()
 	val := rec.BaseID + "\n" + strings.Join(rec.Primaries, ",")
 	r.db.Bucket(bucketVMIs).Put([]byte(rec.Name), []byte(val))
 	r.chargeDB(m, int64(len(val)))
@@ -343,7 +402,7 @@ func (r *Repo) GetVMI(name string, m *simio.Meter) (VMIRecord, error) {
 	val, ok := r.db.Bucket(bucketVMIs).Get([]byte(name))
 	r.chargeDB(m, 0)
 	if !ok {
-		return VMIRecord{}, fmt.Errorf("vmirepo: VMI %q not found", name)
+		return VMIRecord{}, fmt.Errorf("vmirepo: VMI %q %w", name, ErrNotFound)
 	}
 	parts := strings.SplitN(string(val), "\n", 2)
 	if len(parts) != 2 {
@@ -360,6 +419,8 @@ func (r *Repo) GetVMI(name string, m *simio.Meter) (VMIRecord, error) {
 // used when base-image selection replaces an obsolete base (its clustered
 // primary subgraphs having been merged into the surviving master).
 func (r *Repo) RewireVMIs(oldBase, newBase string, m *simio.Meter) {
+	r.opMu.RLock()
+	defer r.opMu.RUnlock()
 	b := r.db.Bucket(bucketVMIs)
 	var names []string
 	b.ForEach(func(k, v []byte) bool {
@@ -389,14 +450,34 @@ func (r *Repo) VMIs() []string {
 
 // --- user data ---
 
-// PutUserData stores a VMI's user-data archive.
-func (r *Repo) PutUserData(name string, archive []byte, m *simio.Meter) {
+// PutUserData stores a VMI's user-data archive, replacing any previous
+// archive for the name (re-publishing a VMI refreshes its user data). The
+// replaced archive's blob reference is released so repeated republishes do
+// not leak store space; a release failure surfaces the store
+// inconsistency it indicates.
+func (r *Repo) PutUserData(name string, archive []byte, m *simio.Meter) error {
+	r.opMu.RLock()
+	defer r.opMu.RUnlock()
+	r.udMu.Lock()
+	defer r.udMu.Unlock()
 	id, _ := r.blobs.Put(archive)
-	r.db.Bucket(bucketUserData).Put([]byte(name), id[:])
+	b := r.db.Bucket(bucketUserData)
+	if old, ok := b.Get([]byte(name)); ok {
+		// Drop the previous record's reference. When the new archive has
+		// identical content this simply undoes the extra reference the Put
+		// above took, leaving exactly one.
+		var oldID blobstore.ID
+		copy(oldID[:], old)
+		if err := r.blobs.Release(oldID); err != nil {
+			return fmt.Errorf("vmirepo: replace user data %q: %w", name, err)
+		}
+	}
+	b.Put([]byte(name), id[:])
 	if m != nil {
 		m.Charge(simio.PhaseStore, r.dev.WriteCost(int64(len(archive))))
 	}
 	r.chargeDB(m, 40)
+	return nil
 }
 
 // GetUserData returns the archive, or nil when the VMI stored none.
@@ -420,11 +501,13 @@ func (r *Repo) GetUserData(name string, ph simio.Phase, m *simio.Meter) ([]byte,
 
 // RemovePackage deletes a stored package record and releases its blob.
 func (r *Repo) RemovePackage(ref string, m *simio.Meter) error {
+	r.opMu.RLock()
+	defer r.opMu.RUnlock()
 	b := r.db.Bucket(bucketPackages)
 	val, ok := b.Get([]byte(ref))
 	r.chargeDB(m, 0)
 	if !ok {
-		return fmt.Errorf("vmirepo: package %s not found", ref)
+		return fmt.Errorf("vmirepo: package %s %w", ref, ErrNotFound)
 	}
 	rec, err := decodePackageRecord(val)
 	if err != nil {
@@ -439,6 +522,10 @@ func (r *Repo) RemovePackage(ref string, m *simio.Meter) error {
 
 // RemoveUserData deletes a VMI's user-data archive if present.
 func (r *Repo) RemoveUserData(name string, m *simio.Meter) error {
+	r.opMu.RLock()
+	defer r.opMu.RUnlock()
+	r.udMu.Lock()
+	defer r.udMu.Unlock()
 	b := r.db.Bucket(bucketUserData)
 	val, ok := b.Get([]byte(name))
 	r.chargeDB(m, 0)
@@ -456,6 +543,8 @@ func (r *Repo) RemoveUserData(name string, m *simio.Meter) error {
 
 // RemoveVMI deletes a VMI record.
 func (r *Repo) RemoveVMI(name string, m *simio.Meter) {
+	r.opMu.RLock()
+	defer r.opMu.RUnlock()
 	r.db.Bucket(bucketVMIs).Delete([]byte(name))
 	r.chargeDB(m, 0)
 }
@@ -463,8 +552,13 @@ func (r *Repo) RemoveVMI(name string, m *simio.Meter) {
 var repoSnapshotMagic = []byte("EXPREPO1")
 
 // Snapshot serialises the whole repository — blobs and metadata database —
-// for durable storage; Load restores it.
+// for durable storage; Load restores it. Snapshot waits for in-flight
+// store/remove operations to finish and blocks new ones while the two
+// sections are captured, so a record serialized into the metadata section
+// always has its blob in the blob section, even when taken mid-traffic.
 func (r *Repo) Snapshot() []byte {
+	r.opMu.Lock()
+	defer r.opMu.Unlock()
 	blobs := r.blobs.Snapshot()
 	db := r.db.Snapshot()
 	out := make([]byte, 0, len(repoSnapshotMagic)+16+len(blobs)+len(db))
