@@ -5,7 +5,14 @@
 //
 // Usage:
 //
-//	expelbench [-exp all|table2,fig3a,fig3b,fig3c,fig4a,fig4b,fig5a,fig5b,abl1,abl2,abl3,abl4,conc] [-ide-builds 40] [-clients 8]
+//	expelbench [-exp all|table2,fig3a,fig3b,fig3c,fig4a,fig4b,fig5a,fig5b,abl1,abl2,abl3,abl4,conc,persist] [-ide-builds 40] [-clients 8] [-backend memory|disk] [-store-root DIR]
+//
+// Every experiment runs against the blob backend named by -backend: the
+// in-memory sharded store (the default) or the durable on-disk segment
+// store, in which case each benchmarked system gets a fresh repository
+// directory under -store-root (OS temp dir when unset). The persist
+// experiment always uses the disk backend — it measures full vs
+// incremental sync and reopen.
 package main
 
 import (
@@ -22,11 +29,13 @@ func main() {
 	exps := flag.String("exp", "all", "comma-separated experiments to run, or 'all'")
 	ideBuilds := flag.Int("ide-builds", 40, "number of successive IDE builds for fig3c")
 	clients := flag.Int("clients", 8, "worker-pool bound for the concurrent-publish scenario")
+	backend := flag.String("backend", "", "blob backend for every benchmarked system: memory (default) or disk")
+	storeRoot := flag.String("store-root", "", "directory for disk-backed repositories (default: OS temp dir)")
 	flag.Parse()
 
 	selected := map[string]bool{}
 	if *exps == "all" {
-		for _, e := range []string{"table2", "fig3a", "fig3b", "fig3c", "fig4a", "fig4b", "fig5a", "fig5b", "abl1", "abl2", "abl3", "abl4", "conc"} {
+		for _, e := range []string{"table2", "fig3a", "fig3b", "fig3c", "fig4a", "fig4b", "fig5a", "fig5b", "abl1", "abl2", "abl3", "abl4", "conc", "persist"} {
 			selected[e] = true
 		}
 	} else {
@@ -36,6 +45,12 @@ func main() {
 	}
 
 	r := bench.NewRunner()
+	if *backend != "" {
+		r.Backend = *backend
+	}
+	if *storeRoot != "" {
+		r.StoreRoot = *storeRoot
+	}
 	run := func(name string, fn func() (fmt.Stringer, error)) {
 		if !selected[name] {
 			return
@@ -62,6 +77,15 @@ func main() {
 	run("abl3", func() (fmt.Stringer, error) { return r.AblationBaseSelection() })
 	run("abl4", func() (fmt.Stringer, error) { return r.AblationUploadOrder() })
 	run("conc", func() (fmt.Stringer, error) { return r.ConcurrentPublish(*clients) })
+	run("persist", func() (fmt.Stringer, error) { return r.Persistence() })
+
+	// Closing disk-backed systems is where a sticky store failure (e.g. a
+	// full filesystem mid-run) surfaces; results printed above would
+	// silently reflect a partial store otherwise.
+	if err := r.CloseAll(); err != nil {
+		fmt.Fprintf(os.Stderr, "expelbench: closing disk-backed systems: %v\n", err)
+		os.Exit(1)
+	}
 
 	if selected["fig3a"] || selected["fig3b"] || selected["fig3c"] {
 		fmt.Println("paper reference endpoints (GB):")

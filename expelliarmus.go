@@ -74,19 +74,89 @@ type System struct {
 // New creates a System with the paper-calibrated cost model.
 func New() *System { return NewWithOptions(Options{}) }
 
-// NewWithOptions creates a System with explicit options.
-func NewWithOptions(o Options) *System {
-	dev := simio.NewDevice(simio.PaperProfile().Scaled(catalog.ByteScale, catalog.FileScale))
-	return &System{
-		dev: dev,
-		sys: core.NewSystem(dev, core.Options{
-			NoSemanticDedup: o.NoSemanticDedup,
-			NoBaseSelection: o.NoBaseSelection,
-			Parallelism:     o.Parallelism,
-		}),
-		b: builder.New(catalog.NewUniverse()),
+// newDevice returns the paper-calibrated cost model scaled to the
+// generated workload — the one device every System runs on.
+func newDevice() *simio.Device {
+	return simio.NewDevice(simio.PaperProfile().Scaled(catalog.ByteScale, catalog.FileScale))
+}
+
+// coreOptions maps the public Options onto the core's.
+func coreOptions(o Options) core.Options {
+	return core.Options{
+		NoSemanticDedup: o.NoSemanticDedup,
+		NoBaseSelection: o.NoBaseSelection,
+		Parallelism:     o.Parallelism,
 	}
 }
+
+// NewWithOptions creates a System with explicit options.
+func NewWithOptions(o Options) *System {
+	dev := newDevice()
+	return &System{
+		dev: dev,
+		sys: core.NewSystem(dev, coreOptions(o)),
+		b:   builder.New(catalog.NewUniverse()),
+	}
+}
+
+// OpenAt creates or reopens a disk-backed System rooted at path. Unlike
+// New, the repository's blobs live in append-only segment files under
+// path/blobs and its metadata in path/meta.db, so the catalog can outgrow
+// RAM and survives the process: reopening the same path (after a clean
+// Close, a plain exit, or a crash — torn log tails are recovered and
+// reported, see internal/blobstore/diskstore) yields the repository as of
+// everything published, plus whatever later operations the log retained.
+// Call Sync to force durability at a point in time; it is incremental.
+func OpenAt(path string, o Options) (*System, error) {
+	dev := newDevice()
+	repo, err := vmirepo.OpenAt(path, dev)
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		dev: dev,
+		sys: core.NewSystemWithRepo(repo, dev, coreOptions(o)),
+		b:   builder.New(catalog.NewUniverse()),
+	}, nil
+}
+
+// SyncStats reports one durable save of a disk-backed System.
+type SyncStats struct {
+	// Segments and SegmentBytes describe the incremental blob flush: only
+	// bytes appended since the previous Sync are written, so a Sync after
+	// publishing one image costs that image, not the whole store. Segments
+	// counts segment flushes — a file flushed in both phases of the
+	// repository sync (new blobs, then release records) counts twice,
+	// while SegmentBytes never double-counts a byte.
+	Segments     int
+	SegmentBytes int64
+	// IndexBytes and MetaBytes are the blob index and metadata images
+	// committed atomically alongside.
+	IndexBytes int64
+	MetaBytes  int64
+}
+
+// Sync makes a disk-backed System durable up to all completed operations.
+// It may be called while traffic is in flight (it waits out any metadata
+// commit in progress, exactly like Save) and is incremental. Systems
+// created by New/NewWithOptions are memory-backed and return an error;
+// use Save for those.
+func (s *System) Sync() (SyncStats, error) {
+	st, err := s.sys.Sync()
+	if err != nil {
+		return SyncStats{}, err
+	}
+	return SyncStats{
+		Segments:     st.Blobs.Segments,
+		SegmentBytes: st.Blobs.SegmentBytes,
+		IndexBytes:   st.Blobs.IndexBytes,
+		MetaBytes:    st.MetaBytes,
+	}, nil
+}
+
+// Close syncs a disk-backed System and releases its file handles; it is a
+// no-op for memory-backed Systems.
+func (s *System) Close() error { return s.sys.Close() }
 
 // Image is a virtual machine image.
 type Image struct {

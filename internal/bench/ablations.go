@@ -22,6 +22,10 @@ import (
 // cannot reach the semantic scheme's footprint because it must keep every
 // image's churn.
 func (r *Runner) AblationChunking() (*Table, error) {
+	exp, err := r.newExpel(core.Options{})
+	if err != nil {
+		return nil, err
+	}
 	ss := []stores.Store{
 		stores.NewBlockDedup(r.Dev, chunker.NewFixed(catalog.ClusterSize)),
 		stores.NewBlockDedup(r.Dev, chunker.NewFixed(4*catalog.ClusterSize)),
@@ -30,7 +34,7 @@ func (r *Runner) AblationChunking() (*Table, error) {
 		stores.NewBlockDedup(r.Dev, chunker.NewRabin(4096)),
 		stores.NewQcow2(r.Dev),
 		stores.NewMirage(r.Dev),
-		stores.NewExpel(r.Dev, core.Options{}),
+		exp,
 	}
 	for _, t := range catalog.Paper19() {
 		for _, s := range ss {
@@ -155,7 +159,10 @@ func (r *Runner) AblationUploadOrder() (*Table, error) {
 		label string
 		tpls  []catalog.Template
 	}{{"table-II", tpls}, {"reversed", reversed}} {
-		s := stores.NewExpel(r.Dev, core.Options{})
+		s, err := r.newExpel(core.Options{})
+		if err != nil {
+			return nil, err
+		}
 		var total float64
 		for _, t := range run.tpls {
 			img, err := r.WL.Image(t)
@@ -178,8 +185,14 @@ func (r *Runner) AblationUploadOrder() (*Table, error) {
 // stored base-image count for the 19-image workload with base-image
 // selection enabled versus disabled (every VMI keeps its own base).
 func (r *Runner) AblationBaseSelection() (*Table, error) {
-	withSel := stores.NewExpel(r.Dev, core.Options{})
-	without := stores.NewExpel(r.Dev, core.Options{NoBaseSelection: true})
+	withSel, err := r.newExpel(core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	without, err := r.newExpel(core.Options{NoBaseSelection: true})
+	if err != nil {
+		return nil, err
+	}
 	for _, t := range catalog.Paper19() {
 		for _, s := range []*stores.Expel{withSel, without} {
 			img, err := r.WL.Image(t)

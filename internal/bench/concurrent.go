@@ -99,7 +99,10 @@ func (r *Runner) ConcurrentPublish(clients int) (*ConcurrentResult, error) {
 	}
 	res := &ConcurrentResult{Images: len(tpls), Clients: clients}
 
-	seqSys := core.NewSystem(r.Dev, core.Options{})
+	seqSys, err := r.NewCoreSystem(core.Options{})
+	if err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	for i, img := range seqImgs {
 		rep, err := seqSys.Publish(img)
@@ -111,7 +114,10 @@ func (r *Runner) ConcurrentPublish(clients int) (*ConcurrentResult, error) {
 	res.SequentialWall = time.Since(start)
 	res.SequentialRepoGB = paperGB(seqSys.Repo().SizeBytes())
 
-	parSys := core.NewSystem(r.Dev, core.Options{Parallelism: clients})
+	parSys, err := r.NewCoreSystem(core.Options{Parallelism: clients})
+	if err != nil {
+		return nil, err
+	}
 	start = time.Now()
 	reps, err := parSys.PublishAll(parImgs)
 	if err != nil {

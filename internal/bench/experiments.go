@@ -10,20 +10,27 @@ import (
 )
 
 // fig3Stores returns the five schemes of Fig. 3, freshly initialised.
-func (r *Runner) fig3Stores() []stores.Store {
+func (r *Runner) fig3Stores() ([]stores.Store, error) {
+	exp, err := r.newExpel(core.Options{})
+	if err != nil {
+		return nil, err
+	}
 	return []stores.Store{
 		stores.NewQcow2(r.Dev),
 		stores.NewGzip(r.Dev),
 		stores.NewMirage(r.Dev),
 		stores.NewHemera(r.Dev),
-		stores.NewExpel(r.Dev, core.Options{}),
-	}
+		exp,
+	}, nil
 }
 
 // repoGrowth publishes the templates into each store in order and records
 // the cumulative repository size after each image.
 func (r *Runner) repoGrowth(title string, tpls []catalog.Template) (*Figure, error) {
-	ss := r.fig3Stores()
+	ss, err := r.fig3Stores()
+	if err != nil {
+		return nil, err
+	}
 	fig := &Figure{
 		Title:  title,
 		XLabel: "VMI",
@@ -98,8 +105,12 @@ func publishTimes(wl *Workload, tpls []catalog.Template, ss []stores.Store, titl
 // Fig4a regenerates Fig. 4a: publish times of the 4 shared VMIs for
 // Expelliarmus, Mirage and Hemera.
 func (r *Runner) Fig4a() (*Figure, error) {
+	exp, err := r.newExpel(core.Options{})
+	if err != nil {
+		return nil, err
+	}
 	ss := []stores.Store{
-		stores.NewExpel(r.Dev, core.Options{}),
+		exp,
 		stores.NewMirage(r.Dev),
 		stores.NewHemera(r.Dev),
 	}
@@ -109,9 +120,17 @@ func (r *Runner) Fig4a() (*Figure, error) {
 // Fig4b regenerates Fig. 4b: publish times of the 19 VMIs for
 // Expelliarmus, the "Semantic" no-dedup variant, Mirage and Hemera.
 func (r *Runner) Fig4b() (*Figure, error) {
+	exp, err := r.newExpel(core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	sem, err := r.newExpel(core.Options{NoSemanticDedup: true})
+	if err != nil {
+		return nil, err
+	}
 	ss := []stores.Store{
-		stores.NewExpel(r.Dev, core.Options{}),
-		&renamed{Store: stores.NewExpel(r.Dev, core.Options{NoSemanticDedup: true}), name: "semantic"},
+		exp,
+		&renamed{Store: sem, name: "semantic"},
 		stores.NewMirage(r.Dev),
 		stores.NewHemera(r.Dev),
 	}
@@ -130,7 +149,10 @@ func (r *renamed) Name() string { return r.name }
 // (base image copy, guestfs handle creation, VMI reset, package import)
 // over the 19-image repository.
 func (r *Runner) Fig5a() (*Figure, error) {
-	exp := stores.NewExpel(r.Dev, core.Options{})
+	exp, err := r.newExpel(core.Options{})
+	if err != nil {
+		return nil, err
+	}
 	tpls := catalog.Paper19()
 	for _, t := range tpls {
 		img, err := r.WL.Image(t)
@@ -178,10 +200,14 @@ func (r *Runner) Fig5a() (*Figure, error) {
 // Fig5b regenerates Fig. 5b: retrieval times over the 19-image repository
 // for Mirage, Hemera and Expelliarmus.
 func (r *Runner) Fig5b() (*Figure, error) {
+	exp, err := r.newExpel(core.Options{})
+	if err != nil {
+		return nil, err
+	}
 	ss := []stores.Store{
 		stores.NewMirage(r.Dev),
 		stores.NewHemera(r.Dev),
-		stores.NewExpel(r.Dev, core.Options{}),
+		exp,
 	}
 	tpls := catalog.Paper19()
 	for _, t := range tpls {
@@ -222,7 +248,10 @@ func (r *Runner) Fig5b() (*Figure, error) {
 // upload into an initially empty Expelliarmus repository, with the paper's
 // published values interleaved for comparison.
 func (r *Runner) TableII() (*Table, error) {
-	exp := stores.NewExpel(r.Dev, core.Options{})
+	exp, err := r.newExpel(core.Options{})
+	if err != nil {
+		return nil, err
+	}
 	tbl := &Table{
 		Title: "Table II: experimental VMI characteristics (measured vs paper)",
 		Columns: []string{"#", "VMI", "mounted[GB]", "p:mounted", "files", "p:files",

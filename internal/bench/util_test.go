@@ -1,6 +1,24 @@
 package bench
 
-import "fmt"
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+// TestMain closes every disk-backed system the shared runner created (a
+// no-op on the default memory backend) so a sticky disk-store failure
+// fails the suite instead of vanishing with the process.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if err := sharedRunner.CloseAll(); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: closing disk-backed systems: %v\n", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
 
 // fmtSscanf and fmtSscanfInt are tiny wrappers so test assertions read
 // cleanly when parsing rendered table cells.

@@ -7,12 +7,16 @@ package bench
 
 import (
 	"fmt"
+	"os"
 	"sync"
 
 	"expelliarmus/internal/builder"
 	"expelliarmus/internal/catalog"
+	"expelliarmus/internal/core"
 	"expelliarmus/internal/simio"
+	"expelliarmus/internal/stores"
 	"expelliarmus/internal/vmi"
+	"expelliarmus/internal/vmirepo"
 )
 
 // Workload builds and caches evaluation images. Images are expensive to
@@ -54,15 +58,106 @@ func (w *Workload) Image(t catalog.Template) (*vmi.Image, error) {
 type Runner struct {
 	Dev *simio.Device
 	WL  *Workload
+
+	// Backend selects the blob backend every benchmarked Expelliarmus
+	// system runs on: "" or "memory" for the in-memory sharded store,
+	// "disk" for the durable segment-file store — so any experiment can be
+	// rerun against either backend with nothing else changed.
+	Backend string
+	// StoreRoot is where disk-backed repositories are created (one fresh
+	// subdirectory per system); empty means the OS temp dir. Directories
+	// are left behind for inspection — benchmarks, not production.
+	StoreRoot string
+
+	mu     sync.Mutex
+	opened []*core.System // disk-backed systems to close via CloseAll
 }
 
 // NewRunner returns a runner using the paper-calibrated device profile
-// scaled to the generated workload.
+// scaled to the generated workload. The backend defaults to in-memory but
+// honours the EXPELBENCH_BACKEND and EXPELBENCH_STORE_ROOT environment
+// variables, so the identical benchmark (and test) suite can be pointed at
+// the disk store with nothing recompiled — CI's disk-backend job does
+// exactly that.
 func NewRunner() *Runner {
 	return &Runner{
-		Dev: simio.NewDevice(simio.PaperProfile().Scaled(catalog.ByteScale, catalog.FileScale)),
-		WL:  NewWorkload(),
+		Backend:   os.Getenv("EXPELBENCH_BACKEND"),
+		StoreRoot: os.Getenv("EXPELBENCH_STORE_ROOT"),
+		Dev:       simio.NewDevice(simio.PaperProfile().Scaled(catalog.ByteScale, catalog.FileScale)),
+		WL:        NewWorkload(),
 	}
+}
+
+// NewDiskRepo creates a fresh disk-backed repository in its own directory
+// under StoreRoot (or the OS temp dir) and returns the directory.
+func (r *Runner) NewDiskRepo(prefix string) (string, *vmirepo.Repo, error) {
+	root := r.StoreRoot
+	if root == "" {
+		root = os.TempDir()
+	}
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return "", nil, err
+	}
+	dir, err := os.MkdirTemp(root, prefix)
+	if err != nil {
+		return "", nil, err
+	}
+	repo, err := vmirepo.OpenAt(dir, r.Dev)
+	if err != nil {
+		return "", nil, err
+	}
+	return dir, repo, nil
+}
+
+// NewCoreSystem creates a fresh Expelliarmus core system over the
+// runner's selected backend. Disk-backed systems are tracked; call
+// CloseAll when the experiments are done so sticky I/O failures surface
+// and file handles are released.
+func (r *Runner) NewCoreSystem(opts core.Options) (*core.System, error) {
+	switch r.Backend {
+	case "", "memory":
+		return core.NewSystem(r.Dev, opts), nil
+	case "disk":
+		_, repo, err := r.NewDiskRepo("expelbench-repo-")
+		if err != nil {
+			return nil, err
+		}
+		sys := core.NewSystemWithRepo(repo, r.Dev, opts)
+		r.mu.Lock()
+		r.opened = append(r.opened, sys)
+		r.mu.Unlock()
+		return sys, nil
+	default:
+		return nil, fmt.Errorf("bench: unknown backend %q (memory|disk)", r.Backend)
+	}
+}
+
+// CloseAll syncs and closes every disk-backed system the runner created,
+// returning the first error — the place a disk store's sticky I/O failure
+// (e.g. a full filesystem mid-benchmark) finally surfaces instead of the
+// results silently reflecting a partial store.
+func (r *Runner) CloseAll() error {
+	r.mu.Lock()
+	opened := r.opened
+	r.opened = nil
+	r.mu.Unlock()
+	var first error
+	for _, sys := range opened {
+		if err := sys.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// newExpel wraps a fresh backend-selected system in the Store adapter the
+// comparison harness consumes.
+func (r *Runner) newExpel(opts core.Options) (*stores.Expel, error) {
+	sys, err := r.NewCoreSystem(opts)
+	if err != nil {
+		return nil, err
+	}
+	return stores.NewExpelWithSystem(sys), nil
 }
 
 // paperGB converts real bytes to paper-equivalent gigabytes.

@@ -1,0 +1,90 @@
+package blobstore
+
+// Backend is the storage contract behind the repository's content-addressed
+// blob layer. Two implementations exist: the in-memory sharded Store in
+// this package, and the append-only on-disk store in
+// internal/blobstore/diskstore. Both are exercised by the shared
+// conformance suite in internal/blobstore/blobstoretest, which pins the
+// exact put/get/ref-count/GC semantics a new backend must reproduce.
+//
+// All methods must be safe for concurrent use. Snapshot must serialise the
+// live blobs and reference counts in the deterministic EXPBLB1 format
+// produced by (*Store).Snapshot, so repository snapshots are byte-identical
+// regardless of which backend captured them and Load can always restore
+// them into memory.
+type Backend interface {
+	// Put stores data (if not already present) and takes one reference on
+	// it, returning the blob ID and whether the content was newly stored.
+	Put(data []byte) (ID, bool)
+	// Get returns the blob's contents. The returned slice must not be
+	// modified by the caller.
+	Get(id ID) ([]byte, bool)
+	// Size returns the length of the blob without copying it.
+	Size(id ID) (int64, bool)
+	// Has reports whether the blob exists.
+	Has(id ID) bool
+	// AddRef takes an additional reference on an existing blob.
+	AddRef(id ID) error
+	// Refs returns the current reference count, or zero if absent.
+	Refs(id ID) int
+	// Release drops one reference; at zero the blob is deleted and its
+	// bytes reclaimed from the live total.
+	Release(id ID) error
+	// Len returns the number of distinct live blobs.
+	Len() int
+	// TotalBytes returns the number of unique live bytes stored.
+	TotalBytes() int64
+	// Stats reports cumulative put and dedup-hit counts since the backend
+	// was opened (counters are not persisted across reopen).
+	Stats() (puts, hits int64)
+	// IDs returns all live blob IDs in lexicographic order.
+	IDs() []ID
+	// Snapshot serialises live blobs and reference counts in the
+	// deterministic EXPBLB1 format.
+	Snapshot() []byte
+}
+
+// SyncStats reports what one durable sync wrote. For the disk backend a
+// sync is incremental: only segments with bytes appended since the
+// previous sync are flushed, so after a quiet period Segments and
+// SegmentBytes are zero even when the store holds gigabytes.
+type SyncStats struct {
+	// Segments counts segment flushes (fsync calls on segment files). In a
+	// repository-level sync the two phases (SyncData, then Sync) may each
+	// flush the same file — once for new blob bytes, once for the release
+	// records appended between the phases — so a combined report can count
+	// one file twice; SegmentBytes never double-counts a byte.
+	Segments int
+	// SegmentBytes is the number of newly appended segment bytes made
+	// durable by this sync (not the total store size).
+	SegmentBytes int64
+	// IndexBytes is the size of the index image committed by this sync.
+	IndexBytes int64
+}
+
+// Durable is implemented by backends whose state lives outside process
+// memory. The in-memory Store is not Durable; callers feature-test with a
+// type assertion.
+//
+// The interface is two-phase so a repository can order blob durability
+// around its own metadata commit: SyncData makes all preceding Put/AddRef
+// operations durable (new blobs may then be referenced by committed
+// metadata), Sync additionally makes Release operations and the backend's
+// own catalog durable (releases must become durable only after the
+// metadata that stopped referencing the blobs — see the diskstore package
+// comment). Close syncs and releases file handles.
+//
+// Mutations cannot report I/O failure through the Backend interface, so a
+// Durable backend keeps the first failure sticky and exposes it via Err;
+// callers check it after writing blobs and before committing metadata
+// that references them.
+type Durable interface {
+	Backend
+	SyncData() (SyncStats, error)
+	Sync() (SyncStats, error)
+	Close() error
+	Err() error
+}
+
+// Backend conformance of the in-memory store.
+var _ Backend = (*Store)(nil)

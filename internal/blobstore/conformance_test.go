@@ -1,0 +1,18 @@
+package blobstore_test
+
+import (
+	"testing"
+
+	"expelliarmus/internal/blobstore"
+	"expelliarmus/internal/blobstore/blobstoretest"
+)
+
+// TestConformance runs the shared backend conformance suite against the
+// in-memory sharded store. The disk backend runs the identical suite in
+// its own package, which is what keeps the two honest relative to each
+// other.
+func TestConformance(t *testing.T) {
+	blobstoretest.Run(t, func(t *testing.T) blobstore.Backend {
+		return blobstore.New()
+	})
+}

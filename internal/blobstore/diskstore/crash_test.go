@@ -1,0 +1,482 @@
+package diskstore_test
+
+// Crash-recovery tests: each scenario builds a store, simulates a kill
+// point with Abandon (drop handles and the dir lock without syncing —
+// exactly what a dying process leaves behind) and/or damages the files
+// the way an interrupted write would, then reopens and checks that every
+// fully-committed blob survives and the damage is reported — never
+// panicked on.
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"expelliarmus/internal/blobstore"
+	"expelliarmus/internal/blobstore/diskstore"
+)
+
+// lastSegment returns the path of the highest-numbered segment file.
+func lastSegment(t *testing.T, dir string) string {
+	t.Helper()
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var segs []string
+	for _, de := range des {
+		if strings.HasPrefix(de.Name(), "seg-") {
+			segs = append(segs, de.Name())
+		}
+	}
+	if len(segs) == 0 {
+		t.Fatal("no segment files")
+	}
+	sort.Strings(segs)
+	return filepath.Join(dir, segs[len(segs)-1])
+}
+
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fi.Size()
+}
+
+// TestRecoverUnsyncedTail kills the store after appends that were never
+// synced: no index exists, yet replay must recover every whole record.
+func TestRecoverUnsyncedTail(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, diskstore.Options{})
+	var ids []blobstore.ID
+	for i := 0; i < 10; i++ {
+		id, _ := s.Put([]byte(fmt.Sprintf("unsynced-%d", i)))
+		ids = append(ids, id)
+	}
+	// Crash: no Sync, no Close.
+	if err := s.Abandon(); err != nil {
+		t.Fatalf("Abandon: %v", err)
+	}
+
+	r := open(t, dir, diskstore.Options{})
+	defer r.Close()
+	rec := r.Recovery()
+	if rec.ReplayedRecords != 10 {
+		t.Fatalf("replayed %d records, want 10", rec.ReplayedRecords)
+	}
+	if rec.Torn() {
+		t.Fatalf("no tear expected: %+v", rec)
+	}
+	for i, id := range ids {
+		if got, ok := r.Get(id); !ok || !bytes.Equal(got, []byte(fmt.Sprintf("unsynced-%d", i))) {
+			t.Fatalf("blob %d lost without a tear", i)
+		}
+	}
+}
+
+// TestRecoverBeyondSyncWatermark syncs part of the history, appends more,
+// crashes: the synced part loads from the index and the rest replays.
+func TestRecoverBeyondSyncWatermark(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, diskstore.Options{})
+	idA, _ := s.Put([]byte("committed-by-index"))
+	if _, err := s.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	idB, _ := s.Put([]byte("only-in-log"))
+	if err := s.AddRef(idA); err != nil {
+		t.Fatalf("AddRef: %v", err)
+	}
+	// Crash.
+	if err := s.Abandon(); err != nil {
+		t.Fatalf("Abandon: %v", err)
+	}
+
+	r := open(t, dir, diskstore.Options{})
+	defer r.Close()
+	if rec := r.Recovery(); rec.ReplayedRecords != 2 || rec.IndexRebuilt {
+		t.Fatalf("recovery = %+v, want 2 replayed records from a good index", rec)
+	}
+	if _, ok := r.Get(idB); !ok {
+		t.Fatalf("post-watermark put lost")
+	}
+	if got := r.Refs(idA); got != 2 {
+		t.Fatalf("post-watermark addref lost: refs = %d, want 2", got)
+	}
+}
+
+// TestTornTailTruncated cuts the final record in half — a crash
+// mid-append — and asserts reopen drops exactly the torn record, keeps
+// everything before it, and reports the truncation.
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, diskstore.Options{})
+	whole, _ := s.Put([]byte("survives the tear"))
+	before := fileSize(t, lastSegment(t, dir))
+	torn, _ := s.Put([]byte("this record gets cut in half"))
+	after := fileSize(t, lastSegment(t, dir))
+	// Crash, then the tail of the last write never reached the platter.
+	if err := s.Abandon(); err != nil {
+		t.Fatalf("Abandon: %v", err)
+	}
+	cut := before + (after-before)/2
+	if err := os.Truncate(lastSegment(t, dir), cut); err != nil {
+		t.Fatal(err)
+	}
+
+	r := open(t, dir, diskstore.Options{})
+	defer r.Close()
+	rec := r.Recovery()
+	if !rec.Torn() {
+		t.Fatalf("tear not reported: %+v", rec)
+	}
+	if rec.TornOffset != before || rec.DroppedBytes != cut-before {
+		t.Fatalf("tear geometry = %+v, want offset %d dropping %d", rec, before, cut-before)
+	}
+	if got, ok := r.Get(whole); !ok || !bytes.Equal(got, []byte("survives the tear")) {
+		t.Fatalf("fully-committed blob lost to the tear")
+	}
+	if r.Has(torn) {
+		t.Fatalf("half-written blob resurrected")
+	}
+	if fileSize(t, lastSegment(t, dir)) != before {
+		t.Fatalf("segment not truncated to last whole record")
+	}
+
+	// The store must accept writes after the tear, and they must persist.
+	again, stored := r.Put([]byte("written after recovery"))
+	if !stored {
+		t.Fatalf("post-recovery Put refused")
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("post-recovery Close: %v", err)
+	}
+	r2 := open(t, dir, diskstore.Options{})
+	defer r2.Close()
+	if _, ok := r2.Get(again); !ok {
+		t.Fatalf("post-recovery write lost")
+	}
+}
+
+// TestCorruptCRCAtTail flips one payload bit in the final record: the
+// checksum must catch it and recovery must drop the record like a tear.
+func TestCorruptCRCAtTail(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, diskstore.Options{})
+	keep, _ := s.Put([]byte("intact record"))
+	before := fileSize(t, lastSegment(t, dir))
+	bad, _ := s.Put([]byte("record whose bits rot"))
+	if err := s.Abandon(); err != nil {
+		t.Fatalf("Abandon: %v", err)
+	}
+
+	seg := lastSegment(t, dir)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-3] ^= 0x40 // flip a payload bit in the last record
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r := open(t, dir, diskstore.Options{})
+	defer r.Close()
+	rec := r.Recovery()
+	if !rec.Torn() || rec.TornOffset != before {
+		t.Fatalf("CRC mismatch not treated as torn tail: %+v", rec)
+	}
+	if _, ok := r.Get(keep); !ok {
+		t.Fatalf("intact record lost")
+	}
+	if r.Has(bad) {
+		t.Fatalf("checksum-failing record admitted")
+	}
+}
+
+// TestCorruptionAmidTailRefused flips a bit in a record that has a whole,
+// valid record after it in the last segment: a genuine torn append leaves
+// only garbage beyond the failure, so a parseable record there proves real
+// corruption of committed data and Open must refuse rather than silently
+// truncate the intact record away with the damage.
+func TestCorruptionAmidTailRefused(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, diskstore.Options{})
+	first, _ := s.Put([]byte("first record gets damaged"))
+	mid := fileSize(t, lastSegment(t, dir))
+	s.Put([]byte("second record stays whole"))
+	_ = first
+	if err := s.Abandon(); err != nil {
+		t.Fatalf("Abandon: %v", err)
+	}
+
+	seg := lastSegment(t, dir)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[mid-3] ^= 0x20 // payload bit inside the FIRST record
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := diskstore.Open(dir, diskstore.Options{}); err == nil {
+		t.Fatalf("Open truncated a corrupt record that had a valid record after it")
+	}
+}
+
+// TestCorruptionBeforeTailRefused damages a record that is *not* at the
+// log tail (an earlier segment): that is real corruption, not a crash
+// artifact, and Open must refuse it with an error rather than silently
+// dropping committed history.
+func TestCorruptionBeforeTailRefused(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, diskstore.Options{MaxSegmentBytes: 64})
+	for i := 0; i < 12; i++ {
+		s.Put([]byte(fmt.Sprintf("multi-segment-%03d-%030d", i, i)))
+	}
+	// Crash with several unsynced segments on disk.
+	if err := s.Abandon(); err != nil {
+		t.Fatalf("Abandon: %v", err)
+	}
+
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var segs []string
+	for _, de := range des {
+		if strings.HasPrefix(de.Name(), "seg-") {
+			segs = append(segs, de.Name())
+		}
+	}
+	sort.Strings(segs)
+	if len(segs) < 3 {
+		t.Fatalf("test needs ≥3 segments, got %d", len(segs))
+	}
+	mid := filepath.Join(dir, segs[len(segs)/2])
+	data, err := os.ReadFile(mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(mid, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := diskstore.Open(dir, diskstore.Options{MaxSegmentBytes: 64}); err == nil {
+		t.Fatalf("Open accepted corruption in a non-tail segment")
+	}
+}
+
+// TestCorruptIndexFallsBackToReplay damages the committed index: because
+// segments hold the complete operation history, Open rebuilds the exact
+// state from the log and reports the rebuild.
+func TestCorruptIndexFallsBackToReplay(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, diskstore.Options{})
+	idA, _ := s.Put([]byte("first"))
+	idB, _ := s.Put([]byte("second"))
+	if err := s.AddRef(idB); err != nil {
+		t.Fatal(err)
+	}
+	idGone, _ := s.Put([]byte("released before sync"))
+	if err := s.Release(idGone); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	idx := filepath.Join(dir, "index")
+	img, err := os.ReadFile(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img[len(img)/2] ^= 0x01
+	if err := os.WriteFile(idx, img, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r := open(t, dir, diskstore.Options{})
+	defer r.Close()
+	rec := r.Recovery()
+	if !rec.IndexRebuilt {
+		t.Fatalf("index rebuild not reported: %+v", rec)
+	}
+	if _, ok := r.Get(idA); !ok {
+		t.Fatalf("blob A lost in rebuild")
+	}
+	if got := r.Refs(idB); got != 2 {
+		t.Fatalf("refcount not reconstructed from log: %d, want 2", got)
+	}
+	if r.Has(idGone) {
+		t.Fatalf("released blob resurrected by rebuild")
+	}
+}
+
+// TestLeftoverIndexTmpIgnored simulates a crash between writing index.tmp
+// and renaming it: the stale temp file must not disturb recovery and the
+// next sync must still commit cleanly.
+func TestLeftoverIndexTmpIgnored(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, diskstore.Options{})
+	id, _ := s.Put([]byte("durable"))
+	if _, err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Abandon(); err != nil {
+		t.Fatalf("Abandon: %v", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "index.tmp"), []byte("half-written junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r := open(t, dir, diskstore.Options{})
+	defer r.Close()
+	if _, ok := r.Get(id); !ok {
+		t.Fatalf("blob lost with stale index.tmp present")
+	}
+	if _, err := r.Sync(); err != nil {
+		t.Fatalf("Sync with stale index.tmp: %v", err)
+	}
+}
+
+// TestReleaseDurableOnlyAtSync pins the deferred-release contract: a
+// release that was never Synced is lost by a crash — the blob is
+// resurrected with its pre-release reference count — while a synced
+// release stays collected. Losing a release can only create an orphan;
+// the dangerous direction (a durable release deleting a blob that
+// still-durable metadata references) must be impossible.
+func TestReleaseDurableOnlyAtSync(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, diskstore.Options{})
+	id, _ := s.Put([]byte("released but not synced"))
+	if err := s.AddRef(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Release(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Release(id); err != nil {
+		t.Fatal(err)
+	}
+	if s.Has(id) {
+		t.Fatalf("blob live after releasing every reference")
+	}
+	// Crash: releases were applied in memory but never logged.
+	if err := s.Abandon(); err != nil {
+		t.Fatalf("Abandon: %v", err)
+	}
+
+	r := open(t, dir, diskstore.Options{})
+	if !r.Has(id) {
+		t.Fatalf("unsynced release became durable: blob gone after reopen")
+	}
+	if got := r.Refs(id); got != 2 {
+		t.Fatalf("resurrected refs = %d, want pre-release 2", got)
+	}
+	// The same releases, this time synced, must stick across reopen.
+	if err := r.Release(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Release(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r2 := open(t, dir, diskstore.Options{})
+	defer r2.Close()
+	if r2.Has(id) {
+		t.Fatalf("synced release not durable: blob resurrected")
+	}
+}
+
+// TestSecondOpenRefused pins the single-instance lock: while one store
+// owns a directory, a second Open — which would append to the same
+// segments while tracking offsets independently — must fail, and the
+// directory must become openable again once the first store lets go.
+func TestSecondOpenRefused(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, diskstore.Options{})
+	if _, err := diskstore.Open(dir, diskstore.Options{}); err == nil {
+		t.Fatalf("second Open of a locked store succeeded")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := open(t, dir, diskstore.Options{})
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMissingSegmentRefused deletes a segment file the committed index
+// references: Open must refuse with an error — the data is gone, and
+// silently serving "not found" for durable blobs would be data loss
+// masquerading as absence.
+func TestMissingSegmentRefused(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, diskstore.Options{MaxSegmentBytes: 64})
+	for i := 0; i < 12; i++ {
+		s.Put([]byte(fmt.Sprintf("doomed-segment-%03d-%030d", i, i)))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(lastSegment(t, dir)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := diskstore.Open(dir, diskstore.Options{MaxSegmentBytes: 64}); err == nil {
+		t.Fatalf("Open accepted an index referencing a deleted segment")
+	}
+}
+
+// TestTornBeforeMagic crashes so early the newest segment has not even a
+// complete magic: recovery truncates it to nothing and the store keeps
+// working.
+func TestTornBeforeMagic(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, diskstore.Options{})
+	id, _ := s.Put([]byte("in segment one"))
+	if _, err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Fake a crash during the very first write of segment 2.
+	if err := s.Abandon(); err != nil {
+		t.Fatalf("Abandon: %v", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "seg-00000002.log"), []byte("EXP"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r := open(t, dir, diskstore.Options{})
+	defer r.Close()
+	rec := r.Recovery()
+	if !rec.Torn() || rec.TornSegment != 2 || rec.TornOffset != 0 {
+		t.Fatalf("torn-before-magic not handled: %+v", rec)
+	}
+	if _, ok := r.Get(id); !ok {
+		t.Fatalf("earlier segment lost")
+	}
+	id2, stored := r.Put([]byte("after recovery"))
+	if !stored {
+		t.Fatalf("Put after magic truncation refused")
+	}
+	if _, ok := r.Get(id2); !ok {
+		t.Fatalf("blob written into recovered segment unreadable")
+	}
+}

@@ -1,0 +1,835 @@
+// Package diskstore implements the on-disk blobstore.Backend: a
+// content-addressed, reference-counted blob store whose state lives in
+// append-only segment files plus an atomically committed index, so a
+// repository can outgrow RAM and a save writes only what changed.
+//
+// Layout of a store directory:
+//
+//	seg-00000001.log   append-only operation log (CRC-framed records)
+//	seg-00000002.log   ... rolled when a segment reaches MaxSegmentBytes
+//	index              committed catalog: blob locations + refcounts +
+//	                   durability watermark (replaced via temp + rename)
+//	index.tmp          transient; leftover only after a crash mid-commit
+//
+// Every mutation is logged to the active segment, so the log is a
+// complete operation history and replaying it reconstructs exact
+// reference counts — but Put/AddRef and Release are logged at different
+// times, and deliberately so. Puts and addrefs append eagerly: losing one
+// to a crash can only lose data, so they must reach the log before any
+// metadata that references them is committed (SyncData is the barrier a
+// caller uses for exactly that). Releases apply to the in-memory catalog
+// immediately but are queued and appended only during Sync, after the
+// caller has had the chance to commit its metadata: a release that
+// replays on reopen deletes a blob, and if it became durable before the
+// metadata that stopped referencing the blob, a crash would leave
+// committed records pointing at nothing. Deferring releases flips every
+// crash outcome into the safe direction — at worst a released blob is
+// resurrected as an orphan, never a live record dangling.
+//
+// Sync makes the store durable incrementally: it appends the queued
+// releases, fsyncs only segments with bytes appended since the previous
+// sync, then commits a fresh index whose watermark records how far the
+// durable log extends. Open loads the index and replays any log records
+// at or beyond the watermark; a torn or checksum-failing record at the
+// tail of the newest segment is truncated away and reported (a crash
+// mid-append), while damage anywhere else — including an index that
+// references a segment file missing from the directory — is refused as
+// real corruption. A missing or unreadable index is not fatal either:
+// segments are never rewritten, so the full log replays into the same
+// state.
+//
+// Concurrency: reads (Get, Has, Size, Refs, Len, IDs, Snapshot) take a
+// shared lock and may run in parallel; mutations serialise on one
+// exclusive lock because they all append to the single active segment —
+// lock striping would buy nothing while the log tail is the bottleneck.
+// The shard key the in-memory store stripes on (leading hash byte) is
+// instead the grouping key of the index file, keeping the two backends'
+// layouts aligned.
+package diskstore
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"expelliarmus/internal/atomicfile"
+	"expelliarmus/internal/blobstore"
+)
+
+// DefaultMaxSegmentBytes is the roll threshold when Options leave it zero.
+const DefaultMaxSegmentBytes = 8 << 20
+
+// Options configure a disk store.
+type Options struct {
+	// MaxSegmentBytes rolls the active segment to a new file once it
+	// reaches this size (a single oversized record may still exceed it).
+	// Zero means DefaultMaxSegmentBytes. Small values are useful in tests
+	// to force multi-segment layouts.
+	MaxSegmentBytes int64
+}
+
+// RecoveryReport describes what Open had to do beyond loading the index.
+type RecoveryReport struct {
+	// ReplayedRecords counts log records applied on top of the index —
+	// operations that happened after the last completed Sync.
+	ReplayedRecords int
+	// IndexRebuilt reports that an index file existed but was unreadable
+	// (bad magic, checksum, or structure), so the state was rebuilt by
+	// replaying the full segment log.
+	IndexRebuilt bool
+	// TornSegment is the segment whose tail was truncated (0 = none).
+	TornSegment uint32
+	// TornOffset is the file offset the torn segment was truncated to.
+	TornOffset int64
+	// DroppedBytes is how many trailing bytes the truncation discarded.
+	DroppedBytes int64
+}
+
+// Torn reports whether recovery found (and removed) a torn log tail.
+func (r RecoveryReport) Torn() bool { return r.TornSegment != 0 }
+
+type entry struct {
+	seg  uint32
+	off  int64 // payload offset within the segment file
+	size int64
+	refs int
+}
+
+// Store is the disk-backed blob store. Construct with Open; the zero value
+// is not usable. A Store is safe for concurrent use.
+type Store struct {
+	dir    string
+	maxSeg int64
+	unlock func() error // releases the exclusive dir/lock flock
+
+	mu    sync.RWMutex
+	blobs map[blobstore.ID]*entry
+	bytes int64 // live payload bytes (garbage in released records excluded)
+	dirty bool  // catalog changed since the last committed index
+
+	segs      map[uint32]*os.File // open handles; active one is also the writer
+	lens      map[uint32]int64    // current byte length per segment
+	syncedLen map[uint32]int64    // durable (fsynced + index-covered) length per segment
+	active    uint32              // newest segment number (0 = none yet)
+	pending   []blobstore.ID      // releases applied in memory, logged at next Sync
+
+	failure  error // sticky first I/O error; mutations refuse once set
+	recovery RecoveryReport
+
+	puts atomic.Int64
+	hits atomic.Int64
+}
+
+// Store implements the full durable backend contract.
+var _ blobstore.Durable = (*Store)(nil)
+
+// Open creates or reopens a store rooted at dir, running crash recovery:
+// the committed index is loaded, the log tail beyond its watermark is
+// replayed, and a torn final record is truncated away. The recovery
+// outcome is readable via Recovery. Open takes an exclusive lock on the
+// directory and fails if another store instance — in this process or any
+// other — already holds it.
+func Open(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("diskstore: open %s: %w", dir, err)
+	}
+	unlock, err := lockDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		dir:       dir,
+		maxSeg:    opts.MaxSegmentBytes,
+		unlock:    unlock,
+		blobs:     make(map[blobstore.ID]*entry),
+		segs:      make(map[uint32]*os.File),
+		lens:      make(map[uint32]int64),
+		syncedLen: make(map[uint32]int64),
+	}
+	if s.maxSeg <= 0 {
+		s.maxSeg = DefaultMaxSegmentBytes
+	}
+	if err := s.load(); err != nil {
+		s.closeFiles()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Recovery returns what Open had to recover.
+func (s *Store) Recovery() RecoveryReport { return s.recovery }
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// load reads the index (if usable), opens all segments and replays the
+// log from the index watermark (or from the beginning when rebuilding).
+func (s *Store) load() error {
+	watermarkSeg, watermarkOff, entries, idxErr := s.loadIndex()
+	segNums, err := s.listSegments()
+	if err != nil {
+		return err
+	}
+	if idxErr != nil {
+		// Unreadable index: distrust it entirely and rebuild from the log.
+		s.recovery.IndexRebuilt = true
+		watermarkSeg, watermarkOff, entries = 0, 0, nil
+	}
+	for _, e := range entries {
+		ec := e
+		s.blobs[e.id] = &entry{seg: ec.seg, off: ec.off, size: ec.size, refs: ec.refs}
+		s.bytes += e.size
+	}
+	for _, n := range segNums {
+		// O_APPEND so later appends land at the end regardless of how far
+		// recovery read; reads always go through ReadAt (pread).
+		f, err := os.OpenFile(filepath.Join(s.dir, segmentName(n)), os.O_RDWR|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("diskstore: open segment %d: %w", n, err)
+		}
+		fi, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return err
+		}
+		s.segs[n] = f
+		s.lens[n] = fi.Size()
+		if n > s.active {
+			s.active = n
+		}
+	}
+	// Every segment the index vouches for must actually be present: the
+	// committed catalog pointing at a missing file is real corruption (a
+	// deleted or lost segment), not a crash artifact, and silently serving
+	// "not found" for its blobs would turn durable data into absent data.
+	for _, e := range entries {
+		if _, ok := s.segs[e.seg]; !ok {
+			return fmt.Errorf("diskstore: index references missing segment %d (blob %s)", e.seg, e.id)
+		}
+	}
+	// The watermark segment itself must be present and at least as long as
+	// the index claims — even when no entry points into it (it may hold
+	// only addref/release records). A shorter or missing file means
+	// durably-synced log records are gone, and accepting it would let new
+	// appends land below the stale watermark where a later recovery never
+	// replays them.
+	if watermarkSeg != 0 {
+		if _, ok := s.segs[watermarkSeg]; !ok {
+			return fmt.Errorf("diskstore: index watermark references missing segment %d", watermarkSeg)
+		}
+		if s.lens[watermarkSeg] < watermarkOff {
+			return fmt.Errorf("diskstore: segment %d is %d bytes, shorter than the synced watermark %d",
+				watermarkSeg, s.lens[watermarkSeg], watermarkOff)
+		}
+	}
+	// The durable watermark: everything the index vouches for was fsynced
+	// before the index committed. Replayed bytes beyond it may only be in
+	// the page cache, so they stay below the watermark until the next Sync.
+	for _, n := range segNums {
+		switch {
+		case n < watermarkSeg:
+			s.syncedLen[n] = s.lens[n]
+		case n == watermarkSeg:
+			s.syncedLen[n] = watermarkOff
+		}
+	}
+	for i, n := range segNums {
+		if n < watermarkSeg {
+			continue
+		}
+		start := int64(len(segmentMagic))
+		if n == watermarkSeg && watermarkOff > start {
+			start = watermarkOff
+		}
+		if err := s.replaySegment(n, start, i == len(segNums)-1); err != nil {
+			return err
+		}
+	}
+	// Replayed records (and a rebuilt index) are state the on-disk index
+	// does not yet reflect; the next Sync must commit it.
+	s.dirty = s.recovery.ReplayedRecords > 0 || s.recovery.IndexRebuilt
+	return nil
+}
+
+// loadIndex parses dir/index. A missing file is a fresh (or never-synced)
+// store, reported as zero values with nil error; an unreadable file is
+// reported as an error so load falls back to full replay.
+func (s *Store) loadIndex() (uint32, int64, []indexEntry, error) {
+	img, err := os.ReadFile(filepath.Join(s.dir, "index"))
+	if os.IsNotExist(err) {
+		return 0, 0, nil, nil
+	}
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	return parseIndex(img)
+}
+
+// listSegments returns existing segment numbers in ascending order.
+func (s *Store) listSegments() ([]uint32, error) {
+	des, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var nums []uint32
+	for _, de := range des {
+		var n uint32
+		// Sscanf ignores trailing characters, so require the round trip
+		// through segmentName to match exactly — a stray seg-00000001.log.bak
+		// must not make segment 1 replay twice.
+		if _, err := fmt.Sscanf(de.Name(), "seg-%08d.log", &n); err == nil && n > 0 && de.Name() == segmentName(n) {
+			nums = append(nums, n)
+		}
+	}
+	sort.Slice(nums, func(i, j int) bool { return nums[i] < nums[j] })
+	return nums, nil
+}
+
+// replaySegment applies log records of segment n starting at offset start.
+// A torn or corrupt record is tolerated only at the tail of the last
+// segment — the signature of a crash mid-append — where the file is
+// truncated to the last whole record; anywhere else it is corruption.
+func (s *Store) replaySegment(n uint32, start int64, last bool) error {
+	f := s.segs[n]
+	size := s.lens[n]
+	if size < int64(len(segmentMagic)) {
+		// The file died before its magic finished. Only acceptable as the
+		// very tail of the log.
+		if !last {
+			return fmt.Errorf("diskstore: segment %d shorter than its header", n)
+		}
+		return s.truncateSegment(n, 0, size)
+	}
+	magic := make([]byte, len(segmentMagic))
+	if _, err := f.ReadAt(magic, 0); err != nil {
+		return err
+	}
+	if string(magic) != string(segmentMagic) {
+		return fmt.Errorf("diskstore: segment %d has bad magic", n)
+	}
+	if start >= size {
+		return nil
+	}
+	buf := make([]byte, size-start)
+	if _, err := f.ReadAt(buf, start); err != nil {
+		return fmt.Errorf("diskstore: read segment %d: %w", n, err)
+	}
+	off := start
+	for len(buf) > 0 {
+		kind, payload, recSize, err := parseRecord(buf)
+		if err != nil {
+			if !last {
+				return fmt.Errorf("diskstore: segment %d offset %d: %w", n, off, err)
+			}
+			// A genuine torn append leaves only garbage after the failed
+			// record — the crash stopped the log there. A whole, valid,
+			// CRC-passing record beyond the failure therefore proves the
+			// damage is real corruption of committed data, which must be
+			// refused, not silently truncated away with everything after it.
+			if tail := nextValidRecord(buf[1:]); tail >= 0 {
+				return fmt.Errorf("diskstore: segment %d offset %d: %w followed by a valid record at offset %d — refusing to truncate committed data",
+					n, off, err, off+1+int64(tail))
+			}
+			return s.truncateSegment(n, off, size-off)
+		}
+		if err := s.apply(kind, payload, n, off); err != nil {
+			return err
+		}
+		s.recovery.ReplayedRecords++
+		buf = buf[recSize:]
+		off += int64(recSize)
+	}
+	return nil
+}
+
+// nextValidRecord scans b for any offset at which a whole record parses,
+// returning that offset or -1. The length pre-check in parseRecord rejects
+// almost every misaligned offset in O(1), so the scan is near-linear; a
+// random byte sequence passing the CRC is a ~2^-32 event per offset, so a
+// hit is overwhelming evidence of a real record.
+func nextValidRecord(b []byte) int {
+	for i := 0; i+recHeaderSize <= len(b); i++ {
+		if _, _, _, err := parseRecord(b[i:]); err == nil {
+			return i
+		}
+	}
+	return -1
+}
+
+// truncateSegment drops the torn tail of segment n and records it.
+func (s *Store) truncateSegment(n uint32, keep, dropped int64) error {
+	if err := s.segs[n].Truncate(keep); err != nil {
+		return fmt.Errorf("diskstore: truncate torn segment %d: %w", n, err)
+	}
+	s.lens[n] = keep
+	if s.syncedLen[n] > keep {
+		s.syncedLen[n] = keep
+	}
+	s.recovery.TornSegment = n
+	s.recovery.TornOffset = keep
+	s.recovery.DroppedBytes = dropped
+	return nil
+}
+
+// apply replays one log record into the in-memory catalog.
+func (s *Store) apply(kind byte, payload []byte, seg uint32, recOff int64) error {
+	switch kind {
+	case recPut:
+		id := sha256.Sum256(payload)
+		if e, ok := s.blobs[id]; ok {
+			e.refs++
+			return nil
+		}
+		s.blobs[id] = &entry{seg: seg, off: recOff + recHeaderSize, size: int64(len(payload)), refs: 1}
+		s.bytes += int64(len(payload))
+		return nil
+	case recAddRef:
+		id, err := refPayload(payload)
+		if err != nil {
+			return err
+		}
+		e, ok := s.blobs[id]
+		if !ok {
+			return fmt.Errorf("diskstore: replayed addref for unknown blob %s", id)
+		}
+		e.refs++
+		return nil
+	case recRelease:
+		id, err := refPayload(payload)
+		if err != nil {
+			return err
+		}
+		e, ok := s.blobs[id]
+		if !ok {
+			return fmt.Errorf("diskstore: replayed release for unknown blob %s", id)
+		}
+		e.refs--
+		if e.refs == 0 {
+			s.bytes -= e.size
+			delete(s.blobs, id)
+		}
+		return nil
+	default:
+		return fmt.Errorf("diskstore: unknown record kind %d", kind)
+	}
+}
+
+// fail records the first I/O error; the store refuses further mutations
+// and surfaces the error from Sync and Close.
+func (s *Store) fail(err error) {
+	if s.failure == nil {
+		s.failure = err
+	}
+}
+
+// appendLocked frames and appends one record, rolling the active segment
+// when full, and returns the payload's file offset. Caller holds mu.
+func (s *Store) appendLocked(kind byte, payload []byte) (seg uint32, payloadOff int64, err error) {
+	recSize := int64(recHeaderSize + len(payload))
+	if s.active == 0 || (s.lens[s.active] > int64(len(segmentMagic)) && s.lens[s.active]+recSize > s.maxSeg) {
+		if err := s.rollLocked(); err != nil {
+			return 0, 0, err
+		}
+	}
+	f := s.segs[s.active]
+	if s.lens[s.active] < int64(len(segmentMagic)) {
+		// Recovery truncated this segment to nothing (torn before its
+		// header finished); restore the magic before the first record.
+		if _, err := f.Write(segmentMagic); err != nil {
+			return 0, 0, fmt.Errorf("diskstore: rewrite segment %d magic: %w", s.active, err)
+		}
+		s.lens[s.active] = int64(len(segmentMagic))
+	}
+	buf := make([]byte, 0, recSize)
+	buf = appendRecord(buf, kind, payload)
+	if _, err := f.Write(buf); err != nil {
+		return 0, 0, fmt.Errorf("diskstore: append to segment %d: %w", s.active, err)
+	}
+	off := s.lens[s.active]
+	s.lens[s.active] += recSize
+	return s.active, off + recHeaderSize, nil
+}
+
+// rollLocked opens the next segment file and writes its magic. Two
+// ordering rules make rolls crash-safe. The outgoing segment is fsynced
+// before the new one takes appends: recovery tolerates a torn tail only
+// in the LAST segment (anywhere else is real corruption), so a segment
+// must be complete on disk before any record lands after it. And the new
+// file's directory entry is fsynced immediately: a later Sync commits an
+// index referencing this segment by number, and that index must never
+// become durable while the file's very existence is still only in the
+// page cache.
+func (s *Store) rollLocked() error {
+	if s.active != 0 {
+		if err := s.segs[s.active].Sync(); err != nil {
+			return fmt.Errorf("diskstore: sync segment %d before roll: %w", s.active, err)
+		}
+	}
+	n := s.active + 1
+	f, err := os.OpenFile(filepath.Join(s.dir, segmentName(n)), os.O_RDWR|os.O_CREATE|os.O_EXCL|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("diskstore: create segment %d: %w", n, err)
+	}
+	if _, err := f.Write(segmentMagic); err != nil {
+		f.Close()
+		return fmt.Errorf("diskstore: write segment %d magic: %w", n, err)
+	}
+	if err := atomicfile.SyncDir(s.dir); err != nil {
+		f.Close()
+		return fmt.Errorf("diskstore: persist segment %d directory entry: %w", n, err)
+	}
+	s.segs[n] = f
+	s.lens[n] = int64(len(segmentMagic))
+	s.active = n
+	return nil
+}
+
+// Put stores data (if not already present) and takes one reference on it.
+// Either way the operation is logged, so a reopened store reproduces the
+// exact reference count. After a previous I/O failure Put mutates nothing
+// and reports the content as not newly stored; the failure itself is
+// surfaced by Sync/Close.
+func (s *Store) Put(data []byte) (blobstore.ID, bool) {
+	id := blobstore.Sum(data)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.puts.Add(1)
+	if s.failure != nil {
+		return id, false
+	}
+	if e, ok := s.blobs[id]; ok {
+		if _, _, err := s.appendLocked(recAddRef, id[:]); err != nil {
+			s.fail(err)
+			return id, false
+		}
+		e.refs++
+		s.hits.Add(1)
+		s.dirty = true
+		return id, false
+	}
+	seg, off, err := s.appendLocked(recPut, data)
+	if err != nil {
+		s.fail(err)
+		return id, false
+	}
+	s.blobs[id] = &entry{seg: seg, off: off, size: int64(len(data)), refs: 1}
+	s.bytes += int64(len(data))
+	s.dirty = true
+	return id, true
+}
+
+// readLocked fetches a blob's payload from its segment. Caller holds mu
+// (shared is enough: locations are immutable and segment files are only
+// truncated during Open).
+func (s *Store) readLocked(e *entry) ([]byte, error) {
+	f, ok := s.segs[e.seg]
+	if !ok {
+		return nil, fmt.Errorf("diskstore: segment %d not open", e.seg)
+	}
+	buf := make([]byte, e.size)
+	n, err := f.ReadAt(buf, e.off)
+	if n < len(buf) {
+		// ReadAt guarantees err != nil here; a short read means the segment
+		// lost bytes after the fact, and zero-padded data must never be
+		// served (or worse, serialised by Snapshot) as blob content.
+		if err == nil || err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, fmt.Errorf("diskstore: segment %d short read at %d: %w", e.seg, e.off, err)
+	}
+	return buf, nil
+}
+
+// Get returns the blob's contents, re-verifying the content address on
+// the way in — a blob whose stored bytes no longer hash to its ID (disk
+// damage after the fact) is reported as absent rather than returned.
+func (s *Store) Get(id blobstore.ID) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.blobs[id]
+	if !ok {
+		return nil, false
+	}
+	data, err := s.readLocked(e)
+	if err != nil || blobstore.Sum(data) != id {
+		return nil, false
+	}
+	return data, true
+}
+
+// Size returns the length of the blob without reading it.
+func (s *Store) Size(id blobstore.ID) (int64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.blobs[id]
+	if !ok {
+		return 0, false
+	}
+	return e.size, true
+}
+
+// Has reports whether the blob exists.
+func (s *Store) Has(id blobstore.ID) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.blobs[id]
+	return ok
+}
+
+// AddRef takes an additional reference on an existing blob.
+func (s *Store) AddRef(id blobstore.ID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failure != nil {
+		return s.failure
+	}
+	e, ok := s.blobs[id]
+	if !ok {
+		return fmt.Errorf("diskstore: addref %s: not found", id)
+	}
+	if _, _, err := s.appendLocked(recAddRef, id[:]); err != nil {
+		s.fail(err)
+		return err
+	}
+	e.refs++
+	s.dirty = true
+	return nil
+}
+
+// Refs returns the current reference count, or zero if absent.
+func (s *Store) Refs(id blobstore.ID) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if e, ok := s.blobs[id]; ok {
+		return e.refs
+	}
+	return 0
+}
+
+// Release drops one reference; at zero the blob leaves the catalog and its
+// bytes stop counting toward TotalBytes. The payload stays as garbage in
+// its segment until a future compaction (see ROADMAP) — segments are
+// append-only. The release record is queued and hits the log only at the
+// next Sync (see the package comment): a crash before then resurrects the
+// reference on reopen, which is the safe failure direction.
+func (s *Store) Release(id blobstore.ID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failure != nil {
+		return s.failure
+	}
+	e, ok := s.blobs[id]
+	if !ok {
+		return fmt.Errorf("diskstore: release %s: not found", id)
+	}
+	s.pending = append(s.pending, id)
+	e.refs--
+	if e.refs == 0 {
+		s.bytes -= e.size
+		delete(s.blobs, id)
+	}
+	s.dirty = true
+	return nil
+}
+
+// Len returns the number of distinct live blobs.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.blobs)
+}
+
+// TotalBytes returns the live payload bytes (released garbage excluded).
+func (s *Store) TotalBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.bytes
+}
+
+// Stats reports cumulative put and dedup-hit counts since Open.
+func (s *Store) Stats() (puts, hits int64) {
+	return s.puts.Load(), s.hits.Load()
+}
+
+// IDs returns all live blob IDs in lexicographic order.
+func (s *Store) IDs() []blobstore.ID {
+	s.mu.RLock()
+	out := make([]blobstore.ID, 0, len(s.blobs))
+	for id := range s.blobs {
+		out = append(out, id)
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		return string(out[i][:]) < string(out[j][:])
+	})
+	return out
+}
+
+// Snapshot serialises live blobs and reference counts in the EXPBLB1
+// format — byte-identical to what the in-memory store with the same
+// contents would produce.
+func (s *Store) Snapshot() []byte {
+	s.mu.RLock()
+	entries := make([]blobstore.SnapshotEntry, 0, len(s.blobs))
+	for id, e := range s.blobs {
+		data, err := s.readLocked(e)
+		if err == nil && blobstore.Sum(data) != id {
+			// Same re-verification Get does: bit-rotted bytes must not be
+			// serialised as blob content (Load would re-derive a different
+			// ID and strand the metadata saved alongside).
+			err = fmt.Errorf("content hash mismatch")
+		}
+		if err != nil {
+			// A blob that cannot be read faithfully cannot be serialised;
+			// skipping it silently would corrupt the snapshot, so panic on
+			// what is an unreadable-disk invariant violation.
+			s.mu.RUnlock()
+			panic(fmt.Sprintf("diskstore: snapshot read %s: %v", id, err))
+		}
+		entries = append(entries, blobstore.SnapshotEntry{ID: id, Refs: e.refs, Data: data})
+	}
+	s.mu.RUnlock()
+	return blobstore.EncodeSnapshot(entries)
+}
+
+// syncSegmentsLocked fsyncs every segment with bytes appended since the
+// previous sync and accounts the flush into st. Caller holds mu.
+func (s *Store) syncSegmentsLocked(st *blobstore.SyncStats) error {
+	nums := make([]uint32, 0, len(s.segs))
+	for n := range s.segs {
+		nums = append(nums, n)
+	}
+	sort.Slice(nums, func(i, j int) bool { return nums[i] < nums[j] })
+	for _, n := range nums {
+		if s.lens[n] <= s.syncedLen[n] {
+			continue
+		}
+		if err := s.segs[n].Sync(); err != nil {
+			s.fail(err)
+			return fmt.Errorf("diskstore: sync segment %d: %w", n, err)
+		}
+		st.Segments++
+		st.SegmentBytes += s.lens[n] - s.syncedLen[n]
+		s.syncedLen[n] = s.lens[n]
+	}
+	return nil
+}
+
+// SyncData makes all preceding Put and AddRef records durable without
+// committing the index or the queued releases. It is the first half of the
+// two-phase protocol a repository runs: after SyncData, metadata
+// referencing the stored blobs may be committed; a full Sync then makes
+// the releases and the index durable. Used alone it is still a valid
+// (conservative) crash point — reopen replays the durable log tail from
+// the old watermark.
+func (s *Store) SyncData() (blobstore.SyncStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failure != nil {
+		return blobstore.SyncStats{}, s.failure
+	}
+	var st blobstore.SyncStats
+	err := s.syncSegmentsLocked(&st)
+	return st, err
+}
+
+// Sync makes all preceding operations durable: the queued release records
+// are appended to the log, every segment with bytes appended since the
+// previous sync is fsynced (only those — the store's save is incremental),
+// and a fresh index is committed via write-temp + rename. After a crash
+// anywhere inside Sync the store reopens to either the previous or the
+// next committed state: segments are fsynced before the index that
+// references them, and the log tail beyond the old watermark is replayed
+// regardless.
+func (s *Store) Sync() (blobstore.SyncStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failure != nil {
+		return blobstore.SyncStats{}, s.failure
+	}
+	var st blobstore.SyncStats
+	if !s.dirty {
+		// Nothing mutated since the last committed index: the identical
+		// catalog does not need to be re-encoded and re-fsynced (Close
+		// after an explicit Sync hits this path).
+		return st, nil
+	}
+	for i, id := range s.pending {
+		if _, _, err := s.appendLocked(recRelease, id[:]); err != nil {
+			s.fail(err)
+			s.pending = s.pending[i:] // keep the unlogged tail for diagnosis
+			return st, err
+		}
+	}
+	s.pending = nil
+	if err := s.syncSegmentsLocked(&st); err != nil {
+		return st, err
+	}
+	entries := make([]indexEntry, 0, len(s.blobs))
+	for id, e := range s.blobs {
+		entries = append(entries, indexEntry{id: id, seg: e.seg, off: e.off, size: e.size, refs: e.refs})
+	}
+	img := encodeIndex(s.active, s.lens[s.active], entries)
+	if err := atomicfile.Write(filepath.Join(s.dir, "index"), img); err != nil {
+		err = fmt.Errorf("diskstore: commit index: %w", err)
+		s.fail(err)
+		return st, err
+	}
+	st.IndexBytes = int64(len(img))
+	s.dirty = false
+	return st, nil
+}
+
+// Err returns the store's sticky I/O failure, if any. Mutating methods
+// cannot report failure through the Backend interface (Put's bool means
+// "newly stored", not "succeeded"), so callers that are about to commit
+// metadata referencing just-written blobs check here first.
+func (s *Store) Err() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.failure
+}
+
+// Close syncs and releases all file handles and the directory lock. The
+// store is unusable after.
+func (s *Store) Close() error {
+	_, err := s.Sync()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cerr := s.closeFiles(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Abandon releases all file handles and the directory lock WITHOUT
+// syncing anything — the store simply stops, exactly as a crashed process
+// would. It exists so crash-recovery tests can reopen the directory in
+// the same process; production code wants Close.
+func (s *Store) Abandon() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closeFiles()
+}
+
+func (s *Store) closeFiles() error {
+	var first error
+	for n, f := range s.segs {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(s.segs, n)
+	}
+	if s.unlock != nil {
+		if err := s.unlock(); err != nil && first == nil {
+			first = err
+		}
+		s.unlock = nil
+	}
+	return first
+}

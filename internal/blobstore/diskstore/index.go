@@ -1,0 +1,171 @@
+package diskstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sort"
+
+	"expelliarmus/internal/blobstore"
+)
+
+// The index is the committed catalog of live blobs: for every blob, where
+// its bytes live (segment, offset, length) and its reference count, plus
+// the durability watermark — how far into the newest segment the index's
+// view extends. Everything a segment holds at or beyond the watermark is
+// replayed on open; everything below it is covered by the index.
+//
+// Wire format:
+//
+//	offset 0: "EXPIDX1\n"
+//	body:     uvarint watermarkSeg   (0 = no segment written yet)
+//	          uvarint watermarkOff
+//	          256 shard sections, keyed by the blob ID's leading byte —
+//	          the same shard key the in-memory store stripes its locks on:
+//	            uvarint entryCount
+//	            entries sorted by ID:
+//	              id (32) | uvarint seg | uvarint off | uvarint len | uvarint refs
+//	trailer:  crc32c of body (4, LE)
+//
+// The file is only ever replaced atomically (write temp + rename), never
+// updated in place, so a reader sees either the previous or the next
+// committed image. The trailing checksum guards against a torn rename on
+// filesystems without atomic-rename guarantees; a mismatch makes Open fall
+// back to a full log replay rather than trusting a half-written catalog.
+var indexMagic = []byte("EXPIDX1\n")
+
+// indexShards is the shard-section count: one per possible leading hash
+// byte. (The in-memory store folds this to 64 lock stripes; the file keeps
+// all 256 so the grouping is exact, not modular.)
+const indexShards = 256
+
+// indexEntry is one blob's committed location and reference count.
+type indexEntry struct {
+	id   blobstore.ID
+	seg  uint32
+	off  int64
+	size int64
+	refs int
+}
+
+// encodeIndex serialises the watermark and entries. Entries may be in any
+// order; the encoder groups them by shard and sorts within each shard so
+// the image is deterministic for identical state.
+func encodeIndex(watermarkSeg uint32, watermarkOff int64, entries []indexEntry) []byte {
+	shards := make([][]indexEntry, indexShards)
+	for _, e := range entries {
+		s := int(e.id[0])
+		shards[s] = append(shards[s], e)
+	}
+	var body []byte
+	var tmp [binary.MaxVarintLen64]byte
+	putU := func(v uint64) { body = append(body, tmp[:binary.PutUvarint(tmp[:], v)]...) }
+	putU(uint64(watermarkSeg))
+	putU(uint64(watermarkOff))
+	for _, sh := range shards {
+		sort.Slice(sh, func(i, j int) bool { return string(sh[i].id[:]) < string(sh[j].id[:]) })
+		putU(uint64(len(sh)))
+		for _, e := range sh {
+			body = append(body, e.id[:]...)
+			putU(uint64(e.seg))
+			putU(uint64(e.off))
+			putU(uint64(e.size))
+			putU(uint64(e.refs))
+		}
+	}
+	out := make([]byte, 0, len(indexMagic)+len(body)+4)
+	out = append(out, indexMagic...)
+	out = append(out, body...)
+	var crcBuf [4]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], crc32.Checksum(body, crcTable))
+	return append(out, crcBuf[:]...)
+}
+
+// parseIndex decodes an index image. Any structural damage — bad magic,
+// truncation, checksum mismatch, counts exceeding what the bytes could
+// hold — returns an error; the caller treats that as "no usable index" and
+// rebuilds from the segment log.
+func parseIndex(b []byte) (watermarkSeg uint32, watermarkOff int64, entries []indexEntry, err error) {
+	if len(b) < len(indexMagic)+4 || string(b[:len(indexMagic)]) != string(indexMagic) {
+		return 0, 0, nil, fmt.Errorf("diskstore: bad index magic")
+	}
+	body := b[len(indexMagic) : len(b)-4]
+	want := binary.LittleEndian.Uint32(b[len(b)-4:])
+	if crc32.Checksum(body, crcTable) != want {
+		return 0, 0, nil, fmt.Errorf("diskstore: index checksum mismatch")
+	}
+	pos := 0
+	getU := func() (uint64, error) {
+		v, n := binary.Uvarint(body[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("diskstore: truncated index varint")
+		}
+		pos += n
+		return v, nil
+	}
+	wseg, err := getU()
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	woff, err := getU()
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	for shard := 0; shard < indexShards; shard++ {
+		count, err := getU()
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		// An entry is at least 32 id bytes + 4 one-byte varints; a count
+		// claiming more than the remaining bytes could hold is corruption,
+		// and bounding it here keeps hostile counts from forcing huge
+		// allocations (the decoders are fuzz targets).
+		if count > uint64(len(body)-pos)/36 {
+			return 0, 0, nil, fmt.Errorf("diskstore: index shard %d count %d exceeds remaining bytes", shard, count)
+		}
+		var prev blobstore.ID
+		for i := uint64(0); i < count; i++ {
+			var e indexEntry
+			if len(body)-pos < len(e.id) {
+				return 0, 0, nil, fmt.Errorf("diskstore: truncated index entry id")
+			}
+			copy(e.id[:], body[pos:])
+			pos += len(e.id)
+			if int(e.id[0]) != shard {
+				return 0, 0, nil, fmt.Errorf("diskstore: index entry %s filed under shard %d", e.id, shard)
+			}
+			// The format is canonical: strictly ascending IDs per shard.
+			// Out-of-order or duplicate entries mean the file was not
+			// produced by the encoder.
+			if i > 0 && string(e.id[:]) <= string(prev[:]) {
+				return 0, 0, nil, fmt.Errorf("diskstore: index shard %d entries out of order", shard)
+			}
+			prev = e.id
+			seg, err := getU()
+			if err != nil {
+				return 0, 0, nil, err
+			}
+			off, err := getU()
+			if err != nil {
+				return 0, 0, nil, err
+			}
+			size, err := getU()
+			if err != nil {
+				return 0, 0, nil, err
+			}
+			refs, err := getU()
+			if err != nil {
+				return 0, 0, nil, err
+			}
+			if refs == 0 {
+				return 0, 0, nil, fmt.Errorf("diskstore: index entry %s has zero refs", e.id)
+			}
+			e.seg, e.off, e.size, e.refs = uint32(seg), int64(off), int64(size), int(refs)
+			entries = append(entries, e)
+		}
+	}
+	if pos != len(body) {
+		return 0, 0, nil, fmt.Errorf("diskstore: %d trailing index bytes", len(body)-pos)
+	}
+	return uint32(wseg), int64(woff), entries, nil
+}

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package diskstore
+
+// lockDir is a no-op on platforms without flock; single-instance use is
+// the caller's responsibility there.
+func lockDir(dir string) (func() error, error) {
+	return func() error { return nil }, nil
+}

@@ -1,0 +1,27 @@
+//go:build unix
+
+package diskstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockDir takes an exclusive advisory flock on dir/lock so two stores —
+// in this process or another — can never append to the same segment files
+// at once (each would track offsets the other invalidates, persisting a
+// corrupt index). The lock dies with the file descriptor, so a crashed
+// process never leaves a stale lock behind.
+func lockDir(dir string) (func() error, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "lock"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("diskstore: open lock file: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("diskstore: %s is in use by another store instance: %w", dir, err)
+	}
+	return f.Close, nil
+}

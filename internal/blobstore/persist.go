@@ -10,29 +10,21 @@ import (
 
 var snapshotMagic = []byte("EXPBLB1\n")
 
-// Snapshot serialises the store — blob contents and reference counts — in
-// deterministic (ID-sorted) order. Each shard is captured under its read
-// lock; blob contents are immutable once stored, so the serialized bytes
-// are exact even when concurrent readers are active.
-func (s *Store) Snapshot() []byte {
-	type captured struct {
-		id   ID
-		refs int
-		data []byte
-	}
-	var snap []captured
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.RLock()
-		for id, e := range sh.blobs {
-			snap = append(snap, captured{id: id, refs: e.refs, data: e.data})
-		}
-		sh.mu.RUnlock()
-	}
-	sort.Slice(snap, func(i, j int) bool {
-		return string(snap[i].id[:]) < string(snap[j].id[:])
-	})
+// SnapshotEntry is one blob captured for serialisation.
+type SnapshotEntry struct {
+	ID   ID
+	Refs int
+	Data []byte
+}
 
+// EncodeSnapshot serialises blobs and reference counts in the
+// deterministic (ID-sorted) EXPBLB1 format. It is shared by every Backend
+// implementation so snapshots are byte-identical regardless of which
+// backend captured them. The entries slice is reordered in place.
+func EncodeSnapshot(entries []SnapshotEntry) []byte {
+	sort.Slice(entries, func(i, j int) bool {
+		return string(entries[i].ID[:]) < string(entries[j].ID[:])
+	})
 	var buf bytes.Buffer
 	buf.Write(snapshotMagic)
 	var tmp [binary.MaxVarintLen64]byte
@@ -40,13 +32,30 @@ func (s *Store) Snapshot() []byte {
 		n := binary.PutUvarint(tmp[:], v)
 		buf.Write(tmp[:n])
 	}
-	writeU(uint64(len(snap)))
-	for _, c := range snap {
-		writeU(uint64(c.refs))
-		writeU(uint64(len(c.data)))
-		buf.Write(c.data)
+	writeU(uint64(len(entries)))
+	for _, c := range entries {
+		writeU(uint64(c.Refs))
+		writeU(uint64(len(c.Data)))
+		buf.Write(c.Data)
 	}
 	return buf.Bytes()
+}
+
+// Snapshot serialises the store — blob contents and reference counts — in
+// deterministic (ID-sorted) order. Each shard is captured under its read
+// lock; blob contents are immutable once stored, so the serialized bytes
+// are exact even when concurrent readers are active.
+func (s *Store) Snapshot() []byte {
+	var snap []SnapshotEntry
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for id, e := range sh.blobs {
+			snap = append(snap, SnapshotEntry{ID: id, Refs: e.refs, Data: e.data})
+		}
+		sh.mu.RUnlock()
+	}
+	return EncodeSnapshot(snap)
 }
 
 // Load restores a store from a Snapshot image. Blob IDs are recomputed

@@ -5,6 +5,7 @@ import (
 
 	"expelliarmus/internal/pool"
 	"expelliarmus/internal/vmi"
+	"expelliarmus/internal/vmirepo"
 )
 
 // PublishAll publishes a batch of images concurrently against the one
@@ -64,4 +65,21 @@ func (s *System) Snapshot() []byte {
 	s.commitMu.Lock()
 	defer s.commitMu.Unlock()
 	return s.repo.Snapshot()
+}
+
+// Sync makes a disk-backed repository durable. Like Snapshot it waits out
+// any in-flight metadata commit, so the committed state is
+// transactionally consistent; unlike Snapshot it is incremental — only
+// blob segments appended since the previous sync are written.
+func (s *System) Sync() (vmirepo.SyncStats, error) {
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	return s.repo.Sync()
+}
+
+// Close syncs (when disk-backed) and releases repository resources.
+func (s *System) Close() error {
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	return s.repo.Close()
 }

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"testing"
+
+	"expelliarmus/internal/builder"
+	"expelliarmus/internal/catalog"
+	"expelliarmus/internal/vmirepo"
+)
+
+// TestCrashAfterRemoveKeepsLastSyncState pins the repository-wide crash
+// invariant: operations after the last Sync that release blobs (Remove)
+// must not leave the durable metadata pointing at missing blobs. A crash
+// rolls the repository back to exactly the last Sync — the removed VMI is
+// still there and still retrievable, because blob releases become durable
+// only together with the metadata that stopped referencing them.
+func TestCrashAfterRemoveKeepsLastSyncState(t *testing.T) {
+	dir := t.TempDir()
+	repo, err := vmirepo.OpenAt(dir, testDev)
+	if err != nil {
+		t.Fatalf("OpenAt: %v", err)
+	}
+	sys := NewSystemWithRepo(repo, testDev, Options{})
+	b := builder.New(catalog.NewUniverse())
+	for _, name := range []string{"Mini", "Redis"} {
+		if _, err := sys.Publish(buildImage(t, b, name)); err != nil {
+			t.Fatalf("publish %s: %v", name, err)
+		}
+	}
+	if _, err := sys.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := sys.Remove("Mini"); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if _, _, err := sys.Retrieve("Mini"); err == nil {
+		t.Fatalf("Mini retrievable after Remove")
+	}
+	// Crash: the Remove's metadata change and blob releases were never
+	// committed.
+	if err := repo.Abandon(); err != nil {
+		t.Fatalf("Abandon: %v", err)
+	}
+
+	repo2, err := vmirepo.OpenAt(dir, testDev)
+	if err != nil {
+		t.Fatalf("reopen after crash: %v", err)
+	}
+	sys2 := NewSystemWithRepo(repo2, testDev, Options{})
+	defer sys2.Close()
+	for _, name := range []string{"Mini", "Redis"} {
+		if _, _, err := sys2.Retrieve(name); err != nil {
+			t.Fatalf("retrieve %s after crash-reopen: %v (metadata referencing missing blobs?)", name, err)
+		}
+	}
+}

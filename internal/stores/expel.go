@@ -20,9 +20,16 @@ type Expel struct {
 	LastRetrieve *core.RetrieveReport
 }
 
-// NewExpel returns an Expelliarmus store over a fresh repository.
+// NewExpel returns an Expelliarmus store over a fresh in-memory
+// repository.
 func NewExpel(dev *simio.Device, opts core.Options) *Expel {
 	return &Expel{sys: core.NewSystem(dev, opts)}
+}
+
+// NewExpelWithSystem adapts an existing system — e.g. one whose repository
+// runs on the disk backend — to the Store interface.
+func NewExpelWithSystem(sys *core.System) *Expel {
+	return &Expel{sys: sys}
 }
 
 // System exposes the wrapped system.

@@ -21,11 +21,15 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
 
+	"expelliarmus/internal/atomicfile"
 	"expelliarmus/internal/blobstore"
+	"expelliarmus/internal/blobstore/diskstore"
 	"expelliarmus/internal/master"
 	"expelliarmus/internal/metadb"
 	"expelliarmus/internal/pkgmeta"
@@ -47,11 +51,22 @@ const (
 // that hit it can re-read the record and retry (see core.Retrieve).
 var ErrNotFound = errors.New("not found")
 
-// Repo is the Expelliarmus repository.
+// Repo is the Expelliarmus repository. Its blob layer is pluggable: New
+// gives the in-memory sharded backend, OpenAt the durable on-disk one;
+// everything above the blobstore.Backend interface is identical, which the
+// round-trip tests pin down to byte-identical snapshots.
 type Repo struct {
-	blobs *blobstore.Store
+	blobs blobstore.Backend
 	db    *metadb.DB
 	dev   *simio.Device
+	// dir is the on-disk root for disk-backed repositories ("" when the
+	// blob backend is in-memory); metadata commits land in dir/meta.db.
+	dir string
+	// metaSum is the hash of the last committed meta.db image, so a quiet
+	// Sync (nothing changed) skips the full-image write and its fsyncs the
+	// same way the blob layer skips its index rewrite. Guarded by opMu
+	// held exclusively (Sync) or set before concurrency starts (OpenAt).
+	metaSum [sha256.Size]byte
 	// opMu is held in shared mode by every mutating operation and
 	// exclusively by Snapshot, so a snapshot never interleaves with the
 	// blob-put/record-put pair of a store operation (which would serialize
@@ -64,13 +79,167 @@ type Repo struct {
 	udMu sync.Mutex
 }
 
-// New returns an empty repository using the device for cost accounting.
+// New returns an empty in-memory repository using the device for cost
+// accounting.
 func New(dev *simio.Device) *Repo {
-	r := &Repo{blobs: blobstore.New(), db: metadb.New(), dev: dev}
+	return NewWithBackend(dev, blobstore.New())
+}
+
+// NewWithBackend returns an empty repository over an explicit blob
+// backend.
+func NewWithBackend(dev *simio.Device, blobs blobstore.Backend) *Repo {
+	r := &Repo{blobs: blobs, db: metadb.New(), dev: dev}
+	r.createBuckets()
+	return r
+}
+
+// createBuckets ensures the repository's metadata buckets exist
+// (CreateBucket is idempotent, so this is safe on a loaded database too).
+func (r *Repo) createBuckets() {
 	for _, b := range []string{bucketPackages, bucketBases, bucketMasters, bucketVMIs, bucketUserData} {
 		r.db.CreateBucket(b)
 	}
-	return r
+}
+
+// OpenAt creates or reopens a disk-backed repository rooted at dir: blobs
+// live in dir/blobs (append-only segments + index, see diskstore), the
+// metadata database in dir/meta.db. Reopening runs blob crash recovery
+// and loads the last committed metadata image; call Sync to make later
+// work durable.
+func OpenAt(dir string, dev *simio.Device) (*Repo, error) {
+	blobs, err := diskstore.Open(filepath.Join(dir, "blobs"), diskstore.Options{})
+	if err != nil {
+		return nil, err
+	}
+	db := metadb.New()
+	var metaSum [sha256.Size]byte
+	if img, err := os.ReadFile(filepath.Join(dir, "meta.db")); err == nil {
+		if db, err = metadb.Load(img); err != nil {
+			blobs.Close()
+			return nil, fmt.Errorf("vmirepo: load %s/meta.db: %w", dir, err)
+		}
+		metaSum = sha256.Sum256(img)
+	} else if !os.IsNotExist(err) {
+		blobs.Close()
+		return nil, err
+	}
+	r := &Repo{blobs: blobs, db: db, dev: dev, dir: dir, metaSum: metaSum}
+	r.createBuckets()
+	return r, nil
+}
+
+// Abandon drops a disk-backed repository's file handles and directory
+// lock without syncing anything — a crash simulation for recovery tests;
+// production code wants Close. In-memory repositories have nothing to
+// abandon.
+func (r *Repo) Abandon() error {
+	if ds, ok := r.blobs.(*diskstore.Store); ok {
+		return ds.Abandon()
+	}
+	return nil
+}
+
+// Persistent reports whether the repository is disk-backed (Sync commits
+// to durable storage) or in-memory (Snapshot/Load is the only
+// persistence).
+func (r *Repo) Persistent() bool { return r.dir != "" }
+
+// blobErr surfaces a durable backend's sticky I/O failure. Backend.Put
+// cannot report failure (its bool means "newly stored"), so every store
+// operation checks here between writing a blob and committing the
+// metadata record that references it — a record pointing at a blob that
+// never hit the log must not exist even in memory.
+func (r *Repo) blobErr() error {
+	if d, ok := r.blobs.(blobstore.Durable); ok {
+		return d.Err()
+	}
+	return nil
+}
+
+// BlobRecovery returns the blob store's crash-recovery report when the
+// repository is disk-backed.
+func (r *Repo) BlobRecovery() (diskstore.RecoveryReport, bool) {
+	if ds, ok := r.blobs.(*diskstore.Store); ok {
+		return ds.Recovery(), true
+	}
+	return diskstore.RecoveryReport{}, false
+}
+
+// SyncStats reports one durable repository sync.
+type SyncStats struct {
+	// Blobs is the blob backend's incremental flush: only segments
+	// appended since the previous sync are written.
+	Blobs blobstore.SyncStats
+	// MetaBytes is the size of the committed metadata image.
+	MetaBytes int64
+}
+
+// Sync makes the repository durable on disk. It quiesces mutating
+// operations (like Snapshot), then runs the two-phase commit the durable
+// backend contract exists for: first SyncData makes every new blob
+// durable, then meta.db is atomically replaced, then the full blob Sync
+// makes the queued releases and the blob index durable. Each crash window
+// is safe in the same direction: before the meta commit, old metadata
+// plus extra durable blobs (orphans); after it, new metadata whose every
+// referenced blob is already durable, with released blobs at worst
+// resurrected as orphans — never committed records pointing at missing
+// blobs. Sync on an in-memory repository returns an error; use Snapshot
+// instead.
+func (r *Repo) Sync() (SyncStats, error) {
+	if r.dir == "" {
+		return SyncStats{}, fmt.Errorf("vmirepo: repository is in-memory; Sync requires OpenAt")
+	}
+	r.opMu.Lock()
+	defer r.opMu.Unlock()
+	var st SyncStats
+	d, ok := r.blobs.(blobstore.Durable)
+	if !ok {
+		return st, fmt.Errorf("vmirepo: blob backend is not durable")
+	}
+	var err error
+	if st.Blobs, err = d.SyncData(); err != nil {
+		return st, err
+	}
+	img := r.db.Snapshot()
+	if sum := sha256.Sum256(img); sum != r.metaSum {
+		if err := atomicfile.Write(filepath.Join(r.dir, "meta.db"), img); err != nil {
+			return st, fmt.Errorf("vmirepo: commit meta.db: %w", err)
+		}
+		r.metaSum = sum
+		st.MetaBytes = int64(len(img))
+	}
+	rel, err := d.Sync()
+	if err != nil {
+		return st, err
+	}
+	st.Blobs.Segments += rel.Segments
+	st.Blobs.SegmentBytes += rel.SegmentBytes
+	st.Blobs.IndexBytes = rel.IndexBytes
+	return st, nil
+}
+
+// Close syncs (when the repository has a directory for its metadata) and
+// releases backend resources — gated on the backend being Durable, not on
+// the directory, so a durable backend injected via NewWithBackend still
+// gets its handles and directory lock released. A closed repository must
+// not be used further.
+func (r *Repo) Close() error {
+	d, ok := r.blobs.(blobstore.Durable)
+	if !ok {
+		return nil
+	}
+	if r.dir != "" {
+		if _, err := r.Sync(); err != nil {
+			// Do NOT d.Close() here: its internal sync would flush the
+			// queued blob releases even though the metadata that stopped
+			// referencing those blobs failed to commit — manufacturing the
+			// dangling-metadata state the two-phase protocol prevents.
+			// Abandon releases the handles and lock without syncing.
+			r.Abandon()
+			return err
+		}
+	}
+	return d.Close()
 }
 
 // SizeBytes is the repository footprint: unique blob bytes plus the
@@ -159,6 +328,9 @@ func (r *Repo) EnsurePackage(p pkgmeta.Package, blob []byte, m *simio.Meter) (bo
 	defer r.opMu.RUnlock()
 	key := []byte(p.Ref())
 	id, _ := r.blobs.Put(blob)
+	if err := r.blobErr(); err != nil {
+		return false, fmt.Errorf("vmirepo: store package %s: %w", p.Ref(), err)
+	}
 	rec := PackageRecord{Pkg: p, BlobID: id, BlobSize: int64(len(blob))}
 	val := encodePackageRecord(rec)
 	if !r.db.Bucket(bucketPackages).PutIfAbsent(key, val) {
@@ -264,6 +436,9 @@ func (r *Repo) PutBase(id string, attrs pkgmeta.BaseAttrs, image []byte, m *simi
 		return fmt.Errorf("vmirepo: base %s already stored", id)
 	}
 	blobID, _ := r.blobs.Put(image)
+	if err := r.blobErr(); err != nil {
+		return fmt.Errorf("vmirepo: store base %s: %w", id, err)
+	}
 	rec := BaseRecord{ID: id, Attrs: attrs, BlobID: blobID, BlobSize: int64(len(image))}
 	b.Put([]byte(id), encodeBaseRecord(rec))
 	if m != nil {
@@ -461,6 +636,9 @@ func (r *Repo) PutUserData(name string, archive []byte, m *simio.Meter) error {
 	r.udMu.Lock()
 	defer r.udMu.Unlock()
 	id, _ := r.blobs.Put(archive)
+	if err := r.blobErr(); err != nil {
+		return fmt.Errorf("vmirepo: store user data %q: %w", name, err)
+	}
 	b := r.db.Bucket(bucketUserData)
 	if old, ok := b.Get([]byte(name)); ok {
 		// Drop the previous record's reference. When the new archive has
