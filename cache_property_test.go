@@ -1,0 +1,146 @@
+package expelliarmus
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// renderRetrieve is a deterministic rendering of a retrieval report (%v
+// prints maps key-sorted).
+func renderRetrieve(r *RetrieveResult) string {
+	return fmt.Sprintf("imported=%v t=%.9f phases=%v", r.Imported, r.Seconds, r.Phases)
+}
+
+// renderPublish is a deterministic rendering of a publish report.
+func renderPublish(p *PublishResult) string {
+	return fmt.Sprintf("sim=%.9f exported=%v skipped=%d base=%v t=%.9f phases=%v",
+		p.Similarity, p.Exported, p.Skipped, p.BaseStored, p.Seconds, p.Phases)
+}
+
+// TestCacheTransparencyUnderRandomOps is the facade-level invalidation
+// property test: one pseudo-random interleaving of Publish (fresh
+// versions with changed user data), Retrieve and Remove is driven through
+// two Systems that differ only in Options.CacheBytes. At every step the
+// two must be indistinguishable — byte-identical retrieval reports,
+// byte-identical serialized images, and the user data of whichever
+// version was last published — which fails if a cached image ever
+// survives the publish or removal that invalidated it.
+func TestCacheTransparencyUnderRandomOps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test skipped in -short mode")
+	}
+	rng := rand.New(rand.NewSource(20260729))
+	on := NewWithOptions(Options{CacheBytes: 64 << 20})
+	off := New()
+	systems := []*System{on, off}
+
+	names := []string{"Mini", "Redis", "PostgreSql", "Base"}
+	built := map[string]*Image{}
+	for _, n := range names {
+		img, err := on.BuildImage(n) // builders are equivalent; any System's works
+		if err != nil {
+			t.Fatal(err)
+		}
+		built[n] = img
+	}
+
+	version := map[string]int{}
+	published := map[string]bool{}
+
+	publish := func(name string) {
+		version[name]++
+		var reports []string
+		for _, sys := range systems {
+			img := &Image{inner: built[name].inner.Clone()}
+			if err := img.WriteUserFile("/home/user/version.txt",
+				[]byte(fmt.Sprintf("v%d", version[name]))); err != nil {
+				t.Fatalf("user file %s: %v", name, err)
+			}
+			pub, err := sys.Publish(img)
+			if err != nil {
+				t.Fatalf("publish %s v%d: %v", name, version[name], err)
+			}
+			reports = append(reports, renderPublish(pub))
+		}
+		if reports[0] != reports[1] {
+			t.Fatalf("publish %s v%d: reports diverge\ncached:   %s\nuncached: %s",
+				name, version[name], reports[0], reports[1])
+		}
+		published[name] = true
+	}
+
+	retrieve := func(name string) {
+		imgOn, retOn, errOn := on.Retrieve(name)
+		imgOff, retOff, errOff := off.Retrieve(name)
+		if errOn != nil || errOff != nil {
+			t.Fatalf("retrieve %s: cached err %v, uncached err %v", name, errOn, errOff)
+		}
+		if gotOn, gotOff := renderRetrieve(retOn), renderRetrieve(retOff); gotOn != gotOff {
+			t.Fatalf("retrieve %s: reports diverge\ncached:   %s\nuncached: %s", name, gotOn, gotOff)
+		}
+		onBytes := imgOn.inner.Disk.Serialize()
+		offBytes := imgOff.inner.Disk.Serialize()
+		if !bytes.Equal(onBytes, offBytes) {
+			t.Fatalf("retrieve %s: images diverge (%d vs %d bytes)", name, len(onBytes), len(offBytes))
+		}
+		// The image must carry the latest published user data — the check
+		// that catches a stale cache entry even if both systems were wrong
+		// in the same way.
+		fs, err := imgOn.inner.Mount()
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := fs.ReadFile("/home/user/version.txt")
+		if err != nil {
+			t.Fatalf("retrieve %s: version file: %v", name, err)
+		}
+		if want := fmt.Sprintf("v%d", version[name]); string(data) != want {
+			t.Fatalf("retrieve %s: user data %q, want %q (stale image served)", name, data, want)
+		}
+	}
+
+	remove := func(name string) {
+		errOn, errOff := on.Remove(name), off.Remove(name)
+		if (errOn == nil) != (errOff == nil) {
+			t.Fatalf("remove %s: cached err %v, uncached err %v", name, errOn, errOff)
+		}
+		published[name] = false
+	}
+
+	const ops = 90
+	for i := 0; i < ops; i++ {
+		name := names[rng.Intn(len(names))]
+		switch r := rng.Float64(); {
+		case r < 0.30:
+			publish(name)
+		case r < 0.90:
+			if published[name] {
+				retrieve(name)
+			}
+		default:
+			if published[name] {
+				remove(name)
+			}
+		}
+	}
+
+	// Final sweep: every still-published VMI compares clean, and the
+	// cached system's stats agree the test exercised the cache.
+	for _, name := range names {
+		if published[name] {
+			retrieve(name)
+		}
+	}
+	st := on.CacheStats()
+	if !st.Enabled {
+		t.Fatal("cache not enabled on the cached system")
+	}
+	if st.Hits == 0 {
+		t.Fatalf("sequence produced no cache hits (stats %+v); the property was not exercised", st)
+	}
+	if off.CacheStats().Enabled {
+		t.Fatal("uncached system reports an enabled cache")
+	}
+}

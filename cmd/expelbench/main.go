@@ -5,14 +5,18 @@
 //
 // Usage:
 //
-//	expelbench [-exp all|table2,fig3a,fig3b,fig3c,fig4a,fig4b,fig5a,fig5b,abl1,abl2,abl3,abl4,conc,persist] [-ide-builds 40] [-clients 8] [-backend memory|disk] [-store-root DIR]
+//	expelbench [-exp all|table2,fig3a,fig3b,fig3c,fig4a,fig4b,fig5a,fig5b,abl1,abl2,abl3,abl4,conc,persist,cachehit] [-ide-builds 40] [-clients 8] [-backend memory|disk] [-store-root DIR] [-cache BYTES] [-warm-iters 3]
 //
 // Every experiment runs against the blob backend named by -backend: the
 // in-memory sharded store (the default) or the durable on-disk segment
 // store, in which case each benchmarked system gets a fresh repository
 // directory under -store-root (OS temp dir when unset). The persist
 // experiment always uses the disk backend — it measures full vs
-// incremental sync and reopen.
+// incremental sync and reopen. -cache gives every benchmarked system a
+// retrieval cache of that many bytes (modeled results are unchanged; the
+// cache is cost-transparent); the cachehit experiment measures cold vs
+// warm retrieval of the Table II catalog and enables a 256 MiB cache for
+// itself when -cache is unset.
 package main
 
 import (
@@ -31,11 +35,13 @@ func main() {
 	clients := flag.Int("clients", 8, "worker-pool bound for the concurrent-publish scenario")
 	backend := flag.String("backend", "", "blob backend for every benchmarked system: memory (default) or disk")
 	storeRoot := flag.String("store-root", "", "directory for disk-backed repositories (default: OS temp dir)")
+	cacheBytes := flag.Int64("cache", 0, "retrieval-cache bytes for every benchmarked system (0 disables; cachehit defaults to 256 MiB for itself)")
+	warmIters := flag.Int("warm-iters", 3, "warm retrievals per image in the cachehit experiment")
 	flag.Parse()
 
 	selected := map[string]bool{}
 	if *exps == "all" {
-		for _, e := range []string{"table2", "fig3a", "fig3b", "fig3c", "fig4a", "fig4b", "fig5a", "fig5b", "abl1", "abl2", "abl3", "abl4", "conc", "persist"} {
+		for _, e := range []string{"table2", "fig3a", "fig3b", "fig3c", "fig4a", "fig4b", "fig5a", "fig5b", "abl1", "abl2", "abl3", "abl4", "conc", "persist", "cachehit"} {
 			selected[e] = true
 		}
 	} else {
@@ -50,6 +56,9 @@ func main() {
 	}
 	if *storeRoot != "" {
 		r.StoreRoot = *storeRoot
+	}
+	if *cacheBytes != 0 {
+		r.CacheBytes = *cacheBytes
 	}
 	run := func(name string, fn func() (fmt.Stringer, error)) {
 		if !selected[name] {
@@ -78,6 +87,7 @@ func main() {
 	run("abl4", func() (fmt.Stringer, error) { return r.AblationUploadOrder() })
 	run("conc", func() (fmt.Stringer, error) { return r.ConcurrentPublish(*clients) })
 	run("persist", func() (fmt.Stringer, error) { return r.Persistence() })
+	run("cachehit", func() (fmt.Stringer, error) { return r.CacheHit(*warmIters) })
 
 	// Closing disk-backed systems is where a sticky store failure (e.g. a
 	// full filesystem mid-run) surfaces; results printed above would

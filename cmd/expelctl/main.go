@@ -144,7 +144,11 @@ func saveIfRequested(sys *expelliarmus.System, file string) {
 	if file == "" {
 		return
 	}
-	if err := os.WriteFile(file, sys.Save(), 0o644); err != nil {
+	snap, err := sys.Save()
+	if err != nil {
+		fail(err)
+	}
+	if err := os.WriteFile(file, snap, 0o644); err != nil {
 		fail(err)
 	}
 	fmt.Printf("repository snapshot written to %s\n", file)

@@ -90,7 +90,7 @@ func TestConcurrentSystemStress(t *testing.T) {
 				return
 			}
 			// Final round trip on the quiesced system.
-			restored, err := Restore(sys.Save(), Options{Parallelism: 2})
+			restored, err := Restore(mustSave(t, sys), Options{Parallelism: 2})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -105,7 +105,7 @@ func TestConcurrentSystemStress(t *testing.T) {
 			return
 		default:
 		}
-		restored, err := Restore(sys.Save(), Options{})
+		restored, err := Restore(mustSave(t, sys), Options{})
 		if err != nil {
 			t.Fatalf("mid-flight snapshot %d: %v", snapshots, err)
 		}

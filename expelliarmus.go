@@ -54,6 +54,17 @@ type Options struct {
 	// e.g. two publishes racing on one shared package may both pay the
 	// repack cost sequential upload would have deduplicated away.
 	Parallelism int
+	// CacheBytes bounds the retrieval cache: a size-bounded LRU of
+	// recently assembled images that serves repeat Retrieve/RetrieveAll
+	// calls without re-running assembly. Zero (the default) disables it.
+	// The cache changes wall-clock time only — a hit returns the same
+	// image bytes and the same modeled RetrieveResult a fresh assembly
+	// would — and is invalidated by repository generation: any Publish,
+	// Remove or garbage collection makes every previously cached entry
+	// unreachable, so a stale image is never served. Cached entries are
+	// hash-verified on every hit; a corrupted entry surfaces as an error,
+	// never as wrong bytes. See CacheStats for effectiveness counters.
+	CacheBytes int64
 }
 
 // System is an Expelliarmus VMI management system over an in-memory
@@ -86,6 +97,7 @@ func coreOptions(o Options) core.Options {
 		NoSemanticDedup: o.NoSemanticDedup,
 		NoBaseSelection: o.NoBaseSelection,
 		Parallelism:     o.Parallelism,
+		CacheBytes:      o.CacheBytes,
 	}
 }
 
@@ -444,25 +456,62 @@ func (s *System) Remove(name string) error { return s.sys.Remove(name) }
 // Save may be called while other operations are in flight: it waits out
 // any metadata commit in progress, and the captured state is
 // transactionally consistent — every VMI it records is retrievable after
-// Restore.
-func (s *System) Save() []byte { return s.sys.Snapshot() }
+// Restore. On a disk-backed System, a blob the store can no longer read
+// faithfully (post-hoc disk damage) surfaces as an error here rather than
+// as a corrupt snapshot.
+func (s *System) Save() ([]byte, error) { return s.sys.Snapshot() }
 
 // Restore creates a System over a previously saved repository image.
 func Restore(snapshot []byte, o Options) (*System, error) {
-	dev := simio.NewDevice(simio.PaperProfile().Scaled(catalog.ByteScale, catalog.FileScale))
+	dev := newDevice()
 	repo, err := vmirepo.Load(snapshot, dev)
 	if err != nil {
 		return nil, err
 	}
 	return &System{
 		dev: dev,
-		sys: core.NewSystemWithRepo(repo, dev, core.Options{
-			NoSemanticDedup: o.NoSemanticDedup,
-			NoBaseSelection: o.NoBaseSelection,
-			Parallelism:     o.Parallelism,
-		}),
-		b: builder.New(catalog.NewUniverse()),
+		sys: core.NewSystemWithRepo(repo, dev, coreOptions(o)),
+		b:   builder.New(catalog.NewUniverse()),
 	}, nil
+}
+
+// CacheStats reports the retrieval cache's effectiveness. Enabled is
+// false (and every counter zero) when the System runs without a cache
+// (Options.CacheBytes == 0).
+type CacheStats struct {
+	Enabled bool
+	// Hits and Misses count Retrieve/RetrieveAll lookups; Puts counts
+	// assemblies inserted.
+	Hits, Misses, Puts int64
+	// Evictions counts entries dropped to honour CacheBytes; Rejected
+	// counts images too large to cache at all; Poisoned counts hits that
+	// failed content verification (each surfaced as a retrieval error).
+	Evictions, Rejected, Poisoned int64
+	// Entries and Bytes describe current occupancy; MaxBytes echoes
+	// Options.CacheBytes.
+	Entries  int
+	Bytes    int64
+	MaxBytes int64
+}
+
+// CacheStats returns current retrieval-cache counters.
+func (s *System) CacheStats() CacheStats {
+	st, ok := s.sys.CacheStats()
+	if !ok {
+		return CacheStats{}
+	}
+	return CacheStats{
+		Enabled:   true,
+		Hits:      st.Hits,
+		Misses:    st.Misses,
+		Puts:      st.Puts,
+		Evictions: st.Evictions,
+		Rejected:  st.Rejected,
+		Poisoned:  st.Poisoned,
+		Entries:   st.Entries,
+		Bytes:     st.Bytes,
+		MaxBytes:  st.MaxBytes,
+	}
 }
 
 // ContainerLayer describes one layer of an exported container image.

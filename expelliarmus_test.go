@@ -182,7 +182,7 @@ func TestFacadeRemoveAndPersistence(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	snap := sys.Save()
+	snap := mustSave(t, sys)
 	if len(snap) == 0 {
 		t.Fatal("empty snapshot")
 	}

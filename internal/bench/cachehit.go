@@ -1,0 +1,163 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"expelliarmus/internal/catalog"
+	"expelliarmus/internal/core"
+	"expelliarmus/internal/retrievecache"
+)
+
+// DefaultCacheBytes is the retrieval-cache budget the cachehit experiment
+// uses when the runner does not set one: large enough to hold the whole
+// Table II catalog, so the experiment measures hit latency, not eviction
+// policy.
+const DefaultCacheBytes = 256 << 20
+
+// CacheHitRow is one image's cold-vs-warm measurement.
+type CacheHitRow struct {
+	Image string
+	// ColdWall is the wall-clock time of the first retrieval (a cache
+	// miss that runs the full assembly and seeds the cache); WarmWall is
+	// the mean wall-clock time of the subsequent cache hits.
+	ColdWall, WarmWall time.Duration
+	// ModeledS is the modeled retrieval seconds — identical cold and warm
+	// by construction (the experiment fails otherwise), so one column
+	// suffices.
+	ModeledS float64
+}
+
+// Speedup is cold over warm wall-clock time.
+func (r CacheHitRow) Speedup() float64 {
+	if r.WarmWall <= 0 {
+		return 0
+	}
+	return float64(r.ColdWall) / float64(r.WarmWall)
+}
+
+// CacheHitResult reports the cachehit experiment: repeat retrieval of the
+// Table II catalog with the retrieval cache on, cold vs warm.
+type CacheHitResult struct {
+	Backend    string
+	CacheBytes int64
+	WarmIters  int
+	Rows       []CacheHitRow
+	// ColdTotal and WarmTotal aggregate the per-image walls (warm already
+	// averaged per image), so Speedup is the catalog-level answer to "how
+	// much faster is a repeat instantiation?".
+	ColdTotal, WarmTotal time.Duration
+	Stats                retrievecache.Stats
+}
+
+// Speedup is the aggregate cold/warm wall-clock ratio.
+func (c *CacheHitResult) Speedup() float64 {
+	if c.WarmTotal <= 0 {
+		return 0
+	}
+	return float64(c.ColdTotal) / float64(c.WarmTotal)
+}
+
+// String renders the experiment as a table.
+func (c *CacheHitResult) String() string {
+	backend := c.Backend
+	if backend == "" {
+		backend = "memory"
+	}
+	tbl := &Table{
+		Title: fmt.Sprintf("Retrieval cache: cold vs warm, 19 VMIs (%s backend, %d MiB cache, warm = mean of %d hits)",
+			backend, c.CacheBytes>>20, c.WarmIters),
+		Columns: []string{"VMI", "cold[ms]", "warm[ms]", "speedup", "modeled[s]"},
+	}
+	for _, row := range c.Rows {
+		tbl.AddRow(row.Image,
+			fmt.Sprintf("%.2f", row.ColdWall.Seconds()*1e3),
+			fmt.Sprintf("%.2f", row.WarmWall.Seconds()*1e3),
+			fmt.Sprintf("%.1fx", row.Speedup()),
+			fmt.Sprintf("%.1f", row.ModeledS))
+	}
+	tbl.AddRow("TOTAL",
+		fmt.Sprintf("%.2f", c.ColdTotal.Seconds()*1e3),
+		fmt.Sprintf("%.2f", c.WarmTotal.Seconds()*1e3),
+		fmt.Sprintf("%.1fx", c.Speedup()),
+		"")
+	return tbl.String() + fmt.Sprintf(
+		"cache: %d hits, %d misses, %d entries, %.1f MiB of %.1f MiB\n",
+		c.Stats.Hits, c.Stats.Misses, c.Stats.Entries,
+		float64(c.Stats.Bytes)/(1<<20), float64(c.Stats.MaxBytes)/(1<<20))
+}
+
+// CacheHit publishes the Table II catalog into a cache-enabled system on
+// the runner's backend, then retrieves every image once cold and
+// warmIters times warm, measuring wall-clock time. It verifies the
+// transparency contract as it goes: warm retrievals must return
+// byte-identical images and identical modeled seconds, or the experiment
+// errors out — a benchmark that silently measured wrong bytes would be
+// worse than none.
+func (r *Runner) CacheHit(warmIters int) (*CacheHitResult, error) {
+	if warmIters <= 0 {
+		warmIters = 3
+	}
+	opts := core.Options{CacheBytes: r.CacheBytes}
+	if opts.CacheBytes <= 0 {
+		opts.CacheBytes = DefaultCacheBytes
+	}
+	sys, err := r.NewCoreSystem(opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &CacheHitResult{Backend: r.Backend, CacheBytes: opts.CacheBytes, WarmIters: warmIters}
+
+	tpls := catalog.Paper19()
+	for _, t := range tpls {
+		img, err := r.WL.Image(t)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := sys.Publish(img); err != nil {
+			return nil, fmt.Errorf("bench: cachehit publish %s: %w", t.Name, err)
+		}
+	}
+
+	for _, t := range tpls {
+		start := time.Now()
+		coldImg, coldRep, err := sys.Retrieve(t.Name)
+		if err != nil {
+			return nil, fmt.Errorf("bench: cachehit cold retrieve %s: %w", t.Name, err)
+		}
+		row := CacheHitRow{Image: t.Name, ColdWall: time.Since(start), ModeledS: coldRep.Seconds()}
+		coldBytes := coldImg.Disk.Serialize()
+
+		var warm time.Duration
+		for i := 0; i < warmIters; i++ {
+			start = time.Now()
+			warmImg, warmRep, err := sys.Retrieve(t.Name)
+			if err != nil {
+				return nil, fmt.Errorf("bench: cachehit warm retrieve %s: %w", t.Name, err)
+			}
+			warm += time.Since(start)
+			if got := warmRep.Seconds(); got != row.ModeledS {
+				return nil, fmt.Errorf("bench: cachehit %s: warm modeled %.6fs != cold %.6fs — cache is not cost-transparent",
+					t.Name, got, row.ModeledS)
+			}
+			if i == 0 && !bytes.Equal(warmImg.Disk.Serialize(), coldBytes) {
+				return nil, fmt.Errorf("bench: cachehit %s: warm image bytes differ from cold", t.Name)
+			}
+		}
+		row.WarmWall = warm / time.Duration(warmIters)
+		res.ColdTotal += row.ColdWall
+		res.WarmTotal += row.WarmWall
+		res.Rows = append(res.Rows, row)
+	}
+
+	st, ok := sys.CacheStats()
+	if !ok {
+		return nil, fmt.Errorf("bench: cachehit: cache unexpectedly disabled")
+	}
+	if want := int64(len(tpls) * warmIters); st.Hits != want {
+		return nil, fmt.Errorf("bench: cachehit: %d hits, want %d — warm retrievals did not come from the cache", st.Hits, want)
+	}
+	res.Stats = st
+	return res, nil
+}

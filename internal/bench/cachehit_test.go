@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCacheHitExperiment runs the cachehit experiment on the configured
+// backend (memory by default; CI's disk job sets EXPELBENCH_BACKEND=disk)
+// and checks the acceptance property: warm retrieval of a repeated
+// Table II image is at least 2x faster than cold in wall-clock time,
+// while modeled seconds and image bytes stay identical (CacheHit itself
+// errors on any transparency violation).
+func TestCacheHitExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cachehit experiment skipped in -short mode")
+	}
+	r := NewRunner()
+	res, err := r.CacheHit(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := r.CloseAll(); err != nil {
+			t.Errorf("CloseAll: %v", err)
+		}
+	}()
+	if len(res.Rows) != 19 {
+		t.Fatalf("rows = %d, want the 19 Table II images", len(res.Rows))
+	}
+	if got := res.Speedup(); got < 2 {
+		t.Fatalf("aggregate warm speedup %.2fx < 2x\n%s", got, res)
+	}
+	if res.Stats.Poisoned != 0 || res.Stats.Evictions != 0 {
+		t.Fatalf("unexpected cache churn during the experiment: %+v", res.Stats)
+	}
+	out := res.String()
+	for _, want := range []string{"Retrieval cache", "TOTAL", "cache:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -8,6 +8,7 @@ package bench
 import (
 	"fmt"
 	"os"
+	"strconv"
 	"sync"
 
 	"expelliarmus/internal/builder"
@@ -68,24 +69,47 @@ type Runner struct {
 	// subdirectory per system); empty means the OS temp dir. Directories
 	// are left behind for inspection — benchmarks, not production.
 	StoreRoot string
+	// CacheBytes enables the retrieval cache on every benchmarked
+	// Expelliarmus system (zero, the default, leaves it off). Because the
+	// cache is transparent at the cost-model level, every experiment's
+	// modeled numbers are identical with it on or off — which the
+	// cache-enabled CI leg verifies by rerunning this whole suite.
+	CacheBytes int64
 
 	mu     sync.Mutex
 	opened []*core.System // disk-backed systems to close via CloseAll
+
+	// envErr records a malformed EXPELBENCH_* value from NewRunner; it is
+	// surfaced by NewCoreSystem so a typo'd environment fails the run
+	// loudly instead of silently benchmarking a different configuration.
+	envErr error
 }
 
 // NewRunner returns a runner using the paper-calibrated device profile
 // scaled to the generated workload. The backend defaults to in-memory but
-// honours the EXPELBENCH_BACKEND and EXPELBENCH_STORE_ROOT environment
-// variables, so the identical benchmark (and test) suite can be pointed at
-// the disk store with nothing recompiled — CI's disk-backend job does
-// exactly that.
+// honours the EXPELBENCH_BACKEND, EXPELBENCH_STORE_ROOT and
+// EXPELBENCH_CACHE (retrieval-cache bytes) environment variables, so the
+// identical benchmark (and test) suite can be pointed at the disk store
+// or run cache-enabled with nothing recompiled — CI's disk-backend and
+// cache legs do exactly that.
 func NewRunner() *Runner {
-	return &Runner{
+	r := &Runner{
 		Backend:   os.Getenv("EXPELBENCH_BACKEND"),
 		StoreRoot: os.Getenv("EXPELBENCH_STORE_ROOT"),
 		Dev:       simio.NewDevice(simio.PaperProfile().Scaled(catalog.ByteScale, catalog.FileScale)),
 		WL:        NewWorkload(),
 	}
+	if v := os.Getenv("EXPELBENCH_CACHE"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			// Do not run cacheless and report green: the cache-enabled CI
+			// leg exists to verify cost transparency, so a malformed value
+			// must fail the run (via NewCoreSystem), not disable the cache.
+			r.envErr = fmt.Errorf("bench: EXPELBENCH_CACHE=%q: %w", v, err)
+		}
+		r.CacheBytes = n
+	}
+	return r
 }
 
 // NewDiskRepo creates a fresh disk-backed repository in its own directory
@@ -110,10 +134,17 @@ func (r *Runner) NewDiskRepo(prefix string) (string, *vmirepo.Repo, error) {
 }
 
 // NewCoreSystem creates a fresh Expelliarmus core system over the
-// runner's selected backend. Disk-backed systems are tracked; call
-// CloseAll when the experiments are done so sticky I/O failures surface
-// and file handles are released.
+// runner's selected backend, with the runner's retrieval-cache budget
+// unless the experiment set its own. Disk-backed systems are tracked;
+// call CloseAll when the experiments are done so sticky I/O failures
+// surface and file handles are released.
 func (r *Runner) NewCoreSystem(opts core.Options) (*core.System, error) {
+	if r.envErr != nil {
+		return nil, r.envErr
+	}
+	if opts.CacheBytes == 0 {
+		opts.CacheBytes = r.CacheBytes
+	}
 	switch r.Backend {
 	case "", "memory":
 		return core.NewSystem(r.Dev, opts), nil

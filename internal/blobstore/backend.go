@@ -40,8 +40,10 @@ type Backend interface {
 	// IDs returns all live blob IDs in lexicographic order.
 	IDs() []ID
 	// Snapshot serialises live blobs and reference counts in the
-	// deterministic EXPBLB1 format.
-	Snapshot() []byte
+	// deterministic EXPBLB1 format. A backend that can no longer read a
+	// live blob faithfully (e.g. post-hoc disk damage) must return an
+	// error rather than serialise wrong or partial content.
+	Snapshot() ([]byte, error)
 }
 
 // SyncStats reports what one durable sync wrote. For the disk backend a

@@ -232,7 +232,15 @@ func testSnapshotEquivalence(t *testing.T, b blobstore.Backend) {
 			}
 		}
 	}
-	if got, want := b.Snapshot(), ref.Snapshot(); !bytes.Equal(got, want) {
+	got, err := b.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	want, err := ref.Snapshot()
+	if err != nil {
+		t.Fatalf("reference Snapshot: %v", err)
+	}
+	if !bytes.Equal(got, want) {
 		t.Fatalf("Snapshot differs from in-memory reference: %d vs %d bytes", len(got), len(want))
 	}
 }
@@ -255,7 +263,11 @@ func testSnapshotLoad(t *testing.T, b blobstore.Backend) {
 		}
 		blobs[id] = blob{data: data, refs: refs}
 	}
-	restored, err := blobstore.Load(b.Snapshot())
+	img, err := b.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	restored, err := blobstore.Load(img)
 	if err != nil {
 		t.Fatalf("Load(Snapshot): %v", err)
 	}

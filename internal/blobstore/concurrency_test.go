@@ -127,7 +127,10 @@ func TestSnapshotUnderConcurrentTraffic(t *testing.T) {
 		}(w)
 	}
 	for i := 0; i < 20; i++ {
-		snap := s.Snapshot()
+		snap, err := s.Snapshot()
+		if err != nil {
+			t.Fatalf("snapshot %d: %v", i, err)
+		}
 		restored, err := Load(snap)
 		if err != nil {
 			t.Fatalf("snapshot %d: %v", i, err)

@@ -672,29 +672,28 @@ func (s *Store) IDs() []blobstore.ID {
 
 // Snapshot serialises live blobs and reference counts in the EXPBLB1
 // format — byte-identical to what the in-memory store with the same
-// contents would produce.
-func (s *Store) Snapshot() []byte {
+// contents would produce. A blob that can no longer be read faithfully
+// (post-hoc disk damage) surfaces as an error: skipping it silently would
+// corrupt the snapshot, and serialising damaged bytes would strand the
+// metadata saved alongside (Load re-derives IDs from content).
+func (s *Store) Snapshot() ([]byte, error) {
 	s.mu.RLock()
 	entries := make([]blobstore.SnapshotEntry, 0, len(s.blobs))
 	for id, e := range s.blobs {
 		data, err := s.readLocked(e)
 		if err == nil && blobstore.Sum(data) != id {
 			// Same re-verification Get does: bit-rotted bytes must not be
-			// serialised as blob content (Load would re-derive a different
-			// ID and strand the metadata saved alongside).
+			// serialised as blob content.
 			err = fmt.Errorf("content hash mismatch")
 		}
 		if err != nil {
-			// A blob that cannot be read faithfully cannot be serialised;
-			// skipping it silently would corrupt the snapshot, so panic on
-			// what is an unreadable-disk invariant violation.
 			s.mu.RUnlock()
-			panic(fmt.Sprintf("diskstore: snapshot read %s: %v", id, err))
+			return nil, fmt.Errorf("diskstore: snapshot read %s: %w", id, err)
 		}
 		entries = append(entries, blobstore.SnapshotEntry{ID: id, Refs: e.refs, Data: data})
 	}
 	s.mu.RUnlock()
-	return blobstore.EncodeSnapshot(entries)
+	return blobstore.EncodeSnapshot(entries), nil
 }
 
 // syncSegmentsLocked fsyncs every segment with bytes appended since the

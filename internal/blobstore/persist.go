@@ -44,8 +44,10 @@ func EncodeSnapshot(entries []SnapshotEntry) []byte {
 // Snapshot serialises the store — blob contents and reference counts — in
 // deterministic (ID-sorted) order. Each shard is captured under its read
 // lock; blob contents are immutable once stored, so the serialized bytes
-// are exact even when concurrent readers are active.
-func (s *Store) Snapshot() []byte {
+// are exact even when concurrent readers are active. The in-memory store
+// cannot suffer post-hoc damage, so its error is always nil (the signature
+// exists for durable backends, which can).
+func (s *Store) Snapshot() ([]byte, error) {
 	var snap []SnapshotEntry
 	for i := range s.shards {
 		sh := &s.shards[i]
@@ -55,7 +57,7 @@ func (s *Store) Snapshot() []byte {
 		}
 		sh.mu.RUnlock()
 	}
-	return EncodeSnapshot(snap)
+	return EncodeSnapshot(snap), nil
 }
 
 // Load restores a store from a Snapshot image. Blob IDs are recomputed

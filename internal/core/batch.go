@@ -60,8 +60,10 @@ func (s *System) RetrieveAll(names []string) ([]*vmi.Image, []*RetrieveReport, e
 // in-flight metadata commit (and, through the repository, any in-flight
 // store operation), so the captured image is transactionally consistent:
 // every VMI recorded in it is fully retrievable after Load, even when the
-// snapshot is taken while concurrent traffic is running.
-func (s *System) Snapshot() []byte {
+// snapshot is taken while concurrent traffic is running. A blob the
+// backend can no longer read faithfully surfaces as an error rather than
+// a corrupt snapshot.
+func (s *System) Snapshot() ([]byte, error) {
 	s.commitMu.Lock()
 	defer s.commitMu.Unlock()
 	return s.repo.Snapshot()

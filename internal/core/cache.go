@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+
+	"expelliarmus/internal/retrievecache"
+	"expelliarmus/internal/simio"
+	"expelliarmus/internal/vdisk"
+	"expelliarmus/internal/vmi"
+	"expelliarmus/internal/vmirepo"
+)
+
+// newCache builds the retrieval cache selected by the options (nil when
+// disabled).
+func newCache(opts Options) *retrievecache.Cache {
+	if opts.CacheBytes <= 0 {
+		return nil
+	}
+	return retrievecache.New(opts.CacheBytes)
+}
+
+// CacheStats returns the retrieval cache's counters; ok is false when the
+// system runs without a cache.
+func (s *System) CacheStats() (st retrievecache.Stats, ok bool) {
+	if s.cache == nil {
+		return retrievecache.Stats{}, false
+	}
+	return s.cache.Stats(), true
+}
+
+// materializeCached turns a verified cache entry into a fresh image and
+// report. The image is deserialized from the cached bytes (a full copy —
+// callers may mutate the result without touching the cache), and the
+// report replays the cold retrieval's per-phase charges into a fresh
+// meter, so a hit's report is byte-identical to the miss that seeded it.
+func (s *System) materializeCached(name string, rec vmirepo.VMIRecord, ent *retrievecache.Entry) (*vmi.Image, *RetrieveReport, error) {
+	disk, err := vdisk.Deserialize(name, ent.Image)
+	if err != nil {
+		// The bytes hashed correctly, so this is an insertion-side bug,
+		// not bit rot — surface it rather than fall back silently.
+		return nil, nil, fmt.Errorf("core: retrieve %s: decode cached image: %w", name, err)
+	}
+	rep := &RetrieveReport{
+		Image:         name,
+		Imported:      append([]string(nil), ent.Imported...),
+		ImportedBytes: ent.ImportedBytes,
+		Meter:         &simio.Meter{},
+	}
+	for ph, d := range ent.Phases {
+		rep.Meter.Charge(ph, d)
+	}
+	return &vmi.Image{
+		Name:      name,
+		Base:      ent.Base,
+		Primaries: append([]string(nil), rec.Primaries...),
+		Disk:      disk,
+	}, rep, nil
+}
+
+// cacheAssembled inserts a completed assembly, but only when the
+// repository generation is still the one captured before the retrieval's
+// first read. An unchanged generation proves no mutation committed
+// anywhere inside the assembly window (the repository bumps it both
+// before and after every mutation), so the serialized bytes are a
+// faithful image of generation `gen` and safe to serve to any later
+// lookup under the same generation. If the check fails the assembly is
+// simply not cached — correctness never depends on an insert happening.
+func (s *System) cacheAssembled(key retrievecache.Key, gen uint64, img *vmi.Image, rep *RetrieveReport) {
+	if s.repo.Generation() != gen {
+		return
+	}
+	// AllocatedBytes is a lower bound on the serialized size (data
+	// clusters without tables); when it alone exceeds the whole budget,
+	// skip the Serialize + hash the cache would reject anyway, so an
+	// uncacheably large image costs its misses nothing.
+	if img.Disk.AllocatedBytes() > s.cache.MaxBytes() {
+		return
+	}
+	s.cache.Put(key, retrievecache.NewEntry(
+		img.Disk.Serialize(), img.Base, rep.Imported, rep.ImportedBytes, rep.Meter.Snapshot()))
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"expelliarmus/internal/retrievecache"
+)
+
+const testCacheBytes = 64 << 20
+
+// retrieveTrace captures everything a retrieval reports, for equality
+// checks between cold and warm paths.
+type retrieveTrace struct {
+	image    []byte
+	imported []string
+	bytes    int64
+	seconds  float64
+	phases   string
+}
+
+func traceRetrieve(t *testing.T, s *System, name string) retrieveTrace {
+	t.Helper()
+	img, rep, err := s.Retrieve(name)
+	if err != nil {
+		t.Fatalf("retrieve %s: %v", name, err)
+	}
+	return retrieveTrace{
+		image:    img.Disk.Serialize(),
+		imported: rep.Imported,
+		bytes:    rep.ImportedBytes,
+		seconds:  rep.Seconds(),
+		phases:   rep.Meter.String(),
+	}
+}
+
+// TestCacheHitMatchesColdRetrieval pins the transparency contract: a warm
+// retrieval returns byte-identical image content and a byte-identical
+// modeled report — the cache may only change wall-clock time.
+func TestCacheHitMatchesColdRetrieval(t *testing.T) {
+	s, b := newSystem(t, Options{CacheBytes: testCacheBytes})
+	for _, n := range []string{"Mini", "Redis"} {
+		if _, err := s.Publish(buildImage(t, b, n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cold := traceRetrieve(t, s, "Redis")
+	warm := traceRetrieve(t, s, "Redis")
+	if !bytes.Equal(cold.image, warm.image) {
+		t.Fatalf("warm image differs from cold: %d vs %d bytes", len(warm.image), len(cold.image))
+	}
+	if !reflect.DeepEqual(cold.imported, warm.imported) || cold.bytes != warm.bytes {
+		t.Fatalf("warm import report differs: %v/%d vs %v/%d",
+			warm.imported, warm.bytes, cold.imported, cold.bytes)
+	}
+	if cold.seconds != warm.seconds || cold.phases != warm.phases {
+		t.Fatalf("warm modeled cost differs:\ncold %s\nwarm %s", cold.phases, warm.phases)
+	}
+	st, ok := s.CacheStats()
+	if !ok {
+		t.Fatal("cache enabled but CacheStats reports disabled")
+	}
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 1 put", st)
+	}
+}
+
+// TestCacheInvalidatedByAnyMutation checks generation invalidation from
+// the side the cache cannot see: after an unrelated publish and after a
+// removal, a repeat retrieval must miss (fresh generation) yet still
+// return identical results.
+func TestCacheInvalidatedByAnyMutation(t *testing.T) {
+	s, b := newSystem(t, Options{CacheBytes: testCacheBytes})
+	for _, n := range []string{"Mini", "Redis"} {
+		if _, err := s.Publish(buildImage(t, b, n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	first := traceRetrieve(t, s, "Redis") // miss + insert
+
+	if _, err := s.Publish(buildImage(t, b, "PostgreSql")); err != nil {
+		t.Fatal(err)
+	}
+	second := traceRetrieve(t, s, "Redis") // generation moved: miss again
+	if !bytes.Equal(first.image, second.image) {
+		t.Fatal("retrieval after unrelated publish returned different bytes")
+	}
+
+	if err := s.Remove("Mini"); err != nil {
+		t.Fatal(err)
+	}
+	third := traceRetrieve(t, s, "Redis") // removal moved it again
+	if !bytes.Equal(first.image, third.image) {
+		t.Fatal("retrieval after removal returned different bytes")
+	}
+
+	st, _ := s.CacheStats()
+	if st.Misses != 3 || st.Hits != 0 {
+		t.Fatalf("stats = %+v: every retrieval should have missed (generation moved)", st)
+	}
+
+	// With the repository quiet again, the cache warms back up.
+	warm := traceRetrieve(t, s, "Redis")
+	if !bytes.Equal(first.image, warm.image) {
+		t.Fatal("warm retrieval differs")
+	}
+	if st, _ := s.CacheStats(); st.Hits != 1 {
+		t.Fatalf("stats = %+v: quiet repeat should hit", st)
+	}
+}
+
+// TestRetrieveAllUsesCache checks the batch path shares the cache.
+func TestRetrieveAllUsesCache(t *testing.T) {
+	s, b := newSystem(t, Options{CacheBytes: testCacheBytes, Parallelism: 4})
+	names := []string{"Mini", "Redis", "PostgreSql"}
+	for _, n := range names {
+		if _, err := s.Publish(buildImage(t, b, n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := s.RetrieveAll(names); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.RetrieveAll(names); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := s.CacheStats()
+	if st.Misses != int64(len(names)) || st.Hits != int64(len(names)) {
+		t.Fatalf("stats = %+v, want %d misses then %d hits", st, len(names), len(names))
+	}
+}
+
+// TestPoisonedEntrySurfacesAsError corrupts a cached image in place and
+// checks the next retrieval fails loudly instead of returning wrong
+// bytes — and that the poisoned entry is evicted, so the retrieval after
+// that reassembles cleanly.
+func TestPoisonedEntrySurfacesAsError(t *testing.T) {
+	s, b := newSystem(t, Options{CacheBytes: testCacheBytes})
+	if _, err := s.Publish(buildImage(t, b, "Redis")); err != nil {
+		t.Fatal(err)
+	}
+	clean := traceRetrieve(t, s, "Redis") // insert
+
+	// Reach into the cache exactly as the retrieval path would and flip a
+	// bit in the stored image — simulated bit rot.
+	rec, err := s.repo.GetVMI("Redis", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := retrievecache.NewKey(rec.BaseID, rec.Primaries, "Redis", s.repo.Generation())
+	ent, err := s.cache.Get(key)
+	if err != nil || ent == nil {
+		t.Fatalf("cached entry not found: %v", err)
+	}
+	ent.Image[len(ent.Image)/2] ^= 0x01
+
+	if _, _, err := s.Retrieve("Redis"); !errors.Is(err, retrievecache.ErrPoisoned) {
+		t.Fatalf("retrieve over poisoned entry returned %v, want ErrPoisoned", err)
+	}
+	// The entry was evicted: the next retrieval reassembles and matches.
+	recovered := traceRetrieve(t, s, "Redis")
+	if !bytes.Equal(clean.image, recovered.image) {
+		t.Fatal("recovery after poison returned different bytes")
+	}
+	st, _ := s.CacheStats()
+	if st.Poisoned != 1 {
+		t.Fatalf("stats = %+v, want Poisoned = 1", st)
+	}
+}
+
+// TestCacheDisabledByDefault: the zero options run without a cache and
+// CacheStats says so.
+func TestCacheDisabledByDefault(t *testing.T) {
+	s, b := newSystem(t, Options{})
+	if _, err := s.Publish(buildImage(t, b, "Mini")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Retrieve("Mini"); err != nil {
+		t.Fatal(err)
+	}
+	if st, ok := s.CacheStats(); ok || st != (retrievecache.Stats{}) {
+		t.Fatalf("cache unexpectedly enabled: %+v", st)
+	}
+}

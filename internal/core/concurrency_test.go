@@ -270,7 +270,10 @@ func TestSnapshotDuringTraffic(t *testing.T) {
 	}
 
 	for i := 0; i < 5; i++ {
-		snap := s.Snapshot()
+		snap, err := s.Snapshot()
+		if err != nil {
+			t.Fatalf("snapshot %d: %v", i, err)
+		}
 		repo, err := vmirepo.Load(snap, testDev)
 		if err != nil {
 			t.Fatalf("snapshot %d: %v", i, err)

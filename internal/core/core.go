@@ -21,6 +21,7 @@ import (
 	"expelliarmus/internal/pkgmeta"
 	"expelliarmus/internal/pkgmgr"
 	"expelliarmus/internal/pool"
+	"expelliarmus/internal/retrievecache"
 	"expelliarmus/internal/semgraph"
 	"expelliarmus/internal/similarity"
 	"expelliarmus/internal/simio"
@@ -51,6 +52,16 @@ type Options struct {
 	// overlapping operations can shift modeled totals slightly, e.g. when
 	// two publishes race to repack one shared package.
 	Parallelism int
+	// CacheBytes bounds the retrieval cache: an LRU of recently assembled
+	// images keyed by (base image, primary set, user-data source,
+	// repository generation) that serves repeat retrievals without
+	// re-running Algorithm 3. Zero (the default) disables caching. The
+	// cache is transparent at the cost-model level — a hit replays the
+	// cold retrieval's modeled charges exactly — and invalidation is by
+	// repository generation: any publish, removal or GC moves lookups to
+	// fresh keys, so a cached image is never served after its constituent
+	// packages change.
+	CacheBytes int64
 }
 
 // System is the Expelliarmus VMI management system. One System may serve
@@ -71,6 +82,10 @@ type System struct {
 	dev  *simio.Device
 	opts Options
 
+	// cache is the retrieval cache (nil when Options.CacheBytes is zero);
+	// see cache.go for the hit/insert protocol.
+	cache *retrievecache.Cache
+
 	// commitMu serialises multi-step metadata transactions: the tail of
 	// Publish (Algorithm 2 + master-graph update + VMI record), the whole
 	// of Remove, and Snapshot.
@@ -84,7 +99,7 @@ type System struct {
 
 // NewSystem creates a system over a fresh repository.
 func NewSystem(dev *simio.Device, opts Options) *System {
-	return &System{repo: vmirepo.New(dev), dev: dev, opts: opts, pinned: make(map[string]int)}
+	return &System{repo: vmirepo.New(dev), dev: dev, opts: opts, cache: newCache(opts), pinned: make(map[string]int)}
 }
 
 // parallelism returns the effective worker bound (at least one).
@@ -573,18 +588,42 @@ func (s *System) Retrieve(name string) (*vmi.Image, *RetrieveReport, error) {
 }
 
 // retrieve is Retrieve with an explicit worker bound for the per-group
-// package fetches (1 when called from RetrieveAll).
+// package fetches (1 when called from RetrieveAll). When the retrieval
+// cache is enabled, the repository generation is captured before the
+// record read: a hit under that generation is served from the cache
+// (hash-verified, modeled charges replayed), and a completed assembly is
+// inserted only if the generation is still unchanged — so an assembly
+// that raced a publish or removal can never be cached under a key a later
+// lookup would trust.
 func (s *System) retrieve(name string, workers int) (*vmi.Image, *RetrieveReport, error) {
 	const maxAttempts = 3
 	var lastErr error
 	for attempt := 0; attempt < maxAttempts; attempt++ {
 		rep := &RetrieveReport{Image: name, Meter: &simio.Meter{}}
+		var gen uint64
+		if s.cache != nil {
+			gen = s.repo.Generation()
+		}
 		rec, err := s.repo.GetVMI(name, rep.Meter)
 		if err != nil {
 			return nil, nil, err
 		}
+		var key retrievecache.Key
+		if s.cache != nil {
+			key = retrievecache.NewKey(rec.BaseID, rec.Primaries, name, gen)
+			ent, err := s.cache.Get(key)
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: retrieve %s: %w", name, err)
+			}
+			if ent != nil {
+				return s.materializeCached(name, rec, ent)
+			}
+		}
 		img, err := s.assemble(name, rec.BaseID, rec.Primaries, name, rep, workers)
 		if err == nil {
+			if s.cache != nil {
+				s.cacheAssembled(key, gen, img, rep)
+			}
 			return img, rep, nil
 		}
 		if !errors.Is(err, vmirepo.ErrNotFound) {

@@ -12,7 +12,7 @@ import (
 // NewSystemWithRepo creates a system over an existing repository (e.g. one
 // restored from a snapshot).
 func NewSystemWithRepo(repo *vmirepo.Repo, dev *simio.Device, opts Options) *System {
-	return &System{repo: repo, dev: dev, opts: opts, pinned: make(map[string]int)}
+	return &System{repo: repo, dev: dev, opts: opts, cache: newCache(opts), pinned: make(map[string]int)}
 }
 
 // vmiPackageRefs returns the non-base package refs a VMI's assembly pulls

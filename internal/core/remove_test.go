@@ -109,7 +109,10 @@ func TestSnapshotRestoreRoundTrip(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	img := s.Repo().Snapshot()
+	img, err := s.Repo().Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	restored, err := vmirepo.Load(img, testDev)
 	if err != nil {

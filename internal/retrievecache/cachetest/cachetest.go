@@ -1,0 +1,348 @@
+// Package cachetest is the shared conformance suite for retrieval-cache
+// implementations, mirroring internal/blobstore/blobstoretest: it pins the
+// exact fill/evict ordering, hit byte-identity, verification and stats
+// accounting semantics an alternative cache (a sharded or persistent one,
+// say) must reproduce before the core can trust it. Run the suite under
+// -race; several subtests exercise concurrent access.
+package cachetest
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"expelliarmus/internal/pkgmeta"
+	"expelliarmus/internal/retrievecache"
+	"expelliarmus/internal/simio"
+)
+
+// Cache is the surface an implementation must provide. The concrete
+// *retrievecache.Cache satisfies it.
+type Cache interface {
+	Get(retrievecache.Key) (*retrievecache.Entry, error)
+	Put(retrievecache.Key, *retrievecache.Entry) bool
+	Remove(retrievecache.Key) bool
+	Len() int
+	Stats() retrievecache.Stats
+}
+
+// Factory creates an empty cache bounded to maxBytes.
+type Factory func(maxBytes int64) Cache
+
+// Run executes the conformance suite against caches built by the factory.
+func Run(t *testing.T, factory Factory) {
+	t.Run("HitByteIdentity", func(t *testing.T) { testHitByteIdentity(t, factory) })
+	t.Run("MissThenHit", func(t *testing.T) { testMissThenHit(t, factory) })
+	t.Run("KeyNormalisation", func(t *testing.T) { testKeyNormalisation(t, factory) })
+	t.Run("GenerationsAreDistinctKeys", func(t *testing.T) { testGenerationKeys(t, factory) })
+	t.Run("FillEvictOrdering", func(t *testing.T) { testFillEvictOrdering(t, factory) })
+	t.Run("GetRefreshesRecency", func(t *testing.T) { testGetRefreshesRecency(t, factory) })
+	t.Run("ReplaceSameKey", func(t *testing.T) { testReplaceSameKey(t, factory) })
+	t.Run("OversizedRejected", func(t *testing.T) { testOversizedRejected(t, factory) })
+	t.Run("StatsAccounting", func(t *testing.T) { testStatsAccounting(t, factory) })
+	t.Run("PoisonDetected", func(t *testing.T) { testPoisonDetected(t, factory) })
+	t.Run("Remove", func(t *testing.T) { testRemove(t, factory) })
+	t.Run("ConcurrentMixed", func(t *testing.T) { testConcurrentMixed(t, factory) })
+}
+
+// keyOf builds a distinct, deterministic key for index i.
+func keyOf(i int) retrievecache.Key {
+	return retrievecache.NewKey(
+		fmt.Sprintf("base-%04d", i),
+		[]string{"pkg-a", fmt.Sprintf("pkg-%d", i)},
+		fmt.Sprintf("vmi-%d", i),
+		uint64(i%3),
+	)
+}
+
+// entryOf builds a deterministic entry whose image is `size` bytes.
+func entryOf(i, size int) *retrievecache.Entry {
+	img := bytes.Repeat([]byte{byte(i)}, size)
+	return retrievecache.NewEntry(
+		img,
+		pkgmeta.BaseAttrs{Type: "server", Distro: "ubuntu", Version: "18.04", Arch: "amd64"},
+		[]string{fmt.Sprintf("pkg-%d", i), "pkg-a"},
+		int64(size),
+		map[simio.Phase]time.Duration{
+			simio.PhaseCopy:   time.Duration(i+1) * time.Second,
+			simio.PhaseImport: time.Duration(i+1) * time.Millisecond,
+		},
+	)
+}
+
+func testHitByteIdentity(t *testing.T, factory Factory) {
+	c := factory(1 << 20)
+	want := entryOf(7, 1024)
+	// Keep an independent copy: the cache owns the bytes it was handed.
+	wantImg := append([]byte(nil), want.Image...)
+	if !c.Put(keyOf(7), want) {
+		t.Fatal("Put rejected a fitting entry")
+	}
+	got, err := c.Get(keyOf(7))
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if got == nil {
+		t.Fatal("miss for a resident key")
+	}
+	if !bytes.Equal(got.Image, wantImg) {
+		t.Fatal("hit returned different image bytes than were inserted")
+	}
+	if !reflect.DeepEqual(got.Imported, []string{"pkg-7", "pkg-a"}) {
+		t.Fatalf("hit lost the imported list: %v", got.Imported)
+	}
+	if got.ImportedBytes != 1024 {
+		t.Fatalf("hit lost ImportedBytes: %d", got.ImportedBytes)
+	}
+	if got.Phases[simio.PhaseCopy] != 8*time.Second {
+		t.Fatalf("hit lost the phase decomposition: %v", got.Phases)
+	}
+	// Repeated hits stay byte-identical.
+	again, err := c.Get(keyOf(7))
+	if err != nil || again == nil || !bytes.Equal(again.Image, wantImg) {
+		t.Fatalf("second hit differs: %v", err)
+	}
+}
+
+func testMissThenHit(t *testing.T, factory Factory) {
+	c := factory(1 << 20)
+	if e, err := c.Get(keyOf(1)); err != nil || e != nil {
+		t.Fatalf("empty cache returned %v, %v", e, err)
+	}
+	c.Put(keyOf(1), entryOf(1, 64))
+	if e, err := c.Get(keyOf(1)); err != nil || e == nil {
+		t.Fatalf("hit after put returned %v, %v", e, err)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 {
+		t.Fatalf("stats = %+v, want 1 hit, 1 miss, 1 put", st)
+	}
+}
+
+func testKeyNormalisation(t *testing.T, factory Factory) {
+	c := factory(1 << 20)
+	k1 := retrievecache.NewKey("base", []string{"redis", "apache2", "nginx"}, "vmi", 4)
+	k2 := retrievecache.NewKey("base", []string{"nginx", "redis", "apache2"}, "vmi", 4)
+	if k1 != k2 {
+		t.Fatalf("primary order changed the key: %+v vs %+v", k1, k2)
+	}
+	c.Put(k1, entryOf(1, 64))
+	if e, err := c.Get(k2); err != nil || e == nil {
+		t.Fatal("permuted primary set missed")
+	}
+	// Differing user-data sources must not share an entry.
+	k3 := retrievecache.NewKey("base", []string{"redis", "apache2", "nginx"}, "other-vmi", 4)
+	if e, err := c.Get(k3); err != nil || e != nil {
+		t.Fatal("different user-data source hit the same entry")
+	}
+}
+
+func testGenerationKeys(t *testing.T, factory Factory) {
+	c := factory(1 << 20)
+	old := retrievecache.NewKey("base", []string{"redis"}, "vmi", 10)
+	c.Put(old, entryOf(1, 64))
+	// A repository mutation moves lookups to a fresh generation: the old
+	// entry must be unreachable there.
+	cur := retrievecache.NewKey("base", []string{"redis"}, "vmi", 11)
+	if e, err := c.Get(cur); err != nil || e != nil {
+		t.Fatal("lookup at a newer generation hit a stale entry")
+	}
+}
+
+// fitN returns a byte budget that holds exactly n entries of the given
+// image size, probing the implementation's own cost accounting so the
+// suite does not hard-code an overhead constant.
+func fitN(factory Factory, n, size int) int64 {
+	probe := factory(1 << 30)
+	probe.Put(keyOf(0), entryOf(0, size))
+	one := probe.Stats().Bytes
+	// Entry costs vary by a few bytes with the decimal width of the index;
+	// pad by half an entry so exactly n comfortably fit and n+1 never does.
+	return one*int64(n) + one/2
+}
+
+func testFillEvictOrdering(t *testing.T, factory Factory) {
+	c := factory(fitN(factory, 2, 4096))
+	c.Put(keyOf(1), entryOf(1, 4096))
+	c.Put(keyOf(2), entryOf(2, 4096))
+	if c.Len() != 2 {
+		t.Fatalf("2 entries should fit, have %d", c.Len())
+	}
+	c.Put(keyOf(3), entryOf(3, 4096)) // evicts 1 (least recently used)
+	if c.Len() != 2 {
+		t.Fatalf("budget holds 2, have %d", c.Len())
+	}
+	if e, err := c.Get(keyOf(1)); err != nil || e != nil {
+		t.Fatal("oldest entry survived eviction")
+	}
+	for _, i := range []int{2, 3} {
+		if e, err := c.Get(keyOf(i)); err != nil || e == nil {
+			t.Fatalf("entry %d evicted out of LRU order", i)
+		}
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+}
+
+func testGetRefreshesRecency(t *testing.T, factory Factory) {
+	c := factory(fitN(factory, 2, 4096))
+	c.Put(keyOf(1), entryOf(1, 4096))
+	c.Put(keyOf(2), entryOf(2, 4096))
+	if e, err := c.Get(keyOf(1)); err != nil || e == nil {
+		t.Fatal("warming Get failed")
+	}
+	c.Put(keyOf(3), entryOf(3, 4096)) // must evict 2, not the refreshed 1
+	if e, err := c.Get(keyOf(2)); err != nil || e != nil {
+		t.Fatal("LRU victim survived")
+	}
+	if e, err := c.Get(keyOf(1)); err != nil || e == nil {
+		t.Fatal("recently used entry was evicted")
+	}
+}
+
+func testReplaceSameKey(t *testing.T, factory Factory) {
+	c := factory(1 << 20)
+	c.Put(keyOf(1), entryOf(1, 512))
+	replacement := entryOf(2, 2048)
+	replacementImg := append([]byte(nil), replacement.Image...)
+	c.Put(keyOf(1), replacement)
+	if c.Len() != 1 {
+		t.Fatalf("replacement duplicated the key: %d entries", c.Len())
+	}
+	e, err := c.Get(keyOf(1))
+	if err != nil || e == nil || !bytes.Equal(e.Image, replacementImg) {
+		t.Fatal("replacement did not take effect")
+	}
+	// Bytes accounting must reflect the replacement, not the sum.
+	st := c.Stats()
+	if st.Bytes <= 2048 || st.Bytes >= 2048+512 {
+		t.Fatalf("bytes after replacement = %d, want ~2048+overhead", st.Bytes)
+	}
+}
+
+func testOversizedRejected(t *testing.T, factory Factory) {
+	c := factory(1024)
+	c.Put(keyOf(1), entryOf(1, 128))
+	if c.Put(keyOf(2), entryOf(2, 4096)) {
+		t.Fatal("entry larger than the whole budget was accepted")
+	}
+	// The resident entry must be untouched — rejection evicts nothing.
+	if e, err := c.Get(keyOf(1)); err != nil || e == nil {
+		t.Fatal("rejection disturbed resident entries")
+	}
+	st := c.Stats()
+	if st.Rejected != 1 || st.Evictions != 0 || st.Entries != 1 {
+		t.Fatalf("stats after rejection = %+v", st)
+	}
+}
+
+func testStatsAccounting(t *testing.T, factory Factory) {
+	c := factory(1 << 20)
+	var want int64
+	for i := 0; i < 8; i++ {
+		c.Put(keyOf(i), entryOf(i, 100*(i+1)))
+	}
+	st := c.Stats()
+	if st.Entries != 8 || st.Puts != 8 {
+		t.Fatalf("stats = %+v, want 8 entries / 8 puts", st)
+	}
+	// Bytes covers at least the payloads and is consistent: removing
+	// everything returns it to zero.
+	for i := 0; i < 8; i++ {
+		want += int64(100 * (i + 1))
+	}
+	if st.Bytes < want {
+		t.Fatalf("bytes = %d accounts less than the %d payload bytes", st.Bytes, want)
+	}
+	if st.MaxBytes != 1<<20 {
+		t.Fatalf("MaxBytes = %d", st.MaxBytes)
+	}
+	for i := 0; i < 8; i++ {
+		if !c.Remove(keyOf(i)) {
+			t.Fatalf("Remove(%d) found nothing", i)
+		}
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("after removing all: %+v", st)
+	}
+}
+
+func testPoisonDetected(t *testing.T, factory Factory) {
+	c := factory(1 << 20)
+	e := entryOf(1, 1024)
+	c.Put(keyOf(1), e)
+	// Simulate post-insertion corruption (bit rot, an aliasing bug): the
+	// cache holds the same backing array, so scribbling on it models a
+	// poisoned entry exactly.
+	e.Image[512] ^= 0xFF
+	got, err := c.Get(keyOf(1))
+	if !errors.Is(err, retrievecache.ErrPoisoned) {
+		t.Fatalf("poisoned hit returned (%v, %v), want ErrPoisoned", got, err)
+	}
+	// The poisoned entry must be gone: the next lookup is a clean miss.
+	if e, err := c.Get(keyOf(1)); err != nil || e != nil {
+		t.Fatalf("poisoned entry still resident: (%v, %v)", e, err)
+	}
+	st := c.Stats()
+	if st.Poisoned != 1 || st.Entries != 0 {
+		t.Fatalf("stats after poison = %+v", st)
+	}
+}
+
+func testRemove(t *testing.T, factory Factory) {
+	c := factory(1 << 20)
+	c.Put(keyOf(1), entryOf(1, 64))
+	if !c.Remove(keyOf(1)) {
+		t.Fatal("Remove missed a resident entry")
+	}
+	if c.Remove(keyOf(1)) {
+		t.Fatal("double Remove reported success")
+	}
+	if e, err := c.Get(keyOf(1)); err != nil || e != nil {
+		t.Fatal("removed entry still served")
+	}
+}
+
+func testConcurrentMixed(t *testing.T, factory Factory) {
+	c := factory(fitN(factory, 16, 4096))
+	const workers, iters = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				k := (w*iters + i) % 32 // contended key space > capacity
+				switch i % 3 {
+				case 0:
+					c.Put(keyOf(k), entryOf(k, 4096))
+				case 1:
+					e, err := c.Get(keyOf(k))
+					if err != nil {
+						t.Errorf("worker %d: Get: %v", w, err)
+						return
+					}
+					if e != nil && len(e.Image) != 4096 {
+						t.Errorf("worker %d: hit with %d image bytes", w, len(e.Image))
+						return
+					}
+				case 2:
+					c.Remove(keyOf(k))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Bytes > st.MaxBytes {
+		t.Fatalf("budget exceeded after concurrent churn: %+v", st)
+	}
+	if st.Hits+st.Misses == 0 || st.Puts == 0 {
+		t.Fatalf("no traffic recorded: %+v", st)
+	}
+}

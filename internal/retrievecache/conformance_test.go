@@ -1,0 +1,19 @@
+package retrievecache_test
+
+import (
+	"testing"
+
+	"expelliarmus/internal/retrievecache"
+	"expelliarmus/internal/retrievecache/cachetest"
+)
+
+// TestConformance runs the shared retrieval-cache conformance suite
+// against the canonical LRU implementation. Alternative implementations
+// (sharded, persistent) must pass the identical suite before the core can
+// swap them in — the same contract discipline blobstoretest enforces for
+// blob backends.
+func TestConformance(t *testing.T) {
+	cachetest.Run(t, func(maxBytes int64) cachetest.Cache {
+		return retrievecache.New(maxBytes)
+	})
+}

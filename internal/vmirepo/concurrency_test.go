@@ -155,7 +155,10 @@ func TestSnapshotConsistentUnderTraffic(t *testing.T) {
 	}
 	dev := simio.NewDevice(simio.PaperProfile())
 	for i := 0; i < 15; i++ {
-		snap := r.Snapshot()
+		snap, err := r.Snapshot()
+		if err != nil {
+			t.Fatalf("snapshot %d: %v", i, err)
+		}
 		restored, err := Load(snap, dev)
 		if err != nil {
 			t.Fatalf("snapshot %d: %v", i, err)

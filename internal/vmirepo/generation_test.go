@@ -1,0 +1,141 @@
+package vmirepo
+
+import (
+	"sync"
+	"testing"
+
+	"expelliarmus/internal/master"
+	"expelliarmus/internal/semgraph"
+)
+
+// TestGenerationBumpsOnEveryMutation walks each mutating repository
+// operation and checks the generation moved — the retrieval cache's
+// invalidation protocol depends on no mutation slipping through quietly.
+func TestGenerationBumpsOnEveryMutation(t *testing.T) {
+	r, m := newRepo()
+	last := r.Generation()
+	step := func(op string, fn func()) {
+		t.Helper()
+		fn()
+		if g := r.Generation(); g <= last {
+			t.Fatalf("%s did not advance the generation (%d -> %d)", op, last, g)
+		} else {
+			last = g
+		}
+	}
+
+	p := pkg("redis")
+	step("EnsurePackage", func() {
+		if _, err := r.EnsurePackage(p, []byte("blob"), m); err != nil {
+			t.Fatal(err)
+		}
+	})
+	step("PutBase", func() {
+		if err := r.PutBase("base-1", attrs, []byte("base image"), m); err != nil {
+			t.Fatal(err)
+		}
+	})
+	step("PutMaster", func() {
+		r.PutMaster(master.New("base-1", semgraph.New(attrs)), m)
+	})
+	step("PutVMI", func() {
+		r.PutVMI(VMIRecord{Name: "vmi-1", BaseID: "base-1", Primaries: []string{"redis"}}, m)
+	})
+	step("PutUserData", func() {
+		if err := r.PutUserData("vmi-1", []byte("archive"), m); err != nil {
+			t.Fatal(err)
+		}
+	})
+	step("RewireVMIs", func() { r.RewireVMIs("base-1", "base-2", m) })
+	step("RemoveUserData", func() {
+		if err := r.RemoveUserData("vmi-1", m); err != nil {
+			t.Fatal(err)
+		}
+	})
+	step("RemoveVMI", func() { r.RemoveVMI("vmi-1", m) })
+	step("RemoveMaster", func() { r.RemoveMaster("base-1", m) })
+	step("RemoveBase", func() {
+		if err := r.RemoveBase("base-1", m); err != nil {
+			t.Fatal(err)
+		}
+	})
+	step("RemovePackage", func() {
+		if err := r.RemovePackage(p.Ref(), m); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestGenerationStableAcrossReads pins the other half of the contract:
+// read-only operations never move the generation, otherwise the cache
+// could never take a hit.
+func TestGenerationStableAcrossReads(t *testing.T) {
+	r, m := newRepo()
+	p := pkg("redis")
+	if _, err := r.EnsurePackage(p, []byte("blob"), m); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.PutBase("base-1", attrs, []byte("base image"), m); err != nil {
+		t.Fatal(err)
+	}
+	r.PutVMI(VMIRecord{Name: "vmi-1", BaseID: "base-1"}, m)
+	g := r.Generation()
+	r.HasPackage(p.Ref(), m)
+	if _, _, err := r.GetPackage(p.Ref(), "fetch", m); err != nil {
+		t.Fatal(err)
+	}
+	r.HasBase("base-1", m)
+	if _, err := r.GetBase("base-1", "copy", m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.GetVMI("vmi-1", m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.GetUserData("vmi-1", "import", m); err != nil {
+		t.Fatal(err)
+	}
+	r.VMIs()
+	r.Stats()
+	if _, err := r.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Generation(); got != g {
+		t.Fatalf("reads moved the generation: %d -> %d", g, got)
+	}
+}
+
+// TestGenerationWindowNeverValidatesAcrossMutation is the seqlock
+// property the cache's insert path relies on: a reader that captures the
+// generation before a mutation begins can never observe the same
+// generation after that mutation's writes became visible. The mutation is
+// held open in another goroutine while the reader samples.
+func TestGenerationWindowNeverValidatesAcrossMutation(t *testing.T) {
+	r, m := newRepo()
+	const rounds = 200
+	var wg sync.WaitGroup
+	start := make(chan int)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := range start {
+			r.PutVMI(VMIRecord{Name: "vmi", BaseID: "base"}, m)
+			_ = i
+		}
+	}()
+	for i := 0; i < rounds; i++ {
+		before := r.Generation()
+		start <- i // mutation begins strictly after `before` was captured
+		// Sample until the record write is visible, then check the window.
+		for {
+			if _, err := r.GetVMI("vmi", nil); err == nil {
+				break
+			}
+		}
+		if r.Generation() == before {
+			t.Fatalf("round %d: observed a committed write inside a stable generation window", i)
+		}
+		r.RemoveVMI("vmi", m)
+	}
+	close(start)
+	wg.Wait()
+}

@@ -26,6 +26,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"expelliarmus/internal/atomicfile"
 	"expelliarmus/internal/blobstore"
@@ -77,6 +78,31 @@ type Repo struct {
 	// udMu serialises user-data replacement, whose release-old/store-new
 	// pair must be atomic to keep blob reference counts exact.
 	udMu sync.Mutex
+	// gen is the repository generation: a counter bumped around every
+	// mutating operation (see mutate), read by the retrieval cache to key
+	// and invalidate cached assemblies. Monotonic, never persisted — a
+	// reopened or restored repository starts a fresh generation space,
+	// which is safe because it also starts with an empty cache.
+	gen atomic.Uint64
+}
+
+// Generation returns the current repository generation. The counter is
+// bumped both before and after every mutating operation, so a reader that
+// captures the generation, performs a multi-step read (e.g. a whole VMI
+// assembly) and then observes the same generation knows that no mutation
+// committed anywhere inside its window — the invariant the retrieval
+// cache's insert path relies on. A mutation in flight (bumped before, not
+// yet after) keeps the generation moving, so such a window can also never
+// span one.
+func (r *Repo) Generation() uint64 { return r.gen.Load() }
+
+// mutate brackets a mutating operation for the generation protocol: one
+// bump before the first write makes any reader that started earlier
+// unable to validate its window, one bump after the last write moves all
+// later readers to fresh cache keys. Use as `defer r.mutate()()`.
+func (r *Repo) mutate() func() {
+	r.gen.Add(1)
+	return func() { r.gen.Add(1) }
 }
 
 // New returns an empty in-memory repository using the device for cost
@@ -326,6 +352,7 @@ func (r *Repo) PutPackage(p pkgmeta.Package, blob []byte, m *simio.Meter) error 
 func (r *Repo) EnsurePackage(p pkgmeta.Package, blob []byte, m *simio.Meter) (bool, error) {
 	r.opMu.RLock()
 	defer r.opMu.RUnlock()
+	defer r.mutate()()
 	key := []byte(p.Ref())
 	id, _ := r.blobs.Put(blob)
 	if err := r.blobErr(); err != nil {
@@ -431,6 +458,7 @@ func (r *Repo) HasBase(id string, m *simio.Meter) bool {
 func (r *Repo) PutBase(id string, attrs pkgmeta.BaseAttrs, image []byte, m *simio.Meter) error {
 	r.opMu.RLock()
 	defer r.opMu.RUnlock()
+	defer r.mutate()()
 	b := r.db.Bucket(bucketBases)
 	if _, exists := b.Get([]byte(id)); exists {
 		return fmt.Errorf("vmirepo: base %s already stored", id)
@@ -475,6 +503,7 @@ func (r *Repo) GetBase(id string, ph simio.Phase, m *simio.Meter) ([]byte, error
 func (r *Repo) RemoveBase(id string, m *simio.Meter) error {
 	r.opMu.RLock()
 	defer r.opMu.RUnlock()
+	defer r.mutate()()
 	b := r.db.Bucket(bucketBases)
 	val, ok := b.Get([]byte(id))
 	r.chargeDB(m, 0)
@@ -515,6 +544,7 @@ func (r *Repo) Bases() ([]BaseRecord, error) {
 func (r *Repo) PutMaster(mg *master.Graph, m *simio.Meter) {
 	r.opMu.RLock()
 	defer r.opMu.RUnlock()
+	defer r.mutate()()
 	data := mg.Marshal()
 	r.db.Bucket(bucketMasters).Put([]byte(mg.BaseID), data)
 	r.chargeDB(m, int64(len(data)))
@@ -534,6 +564,7 @@ func (r *Repo) GetMaster(baseID string, m *simio.Meter) (*master.Graph, error) {
 func (r *Repo) RemoveMaster(baseID string, m *simio.Meter) {
 	r.opMu.RLock()
 	defer r.opMu.RUnlock()
+	defer r.mutate()()
 	r.db.Bucket(bucketMasters).Delete([]byte(baseID))
 	r.chargeDB(m, 0)
 }
@@ -567,6 +598,7 @@ type VMIRecord struct {
 func (r *Repo) PutVMI(rec VMIRecord, m *simio.Meter) {
 	r.opMu.RLock()
 	defer r.opMu.RUnlock()
+	defer r.mutate()()
 	val := rec.BaseID + "\n" + strings.Join(rec.Primaries, ",")
 	r.db.Bucket(bucketVMIs).Put([]byte(rec.Name), []byte(val))
 	r.chargeDB(m, int64(len(val)))
@@ -596,6 +628,7 @@ func (r *Repo) GetVMI(name string, m *simio.Meter) (VMIRecord, error) {
 func (r *Repo) RewireVMIs(oldBase, newBase string, m *simio.Meter) {
 	r.opMu.RLock()
 	defer r.opMu.RUnlock()
+	defer r.mutate()()
 	b := r.db.Bucket(bucketVMIs)
 	var names []string
 	b.ForEach(func(k, v []byte) bool {
@@ -635,6 +668,7 @@ func (r *Repo) PutUserData(name string, archive []byte, m *simio.Meter) error {
 	defer r.opMu.RUnlock()
 	r.udMu.Lock()
 	defer r.udMu.Unlock()
+	defer r.mutate()()
 	id, _ := r.blobs.Put(archive)
 	if err := r.blobErr(); err != nil {
 		return fmt.Errorf("vmirepo: store user data %q: %w", name, err)
@@ -681,6 +715,7 @@ func (r *Repo) GetUserData(name string, ph simio.Phase, m *simio.Meter) ([]byte,
 func (r *Repo) RemovePackage(ref string, m *simio.Meter) error {
 	r.opMu.RLock()
 	defer r.opMu.RUnlock()
+	defer r.mutate()()
 	b := r.db.Bucket(bucketPackages)
 	val, ok := b.Get([]byte(ref))
 	r.chargeDB(m, 0)
@@ -704,6 +739,7 @@ func (r *Repo) RemoveUserData(name string, m *simio.Meter) error {
 	defer r.opMu.RUnlock()
 	r.udMu.Lock()
 	defer r.udMu.Unlock()
+	defer r.mutate()()
 	b := r.db.Bucket(bucketUserData)
 	val, ok := b.Get([]byte(name))
 	r.chargeDB(m, 0)
@@ -723,6 +759,7 @@ func (r *Repo) RemoveUserData(name string, m *simio.Meter) error {
 func (r *Repo) RemoveVMI(name string, m *simio.Meter) {
 	r.opMu.RLock()
 	defer r.opMu.RUnlock()
+	defer r.mutate()()
 	r.db.Bucket(bucketVMIs).Delete([]byte(name))
 	r.chargeDB(m, 0)
 }
@@ -734,10 +771,15 @@ var repoSnapshotMagic = []byte("EXPREPO1")
 // store/remove operations to finish and blocks new ones while the two
 // sections are captured, so a record serialized into the metadata section
 // always has its blob in the blob section, even when taken mid-traffic.
-func (r *Repo) Snapshot() []byte {
+// A blob the backend can no longer read faithfully (post-hoc disk damage)
+// surfaces as an error here rather than a corrupt snapshot.
+func (r *Repo) Snapshot() ([]byte, error) {
 	r.opMu.Lock()
 	defer r.opMu.Unlock()
-	blobs := r.blobs.Snapshot()
+	blobs, err := r.blobs.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("vmirepo: snapshot blobs: %w", err)
+	}
 	db := r.db.Snapshot()
 	out := make([]byte, 0, len(repoSnapshotMagic)+16+len(blobs)+len(db))
 	out = append(out, repoSnapshotMagic...)
@@ -748,7 +790,7 @@ func (r *Repo) Snapshot() []byte {
 	binary.BigEndian.PutUint64(lenBuf[:], uint64(len(db)))
 	out = append(out, lenBuf[:]...)
 	out = append(out, db...)
-	return out
+	return out, nil
 }
 
 // Load restores a repository from a Snapshot image.

@@ -6,6 +6,17 @@ import (
 	"testing"
 )
 
+// mustSave unwraps Save, failing the test on a snapshot error (healthy
+// backends never produce one).
+func mustSave(t *testing.T, sys *System) []byte {
+	t.Helper()
+	snap, err := sys.Save()
+	if err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	return snap
+}
+
 // publishCatalog publishes every Table II template into sys and returns a
 // deterministic trace of the publish reports.
 func publishCatalog(t *testing.T, sys *System) string {
@@ -58,7 +69,7 @@ func TestRoundTripDiskMatchesMemory(t *testing.T) {
 
 	mem := New()
 	memPub := publishCatalog(t, mem)
-	memSnap := mem.Save()
+	memSnap := mustSave(t, mem)
 	memStats := mem.RepoStats()
 	memRet := retrieveCatalog(t, mem)
 
@@ -71,7 +82,7 @@ func TestRoundTripDiskMatchesMemory(t *testing.T) {
 	if dskPub != memPub {
 		t.Fatalf("publish reports differ between backends:\nmemory:\n%s\ndisk:\n%s", memPub, dskPub)
 	}
-	if dskSnap := dsk.Save(); !bytes.Equal(dskSnap, memSnap) {
+	if dskSnap := mustSave(t, dsk); !bytes.Equal(dskSnap, memSnap) {
 		t.Fatalf("disk Save() differs from memory Save(): %d vs %d bytes", len(dskSnap), len(memSnap))
 	}
 	if st := dsk.RepoStats(); st != memStats {
@@ -92,7 +103,7 @@ func TestRoundTripDiskMatchesMemory(t *testing.T) {
 		t.Fatalf("reopen: %v", err)
 	}
 	defer re.Close()
-	if reSnap := re.Save(); !bytes.Equal(reSnap, memSnap) {
+	if reSnap := mustSave(t, re); !bytes.Equal(reSnap, memSnap) {
 		t.Fatalf("reopened Save() differs from memory Save(): %d vs %d bytes", len(reSnap), len(memSnap))
 	}
 	if st := re.RepoStats(); st != memStats {
