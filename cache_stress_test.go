@@ -1,12 +1,17 @@
 package expelliarmus
 
 import (
+	"bytes"
 	"fmt"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"expelliarmus/internal/builder"
+	"expelliarmus/internal/catalog"
+	"expelliarmus/internal/vmirepo"
 )
 
 // TestCacheNoStaleHitUnderConcurrentPublish races retrievals against
@@ -139,5 +144,197 @@ func TestCacheNoStaleHitUnderConcurrentPublish(t *testing.T) {
 		if after := sys.CacheStats(); after.Hits <= before.Hits {
 			t.Fatalf("quiet double-retrieval of %s produced no cache hit (stats %+v)", name, after)
 		}
+	}
+}
+
+// TestCacheStripingAndSingleflightUnderCrossBaseTraffic is the striped
+// variant of the publish-vs-retrieve stress test: the publish traffic
+// lands exclusively on *other* bases (images of a different release, so
+// their base images, VMI names and generation stripes are disjoint from
+// the hot image's). The striping contract says the hot entry is never
+// invalidated — zero misses once warm — and the singleflight contract
+// says 32 concurrent misses on a cold key run exactly one assembly.
+func TestCacheStripingAndSingleflightUnderCrossBaseTraffic(t *testing.T) {
+	sys := NewWithOptions(Options{CacheBytes: 64 << 20})
+	const hot = "Redis"
+
+	hotImg, err := sys.BuildImage(hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Publish(hotImg); err != nil {
+		t.Fatal(err)
+	}
+	hotRec, err := sys.sys.Repo().GetVMI(hot, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hotStripes := map[int]bool{
+		vmirepo.StripeFor(hotRec.BaseID): true,
+		vmirepo.StripeFor(hot):           true,
+	}
+
+	// Noise publishers: one image per foreign release, named off the hot
+	// stripes (name stripes are free to choose; base stripes are content-
+	// derived, so verify them after the seed publish and skip a colliding
+	// release — stripe collision is striping's documented false sharing,
+	// not what this test pins).
+	type noise struct {
+		name string
+		img  *Image // built once; Publish clones internally
+	}
+	var publishers []noise
+	for _, rel := range []catalog.Release{catalog.ReleaseBionic, catalog.ReleaseStretch} {
+		b := builder.New(catalog.NewUniverseFor(rel))
+		tpl, ok := catalog.Find("Mini")
+		if !ok {
+			t.Fatal("Mini template missing")
+		}
+		name := ""
+		for i := 0; i < 1000; i++ {
+			cand := fmt.Sprintf("noise-%s-%d", rel.Base.Version, i)
+			if !hotStripes[vmirepo.StripeFor(cand)] {
+				name = cand
+				break
+			}
+		}
+		tpl.Name = name
+		img, err := b.Build(tpl)
+		if err != nil {
+			t.Fatalf("build %s: %v", name, err)
+		}
+		publishers = append(publishers, noise{name: name, img: &Image{inner: img}})
+	}
+	publishNoise := func(n noise, version int) error {
+		img := &Image{inner: n.img.inner.Clone()}
+		if err := img.WriteUserFile("/home/user/version.txt", []byte(fmt.Sprintf("v%d", version))); err != nil {
+			return err
+		}
+		if _, err := sys.Publish(img); err != nil {
+			return fmt.Errorf("publish %s v%d: %w", n.name, version, err)
+		}
+		return nil
+	}
+	kept := publishers[:0]
+	for _, n := range publishers {
+		if err := publishNoise(n, 1); err != nil {
+			t.Fatal(err)
+		}
+		rec, err := sys.sys.Repo().GetVMI(n.name, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !hotStripes[vmirepo.StripeFor(rec.BaseID)] {
+			kept = append(kept, n)
+		}
+	}
+	publishers = kept
+	if len(publishers) == 0 {
+		t.Fatal("every foreign release's base collides with a hot stripe; regenerate the workload")
+	}
+
+	// Warm the hot entry and capture the reference bytes.
+	refImg, _, err := sys.Retrieve(hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := refImg.inner.Disk.Serialize()
+	warm := sys.CacheStats()
+
+	// Phase 1 — striping: steady publish traffic on the other bases while
+	// retrievers hammer the hot image. Every hot retrieval must be a warm
+	// hit with the reference bytes.
+	const noiseRounds = 10
+	var publishWG sync.WaitGroup
+	for _, n := range publishers {
+		publishWG.Add(1)
+		go func(n noise) {
+			defer publishWG.Done()
+			for v := 2; v < 2+noiseRounds; v++ {
+				if err := publishNoise(n, v); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(n)
+	}
+	var retrieveWG sync.WaitGroup
+	var stale atomic.Int64
+	const retrievesPerWorker = 10
+	for w := 0; w < 4; w++ {
+		retrieveWG.Add(1)
+		go func(w int) {
+			defer retrieveWG.Done()
+			for i := 0; i < retrievesPerWorker; i++ {
+				img, _, err := sys.Retrieve(hot)
+				if err != nil {
+					t.Errorf("retriever %d: %v", w, err)
+					return
+				}
+				if !bytes.Equal(img.inner.Disk.Serialize(), ref) {
+					stale.Add(1)
+				}
+			}
+		}(w)
+	}
+	publishWG.Wait()
+	retrieveWG.Wait()
+	if t.Failed() {
+		return
+	}
+	if got := stale.Load(); got != 0 {
+		t.Fatalf("%d stale hot retrievals", got)
+	}
+	afterStorm := sys.CacheStats()
+	if got := afterStorm.Misses - warm.Misses; got != 0 {
+		t.Fatalf("hot entry invalidated %d times by publishes on other bases (stats %+v)", got, afterStorm)
+	}
+	for i, v := range afterStorm.StripeInvalidations {
+		if hotStripes[i] && v != 0 {
+			t.Fatalf("hot stripe %d collected %d insert invalidations", i, v)
+		}
+	}
+
+	// Phase 2 — singleflight: move the hot generation with one republish,
+	// then fire 32 concurrent misses; exactly one may assemble.
+	hotImg2, err := sys.BuildImage(hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Publish(hotImg2); err != nil {
+		t.Fatal(err)
+	}
+	before := sys.CacheStats()
+	const clients = 32
+	var burst sync.WaitGroup
+	for w := 0; w < clients; w++ {
+		burst.Add(1)
+		go func(w int) {
+			defer burst.Done()
+			img, _, err := sys.Retrieve(hot)
+			if err != nil {
+				t.Errorf("burst %d: %v", w, err)
+				return
+			}
+			if !bytes.Equal(img.inner.Disk.Serialize(), ref) {
+				t.Errorf("burst %d: bytes differ from reference", w)
+			}
+		}(w)
+	}
+	burst.Wait()
+	if t.Failed() {
+		return
+	}
+	after := sys.CacheStats()
+	assemblies := (after.Puts - before.Puts) + (after.Rejected - before.Rejected)
+	for i := range after.StripeInvalidations {
+		assemblies += after.StripeInvalidations[i] - before.StripeInvalidations[i]
+	}
+	if assemblies != 1 {
+		t.Fatalf("%d assemblies for %d concurrent misses, want exactly 1 (before %+v, after %+v)",
+			assemblies, clients, before, after)
+	}
+	if served := (after.Hits - before.Hits) + (after.Coalesced - before.Coalesced); served != clients-1 {
+		t.Fatalf("hits+coalesced = %d, want %d", served, clients-1)
 	}
 }

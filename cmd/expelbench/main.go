@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	expelbench [-exp all|table2,fig3a,fig3b,fig3c,fig4a,fig4b,fig5a,fig5b,abl1,abl2,abl3,abl4,conc,persist,cachehit] [-ide-builds 40] [-clients 8] [-backend memory|disk] [-store-root DIR] [-cache BYTES] [-warm-iters 3]
+//	expelbench [-exp all|table2,fig3a,fig3b,fig3c,fig4a,fig4b,fig5a,fig5b,abl1,abl2,abl3,abl4,conc,persist,cachehit,storm] [-ide-builds 40] [-clients 8] [-backend memory|disk] [-store-root DIR] [-cache BYTES] [-warm-iters 3] [-storm-publishes 120] [-storm-bursts 3] [-storm-burst-clients 32]
 //
 // Every experiment runs against the blob backend named by -backend: the
 // in-memory sharded store (the default) or the durable on-disk segment
@@ -16,7 +16,10 @@
 // retrieval cache of that many bytes (modeled results are unchanged; the
 // cache is cost-transparent); the cachehit experiment measures cold vs
 // warm retrieval of the Table II catalog and enables a 256 MiB cache for
-// itself when -cache is unset.
+// itself when -cache is unset. The storm experiment (also cache-enabled
+// by default) races hot-image retrievals against publishes on unrelated
+// bases and fires concurrent-miss bursts, verifying the generation
+// striping and miss-singleflight contracts.
 package main
 
 import (
@@ -37,11 +40,14 @@ func main() {
 	storeRoot := flag.String("store-root", "", "directory for disk-backed repositories (default: OS temp dir)")
 	cacheBytes := flag.Int64("cache", 0, "retrieval-cache bytes for every benchmarked system (0 disables; cachehit defaults to 256 MiB for itself)")
 	warmIters := flag.Int("warm-iters", 3, "warm retrievals per image in the cachehit experiment")
+	stormPublishes := flag.Int("storm-publishes", 120, "unrelated-base publishes in the storm experiment")
+	stormBursts := flag.Int("storm-bursts", 3, "concurrent-miss bursts in the storm experiment")
+	stormBurstClients := flag.Int("storm-burst-clients", 32, "concurrent retrievals per storm burst")
 	flag.Parse()
 
 	selected := map[string]bool{}
 	if *exps == "all" {
-		for _, e := range []string{"table2", "fig3a", "fig3b", "fig3c", "fig4a", "fig4b", "fig5a", "fig5b", "abl1", "abl2", "abl3", "abl4", "conc", "persist", "cachehit"} {
+		for _, e := range []string{"table2", "fig3a", "fig3b", "fig3c", "fig4a", "fig4b", "fig5a", "fig5b", "abl1", "abl2", "abl3", "abl4", "conc", "persist", "cachehit", "storm"} {
 			selected[e] = true
 		}
 	} else {
@@ -88,6 +94,9 @@ func main() {
 	run("conc", func() (fmt.Stringer, error) { return r.ConcurrentPublish(*clients) })
 	run("persist", func() (fmt.Stringer, error) { return r.Persistence() })
 	run("cachehit", func() (fmt.Stringer, error) { return r.CacheHit(*warmIters) })
+	run("storm", func() (fmt.Stringer, error) {
+		return r.Storm(*stormPublishes, *clients, *stormBursts, *stormBurstClients)
+	})
 
 	// Closing disk-backed systems is where a sticky store failure (e.g. a
 	// full filesystem mid-run) surfaces; results printed above would

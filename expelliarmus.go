@@ -59,11 +59,15 @@ type Options struct {
 	// calls without re-running assembly. Zero (the default) disables it.
 	// The cache changes wall-clock time only — a hit returns the same
 	// image bytes and the same modeled RetrieveResult a fresh assembly
-	// would — and is invalidated by repository generation: any Publish,
-	// Remove or garbage collection makes every previously cached entry
-	// unreachable, so a stale image is never served. Cached entries are
-	// hash-verified on every hit; a corrupted entry surfaces as an error,
-	// never as wrong bytes. See CacheStats for effectiveness counters.
+	// would — and is invalidated by per-base striped repository
+	// generations: a Publish, Remove or user-data change touching an
+	// entry's base image or VMI makes it unreachable, while mutations on
+	// unrelated bases leave warm entries servable (package GC
+	// conservatively invalidates everything). Concurrent misses of one
+	// image coalesce behind a single assembly, so a retrieval storm on a
+	// cold popular image runs it once. Cached entries are hash-verified
+	// on every hit; a corrupted entry surfaces as an error, never as
+	// wrong bytes. See CacheStats for effectiveness counters.
 	CacheBytes int64
 }
 
@@ -394,16 +398,27 @@ func newRetrieveResult(rep *core.RetrieveReport) *RetrieveResult {
 // a failed batch can simply be retried.
 func (s *System) RetrieveAll(names []string) ([]*Image, []*RetrieveResult, error) {
 	imgs, reps, err := s.sys.RetrieveAll(names)
-	outImgs := make([]*Image, len(imgs))
-	outReps := make([]*RetrieveResult, len(reps))
-	for i := range imgs {
-		if imgs[i] == nil || reps[i] == nil {
+	outImgs, outReps := mapRetrieveResults(len(names), imgs, reps)
+	return outImgs, outReps, err
+}
+
+// mapRetrieveResults converts a core batch's parallel result slices into
+// facade values, always returning one slot per input name. The two core
+// slices normally share the input length, but a partially-failed batch
+// must degrade to the entries that exist — a skewed or short pair maps to
+// nil slots rather than an index panic, keeping RetrieveAll's
+// partial-results promise even when the core misbehaves.
+func mapRetrieveResults(n int, imgs []*vmi.Image, reps []*core.RetrieveReport) ([]*Image, []*RetrieveResult) {
+	outImgs := make([]*Image, n)
+	outReps := make([]*RetrieveResult, n)
+	for i := 0; i < n; i++ {
+		if i >= len(imgs) || i >= len(reps) || imgs[i] == nil || reps[i] == nil {
 			continue
 		}
 		outImgs[i] = &Image{inner: imgs[i]}
 		outReps[i] = newRetrieveResult(reps[i])
 	}
-	return outImgs, outReps, err
+	return outImgs, outReps
 }
 
 // Assemble builds a VMI that was never uploaded in this exact form from
@@ -483,10 +498,21 @@ type CacheStats struct {
 	// Hits and Misses count Retrieve/RetrieveAll lookups; Puts counts
 	// assemblies inserted.
 	Hits, Misses, Puts int64
+	// Coalesced counts misses served by waiting on a concurrent assembly
+	// of the same image (the miss singleflight) instead of assembling it
+	// again — under a retrieval storm on one cold image, expect 1 miss
+	// that assembles and the rest split between Coalesced and Hits.
+	Coalesced int64
 	// Evictions counts entries dropped to honour CacheBytes; Rejected
 	// counts images too large to cache at all; Poisoned counts hits that
 	// failed content verification (each surfaced as a retrieval error).
 	Evictions, Rejected, Poisoned int64
+	// StripeHits and StripeInvalidations break hits and stood-down
+	// inserts (an assembly raced a mutation and was not cached) down by
+	// the generation stripe of the retrieval's base image. Invalidation
+	// is striped per base, so steady publish traffic shows up on its own
+	// bases' stripes while a hot image's stripe keeps collecting hits.
+	StripeHits, StripeInvalidations []int64
 	// Entries and Bytes describe current occupancy; MaxBytes echoes
 	// Options.CacheBytes.
 	Entries  int
@@ -501,16 +527,19 @@ func (s *System) CacheStats() CacheStats {
 		return CacheStats{}
 	}
 	return CacheStats{
-		Enabled:   true,
-		Hits:      st.Hits,
-		Misses:    st.Misses,
-		Puts:      st.Puts,
-		Evictions: st.Evictions,
-		Rejected:  st.Rejected,
-		Poisoned:  st.Poisoned,
-		Entries:   st.Entries,
-		Bytes:     st.Bytes,
-		MaxBytes:  st.MaxBytes,
+		Enabled:             true,
+		Hits:                st.Hits,
+		Misses:              st.Misses,
+		Puts:                st.Puts,
+		Coalesced:           st.Coalesced,
+		Evictions:           st.Evictions,
+		Rejected:            st.Rejected,
+		Poisoned:            st.Poisoned,
+		StripeHits:          st.StripeHits,
+		StripeInvalidations: st.StripeInvalidations,
+		Entries:             st.Entries,
+		Bytes:               st.Bytes,
+		MaxBytes:            st.MaxBytes,
 	}
 }
 

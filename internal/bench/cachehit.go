@@ -158,6 +158,6 @@ func (r *Runner) CacheHit(warmIters int) (*CacheHitResult, error) {
 	if want := int64(len(tpls) * warmIters); st.Hits != want {
 		return nil, fmt.Errorf("bench: cachehit: %d hits, want %d — warm retrievals did not come from the cache", st.Hits, want)
 	}
-	res.Stats = st
+	res.Stats = st.Stats
 	return res, nil
 }

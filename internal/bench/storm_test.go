@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestStormExperiment runs the storm experiment on the configured backend
+// and checks the acceptance contracts: cached hot-image retrievals stay
+// warm across >= 100 publishes to unrelated bases (0 stale bytes, hit
+// rate >= 90%), and each burst of 32 concurrent misses costs at most one
+// assembly (Storm itself errors on any stale byte).
+func TestStormExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("storm experiment skipped in -short mode")
+	}
+	r := NewRunner()
+	res, err := r.Storm(110, 8, 3, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := r.CloseAll(); err != nil {
+			t.Errorf("CloseAll: %v", err)
+		}
+	}()
+	if res.Publishes < 100 {
+		t.Fatalf("only %d publishes completed, want >= 100", res.Publishes)
+	}
+	if res.Stale != 0 {
+		t.Fatalf("%d stale retrievals", res.Stale)
+	}
+	if res.HitRate < 0.9 {
+		t.Fatalf("hit rate %.3f < 0.9 under unrelated publish traffic (%d hits / %d misses)\n%s",
+			res.HitRate, res.Hits, res.Misses, res)
+	}
+	if res.BurstAssemblies > int64(res.Bursts) {
+		t.Fatalf("%d assemblies across %d bursts of %d concurrent misses — singleflight failed\n%s",
+			res.BurstAssemblies, res.Bursts, res.BurstClients, res)
+	}
+	out := res.String()
+	for _, want := range []string{"Retrieval storm", "publish-storm", "miss-bursts"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -64,8 +64,7 @@ func (s *System) RetrieveAll(names []string) ([]*vmi.Image, []*RetrieveReport, e
 // backend can no longer read faithfully surfaces as an error rather than
 // a corrupt snapshot.
 func (s *System) Snapshot() ([]byte, error) {
-	s.commitMu.Lock()
-	defer s.commitMu.Unlock()
+	defer s.lockAllCommits()()
 	return s.repo.Snapshot()
 }
 
@@ -74,14 +73,12 @@ func (s *System) Snapshot() ([]byte, error) {
 // transactionally consistent; unlike Snapshot it is incremental — only
 // blob segments appended since the previous sync are written.
 func (s *System) Sync() (vmirepo.SyncStats, error) {
-	s.commitMu.Lock()
-	defer s.commitMu.Unlock()
+	defer s.lockAllCommits()()
 	return s.repo.Sync()
 }
 
 // Close syncs (when disk-backed) and releases repository resources.
 func (s *System) Close() error {
-	s.commitMu.Lock()
-	defer s.commitMu.Unlock()
+	defer s.lockAllCommits()()
 	return s.repo.Close()
 }

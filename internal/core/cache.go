@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"expelliarmus/internal/retrievecache"
 	"expelliarmus/internal/simio"
@@ -19,13 +20,49 @@ func newCache(opts Options) *retrievecache.Cache {
 	return retrievecache.New(opts.CacheBytes)
 }
 
+// cacheCounters are the core-level counters layered on top of the
+// cache's own: singleflight coalescing and the per-stripe breakdown of
+// hits and stood-down inserts, indexed by the generation stripe of the
+// retrieval's base image (vmirepo.StripeFor).
+type cacheCounters struct {
+	coalesced     atomic.Int64
+	hits          [vmirepo.GenStripes]atomic.Int64
+	invalidations [vmirepo.GenStripes]atomic.Int64
+}
+
+// CacheStats bundles the retrieval cache's own counters with the
+// core-level singleflight and generation-striping counters.
+type CacheStats struct {
+	retrievecache.Stats
+	// Coalesced counts misses served by waiting on a concurrent assembly
+	// of the same key (the miss singleflight) instead of assembling the
+	// image again themselves.
+	Coalesced int64
+	// StripeHits and StripeInvalidations break cache hits and stood-down
+	// inserts (the generation moved while the assembly ran, so the result
+	// was not cached) down by the generation stripe of the retrieval's
+	// base image. Under per-base striping, steady publish traffic on
+	// unrelated bases shows up as invalidations on its own stripes while
+	// the hot image's stripe keeps accumulating hits.
+	StripeHits          []int64
+	StripeInvalidations []int64
+}
+
 // CacheStats returns the retrieval cache's counters; ok is false when the
 // system runs without a cache.
-func (s *System) CacheStats() (st retrievecache.Stats, ok bool) {
+func (s *System) CacheStats() (st CacheStats, ok bool) {
 	if s.cache == nil {
-		return retrievecache.Stats{}, false
+		return CacheStats{}, false
 	}
-	return s.cache.Stats(), true
+	st.Stats = s.cache.Stats()
+	st.Coalesced = s.cctr.coalesced.Load()
+	st.StripeHits = make([]int64, vmirepo.GenStripes)
+	st.StripeInvalidations = make([]int64, vmirepo.GenStripes)
+	for i := 0; i < vmirepo.GenStripes; i++ {
+		st.StripeHits[i] = s.cctr.hits[i].Load()
+		st.StripeInvalidations[i] = s.cctr.invalidations[i].Load()
+	}
+	return st, true
 }
 
 // materializeCached turns a verified cache entry into a fresh image and
@@ -33,6 +70,8 @@ func (s *System) CacheStats() (st retrievecache.Stats, ok bool) {
 // callers may mutate the result without touching the cache), and the
 // report replays the cold retrieval's per-phase charges into a fresh
 // meter, so a hit's report is byte-identical to the miss that seeded it.
+// Singleflight followers go through the same path, so a coalesced miss is
+// indistinguishable from a hit to the caller.
 func (s *System) materializeCached(name string, rec vmirepo.VMIRecord, ent *retrievecache.Entry) (*vmi.Image, *RetrieveReport, error) {
 	disk, err := vdisk.Deserialize(name, ent.Image)
 	if err != nil {
@@ -57,25 +96,43 @@ func (s *System) materializeCached(name string, rec vmirepo.VMIRecord, ent *retr
 	}, rep, nil
 }
 
-// cacheAssembled inserts a completed assembly, but only when the
-// repository generation is still the one captured before the retrieval's
-// first read. An unchanged generation proves no mutation committed
-// anywhere inside the assembly window (the repository bumps it both
-// before and after every mutation), so the serialized bytes are a
-// faithful image of generation `gen` and safe to serve to any later
-// lookup under the same generation. If the check fails the assembly is
-// simply not cached — correctness never depends on an insert happening.
-func (s *System) cacheAssembled(key retrievecache.Key, gen uint64, img *vmi.Image, rep *RetrieveReport) {
-	if s.repo.Generation() != gen {
-		return
+// cacheAssembled turns a completed assembly into a cache insert and — for
+// a singleflight leader — a shareable entry for its followers, but only
+// when the striped generation is still the one captured before the
+// retrieval's first read. An unchanged generation proves no mutation
+// relevant to this base or VMI committed anywhere inside the assembly
+// window (the repository bumps the stripes both before and after every
+// mutation), so the serialized bytes are a faithful image of the key's
+// generation and safe to serve to any later lookup under it. If the check
+// fails the assembly is simply not cached (and the stand-down is counted
+// against the base's stripe) — correctness never depends on an insert
+// happening.
+//
+// The second return is a deferred entry builder for an image too large
+// for the cache: the skipped insert is counted as Rejected (so the stats
+// see uncacheable images), but serializing it is still worth doing for
+// singleflight followers, who each skip a full assembly — the leader
+// hands the builder to flightGroup.finish, which invokes it only once
+// the flight is sealed and the follower count is final. A solo caller
+// ignores it, paying nothing.
+func (s *System) cacheAssembled(key retrievecache.Key, gen uint64, img *vmi.Image, rep *RetrieveReport) (ent *retrievecache.Entry, build func() *retrievecache.Entry) {
+	if s.repo.GenerationFor(key.BaseID, key.UserData) != gen {
+		s.cctr.invalidations[vmirepo.StripeFor(key.BaseID)].Add(1)
+		return nil, nil
+	}
+	newEntry := func() *retrievecache.Entry {
+		return retrievecache.NewEntry(
+			img.Disk.Serialize(), img.Base, rep.Imported, rep.ImportedBytes, rep.Meter.Snapshot())
 	}
 	// AllocatedBytes is a lower bound on the serialized size (data
-	// clusters without tables); when it alone exceeds the whole budget,
-	// skip the Serialize + hash the cache would reject anyway, so an
-	// uncacheably large image costs its misses nothing.
+	// clusters without tables); when it alone exceeds the whole budget the
+	// cache would reject the entry anyway, so defer the Serialize + hash
+	// to whoever actually has followers waiting for the bytes.
 	if img.Disk.AllocatedBytes() > s.cache.MaxBytes() {
-		return
+		s.cache.NoteRejected()
+		return nil, newEntry
 	}
-	s.cache.Put(key, retrievecache.NewEntry(
-		img.Disk.Serialize(), img.Base, rep.Imported, rep.ImportedBytes, rep.Meter.Snapshot()))
+	ent = newEntry()
+	s.cache.Put(key, ent)
+	return ent, nil
 }

@@ -53,14 +53,17 @@ type Options struct {
 	// two publishes race to repack one shared package.
 	Parallelism int
 	// CacheBytes bounds the retrieval cache: an LRU of recently assembled
-	// images keyed by (base image, primary set, user-data source,
+	// images keyed by (base image, primary set, user-data source, striped
 	// repository generation) that serves repeat retrievals without
 	// re-running Algorithm 3. Zero (the default) disables caching. The
 	// cache is transparent at the cost-model level — a hit replays the
 	// cold retrieval's modeled charges exactly — and invalidation is by
-	// repository generation: any publish, removal or GC moves lookups to
-	// fresh keys, so a cached image is never served after its constituent
-	// packages change.
+	// per-base striped generation: a publish, removal or user-data
+	// replacement touching the entry's base image or VMI name moves
+	// lookups to fresh keys, so a cached image is never served after its
+	// constituent packages change, while mutations on unrelated bases
+	// leave warm entries servable. Concurrent misses of one key coalesce
+	// behind a single assembly (miss singleflight).
 	CacheBytes int64
 }
 
@@ -71,11 +74,12 @@ type Options struct {
 // The concurrency design splits each operation into a parallel data plane
 // (repacking, hashing and storing package blobs — the dominant cost) and a
 // serialized metadata commit (base-image selection, master-graph update,
-// VMI record). commitMu serialises only the commits; package export from
-// different publishes proceeds in parallel, coordinated by the repository's
-// atomic EnsurePackage. The pin set bridges the gap between a publish
-// observing a package in the repository and its VMI record landing: Remove
-// never garbage-collects a pinned package, which closes the classic
+// VMI record). The commit locks serialise only the commits, striped by
+// base-attribute quadruple; package export from different publishes
+// proceeds in parallel, coordinated by the repository's atomic
+// EnsurePackage. The pin set bridges the gap between a publish observing a
+// package in the repository and its VMI record landing: Remove never
+// garbage-collects a pinned package, which closes the classic
 // check-then-commit race between concurrent publish and remove.
 type System struct {
 	repo *vmirepo.Repo
@@ -83,18 +87,65 @@ type System struct {
 	opts Options
 
 	// cache is the retrieval cache (nil when Options.CacheBytes is zero);
-	// see cache.go for the hit/insert protocol.
-	cache *retrievecache.Cache
+	// see cache.go for the hit/insert protocol. flights coalesces
+	// concurrent misses of one key behind a single assembly, cctr tracks
+	// the coalescing and per-stripe counters.
+	cache   *retrievecache.Cache
+	flights flightGroup
+	cctr    cacheCounters
 
-	// commitMu serialises multi-step metadata transactions: the tail of
-	// Publish (Algorithm 2 + master-graph update + VMI record), the whole
-	// of Remove, and Snapshot.
-	commitMu sync.Mutex
+	// commitMu stripes the multi-step metadata transactions by
+	// base-attribute quadruple: the tail of Publish (Algorithm 2 +
+	// master-graph update + VMI record) only ever reads and writes bases
+	// whose attributes match its own exactly (SimBI = 1 requires an equal
+	// quadruple), so publishes clustering on unrelated attribute classes
+	// commit in parallel. Remove, Snapshot, Sync and Close span classes
+	// and take every stripe (lockAllCommits).
+	commitMu [commitStripes]sync.Mutex
 
 	// pinMu guards pinned: package refs required by in-flight publishes
 	// whose VMI records have not committed yet, counted per publish.
 	pinMu  sync.Mutex
 	pinned map[string]int
+}
+
+// commitStripes is the number of commit-lock stripes. Attribute classes
+// hash onto stripes; two classes sharing a stripe merely serialise their
+// commits (safe), never corrupt each other.
+const commitStripes = 16
+
+// commitStripe hashes a base-attribute quadruple onto a commit-lock
+// stripe. The reduction happens over the full hash width, so the
+// distribution is uniform regardless of how commitStripes relates to the
+// generation stripe count.
+func commitStripe(attrs pkgmeta.BaseAttrs) int {
+	return int(vmirepo.HashKey(attrs.String()) % commitStripes)
+}
+
+// lockCommit locks the commit stripe of one base-attribute quadruple and
+// returns the unlock. A publish's whole commit transaction interacts only
+// with bases of its exact quadruple (Algorithm 2 filters candidates by
+// SimBI = 1, and VersionSim returns 1 only on equal version strings), so
+// one stripe suffices.
+func (s *System) lockCommit(attrs pkgmeta.BaseAttrs) func() {
+	mu := &s.commitMu[commitStripe(attrs)]
+	mu.Lock()
+	return mu.Unlock
+}
+
+// lockAllCommits locks every commit stripe in index order (deadlock-free
+// against single-stripe holders) and returns the unlock — for
+// transactions whose read set spans attribute classes: Remove's
+// live-reference survey, Snapshot, Sync and Close.
+func (s *System) lockAllCommits() func() {
+	for i := range s.commitMu {
+		s.commitMu[i].Lock()
+	}
+	return func() {
+		for i := range s.commitMu {
+			s.commitMu[i].Unlock()
+		}
+	}
 }
 
 // NewSystem creates a system over a fresh repository.
@@ -322,12 +373,13 @@ func (s *System) publish(img *vmi.Image, workers int) (*PublishReport, error) {
 	baseSub := semgraph.Build(img.Base, remaining, nil)
 	baseID := s.baseIdentity(img, baseSub)
 
-	// Lines 14–29 are the metadata commit: base-image selection reads
-	// global repository state and the master-graph update is a
-	// read-modify-write, so the whole transaction is serialized against
-	// other commits (and against Remove and Snapshot).
-	s.commitMu.Lock()
-	defer s.commitMu.Unlock()
+	// Lines 14–29 are the metadata commit: base-image selection reads the
+	// repository state of this base-attribute class and the master-graph
+	// update is a read-modify-write, so the whole transaction is
+	// serialized against other commits of the same class (and against
+	// Remove and Snapshot, which take every stripe). Commits on unrelated
+	// attribute classes proceed in parallel.
+	defer s.lockCommit(img.Base)()
 
 	// Line 14: base image selection (Algorithm 2).
 	selected, replaceList, err := s.selectBaseImage(baseID, baseSub, ps, rep.Meter)
@@ -589,36 +641,81 @@ func (s *System) Retrieve(name string) (*vmi.Image, *RetrieveReport, error) {
 
 // retrieve is Retrieve with an explicit worker bound for the per-group
 // package fetches (1 when called from RetrieveAll). When the retrieval
-// cache is enabled, the repository generation is captured before the
-// record read: a hit under that generation is served from the cache
-// (hash-verified, modeled charges replayed), and a completed assembly is
+// cache is enabled, the striped repository generation of the VMI's base
+// image and name is captured right after the record read: a hit under
+// that generation is served from the cache (hash-verified, modeled
+// charges replayed), concurrent misses of the same key coalesce behind
+// one assembly (the miss singleflight), and a completed assembly is
 // inserted only if the generation is still unchanged — so an assembly
-// that raced a publish or removal can never be cached under a key a later
-// lookup would trust.
+// that raced a relevant publish or removal can never be cached under a
+// key a later lookup would trust.
+//
+// The record read happens before the generation capture, which is safe:
+// an entry's validity depends only on the master graph, base blob,
+// packages and user data named by its key — all covered by the captured
+// stripes — never on the record itself, which only selects which key a
+// retrieval builds.
 func (s *System) retrieve(name string, workers int) (*vmi.Image, *RetrieveReport, error) {
 	const maxAttempts = 3
 	var lastErr error
 	for attempt := 0; attempt < maxAttempts; attempt++ {
 		rep := &RetrieveReport{Image: name, Meter: &simio.Meter{}}
-		var gen uint64
-		if s.cache != nil {
-			gen = s.repo.Generation()
-		}
 		rec, err := s.repo.GetVMI(name, rep.Meter)
 		if err != nil {
 			return nil, nil, err
 		}
+		var gen uint64
 		var key retrievecache.Key
 		if s.cache != nil {
+			gen = s.repo.GenerationFor(rec.BaseID, name)
 			key = retrievecache.NewKey(rec.BaseID, rec.Primaries, name, gen)
 			ent, err := s.cache.Get(key)
 			if err != nil {
 				return nil, nil, fmt.Errorf("core: retrieve %s: %w", name, err)
 			}
 			if ent != nil {
+				s.cctr.hits[vmirepo.StripeFor(rec.BaseID)].Add(1)
 				return s.materializeCached(name, rec, ent)
 			}
+			// Miss. Coalesce behind any in-flight assembly of the same
+			// key — except on the final attempt, where the caller
+			// assembles solo so repeated leader failures can never
+			// starve it.
+			if attempt < maxAttempts-1 {
+				if fl, leader := s.flights.join(key); !leader {
+					<-fl.done
+					if fl.ent != nil {
+						s.cctr.coalesced.Add(1)
+						return s.materializeCached(name, rec, fl.ent)
+					}
+					// A hard leader failure hits every follower too:
+					// surface it like a solo assembly would, instead of
+					// re-amplifying assembly load on a failing backend.
+					if fl.err != nil && !errors.Is(fl.err, vmirepo.ErrNotFound) {
+						return nil, nil, fl.err
+					}
+					// The leader hit the transient not-found window, or
+					// its assembly raced a mutation on this stripe: retry
+					// with a fresh record and generation (usually
+					// straight into a hit on the leader's insert at the
+					// new generation, or into leading a fresh flight).
+					lastErr = fl.err
+					continue
+				} else {
+					img, lrep, err := s.leadAssembly(key, gen, rec, rep, workers, fl)
+					if err == nil {
+						return img, lrep, nil
+					}
+					if !errors.Is(err, vmirepo.ErrNotFound) {
+						return nil, nil, err
+					}
+					lastErr = err
+					continue
+				}
+			}
 		}
+		// Solo assembly: no cache, or the final attempt of a cached
+		// retrieval.
 		img, err := s.assemble(name, rec.BaseID, rec.Primaries, name, rep, workers)
 		if err == nil {
 			if s.cache != nil {
@@ -632,6 +729,46 @@ func (s *System) retrieve(name string, workers int) (*vmi.Image, *RetrieveReport
 		lastErr = err
 	}
 	return nil, nil, fmt.Errorf("core: retrieve %s: %w", name, lastErr)
+}
+
+// leadAssembly runs one assembly as the singleflight leader for key: it
+// assembles, attempts the generation-checked cache insert, and publishes
+// the outcome to the flight's followers (a verified shareable entry, or
+// nil telling them to retry). The flight is always finished, even when
+// the assembly errors.
+//
+// Before assembling, the leader re-checks the cache: between this
+// caller's miss and its taking the flight lead, a previous flight for
+// the same key may have finished and inserted — serving that entry
+// instead of assembling again is what keeps the herd at one assembly per
+// generation even across flight boundaries. The re-check is a Peek, so
+// the caller's already-counted miss is not double-counted.
+func (s *System) leadAssembly(key retrievecache.Key, gen uint64, rec vmirepo.VMIRecord, rep *RetrieveReport, workers int, fl *flight) (*vmi.Image, *RetrieveReport, error) {
+	var shared *retrievecache.Entry
+	var sharedBuild func() *retrievecache.Entry
+	var aerr error
+	defer func() { s.flights.finish(key, fl, shared, aerr, sharedBuild) }()
+	ent, err := s.cache.Peek(key)
+	if err != nil {
+		aerr = err
+		return nil, nil, fmt.Errorf("core: retrieve %s: %w", rec.Name, err)
+	}
+	if ent != nil {
+		s.cctr.hits[vmirepo.StripeFor(rec.BaseID)].Add(1)
+		shared = ent
+		img, crep, err := s.materializeCached(rec.Name, rec, ent)
+		if err != nil {
+			shared, aerr = nil, err
+		}
+		return img, crep, err
+	}
+	img, err := s.assemble(rec.Name, rec.BaseID, rec.Primaries, rec.Name, rep, workers)
+	if err != nil {
+		aerr = err
+		return nil, nil, err
+	}
+	shared, sharedBuild = s.cacheAssembled(key, gen, img, rep)
+	return img, rep, nil
 }
 
 // Assemble builds a VMI that was never uploaded in this exact form: any

@@ -49,13 +49,12 @@ func (s *System) vmiPackageRefs(rec vmirepo.VMIRecord) (map[string]bool, error) 
 // loop for long-lived deployments (images are versioned, cloned and
 // eventually retired — the sprawl the paper opens with).
 //
-// Remove is one metadata transaction: it runs under the commit lock, so
-// its survey of live references is consistent with every committed VMI.
-// Packages pinned by in-flight publishes are never collected (see
-// removePackageUnlessPinned).
+// Remove is one metadata transaction: its survey of live references
+// spans every base-attribute class, so it takes all commit-lock stripes,
+// staying consistent with every committed VMI. Packages pinned by
+// in-flight publishes are never collected (see removePackageUnlessPinned).
 func (s *System) Remove(name string) error {
-	s.commitMu.Lock()
-	defer s.commitMu.Unlock()
+	defer s.lockAllCommits()()
 	rec, err := s.repo.GetVMI(name, nil)
 	if err != nil {
 		return err

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"expelliarmus/internal/retrievecache"
+)
+
+// flight is one in-progress assembly that concurrent cache misses of the
+// same key coalesce behind: the first miss leads and runs Algorithm 3
+// once; every later miss waits for it instead of assembling the same
+// image again (the thundering-herd fix for retrieval storms on one
+// popular image).
+type flight struct {
+	done chan struct{}
+	// waiters counts followers (incremented under the group lock); finish
+	// reads it after unregistering the flight — when it is final — to
+	// decide whether a shareable entry is worth building when the cache
+	// itself would reject it (oversize images).
+	waiters atomic.Int32
+	// ent and err are the leader's outcome, written strictly before done
+	// is closed. ent is non-nil only when the leader re-verified the
+	// generation after assembling, so followers may serve a deep copy of
+	// it exactly like a cache hit; ent == nil tells followers to retry
+	// with a fresh record and generation.
+	ent *retrievecache.Entry
+	err error
+}
+
+// flightGroup coalesces concurrent misses per cache key. The zero value
+// is ready to use.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[retrievecache.Key]*flight
+}
+
+// join returns the flight for key and whether the caller leads it. A
+// leader must call finish exactly once; followers wait on fl.done.
+func (g *flightGroup) join(key retrievecache.Key) (fl *flight, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if fl, ok := g.m[key]; ok {
+		fl.waiters.Add(1)
+		return fl, false
+	}
+	if g.m == nil {
+		g.m = make(map[retrievecache.Key]*flight)
+	}
+	fl = &flight{done: make(chan struct{})}
+	g.m[key] = fl
+	return fl, true
+}
+
+// finish publishes the leader's outcome and releases the flight. The key
+// is removed from the group before done is closed, so a miss arriving
+// after the outcome is sealed starts a fresh flight rather than joining
+// a finished one.
+//
+// build, when non-nil, produces a shareable entry on demand for an
+// outcome that has followers but no cached entry (an image too large to
+// cache). It runs strictly after the key is removed from the group —
+// joins only happen under the group lock while the key is present, so
+// the waiter count read here is final and no follower can slip in after
+// a "no waiters" decision.
+func (g *flightGroup) finish(key retrievecache.Key, fl *flight, ent *retrievecache.Entry, err error, build func() *retrievecache.Entry) {
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	if ent == nil && err == nil && build != nil && fl.waiters.Load() > 0 {
+		ent = build()
+	}
+	fl.ent, fl.err = ent, err
+	close(fl.done)
+}

@@ -126,6 +126,25 @@ func (b *Bucket) Get(key []byte) ([]byte, bool) {
 	return b.t.get(key)
 }
 
+// Update atomically rewrites the value under key: fn receives the current
+// value (nil, false when absent) and returns the replacement plus whether
+// to write it. The read-modify-write holds the bucket lock throughout, so
+// no concurrent Put can interleave between fn's view and the write — the
+// compare-and-rewrite primitive conditional record repointing (e.g. VMI
+// rewiring) needs under striped commit locks. fn must not touch this
+// bucket and must not retain old. Reports whether a write happened.
+func (b *Bucket) Update(key []byte, fn func(old []byte, ok bool) ([]byte, bool)) bool {
+	b.t.mu.Lock()
+	defer b.t.mu.Unlock()
+	old, ok := b.t.get(key)
+	val, write := fn(old, ok)
+	if !write {
+		return false
+	}
+	b.t.put(cloneBytes(key), cloneBytes(val))
+	return true
+}
+
 // Delete removes key. It reports whether the key was present.
 func (b *Bucket) Delete(key []byte) bool {
 	b.t.mu.Lock()

@@ -444,3 +444,41 @@ func BenchmarkGet(b *testing.B) {
 		bk.Get([]byte(fmt.Sprintf("key-%09d", i%100000)))
 	}
 }
+
+// TestBucketUpdate pins the atomic read-modify-write primitive: fn sees
+// the current value under the bucket lock, can decline the write, and a
+// written value is stored under the key like a Put.
+func TestBucketUpdate(t *testing.T) {
+	db := New()
+	db.CreateBucket("b")
+	b := db.Bucket("b")
+
+	// Absent key: fn sees (nil, false); declining writes nothing.
+	wrote := b.Update([]byte("k"), func(old []byte, ok bool) ([]byte, bool) {
+		if old != nil || ok {
+			t.Fatalf("fn saw (%q, %v) for an absent key", old, ok)
+		}
+		return nil, false
+	})
+	if wrote {
+		t.Fatal("declined update reported a write")
+	}
+	if _, ok := b.Get([]byte("k")); ok {
+		t.Fatal("declined update stored a value")
+	}
+
+	// Conditional rewrite sees the current value and replaces it.
+	b.Put([]byte("k"), []byte("v1"))
+	wrote = b.Update([]byte("k"), func(old []byte, ok bool) ([]byte, bool) {
+		if !ok || string(old) != "v1" {
+			t.Fatalf("fn saw (%q, %v), want (v1, true)", old, ok)
+		}
+		return []byte("v2"), true
+	})
+	if !wrote {
+		t.Fatal("accepted update reported no write")
+	}
+	if got, _ := b.Get([]byte("k")); string(got) != "v2" {
+		t.Fatalf("value after update = %q, want v2", got)
+	}
+}

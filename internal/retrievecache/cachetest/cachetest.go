@@ -39,6 +39,7 @@ func Run(t *testing.T, factory Factory) {
 	t.Run("MissThenHit", func(t *testing.T) { testMissThenHit(t, factory) })
 	t.Run("KeyNormalisation", func(t *testing.T) { testKeyNormalisation(t, factory) })
 	t.Run("GenerationsAreDistinctKeys", func(t *testing.T) { testGenerationKeys(t, factory) })
+	t.Run("StripedGenerationIsolation", func(t *testing.T) { testStripedGenerationIsolation(t, factory) })
 	t.Run("FillEvictOrdering", func(t *testing.T) { testFillEvictOrdering(t, factory) })
 	t.Run("GetRefreshesRecency", func(t *testing.T) { testGetRefreshesRecency(t, factory) })
 	t.Run("ReplaceSameKey", func(t *testing.T) { testReplaceSameKey(t, factory) })
@@ -150,6 +151,36 @@ func testGenerationKeys(t *testing.T, factory Factory) {
 	cur := retrievecache.NewKey("base", []string{"redis"}, "vmi", 11)
 	if e, err := c.Get(cur); err != nil || e != nil {
 		t.Fatal("lookup at a newer generation hit a stale entry")
+	}
+}
+
+// testStripedGenerationIsolation pins the cache-side half of the striped
+// invalidation contract: generations are per-key, so a mutation that
+// moves one base's generation (its lookups shift to a fresh key and
+// miss) must leave another base's entry reachable at its own unchanged
+// generation — the cache itself never couples keys.
+func testStripedGenerationIsolation(t *testing.T, factory Factory) {
+	c := factory(1 << 20)
+	hot := retrievecache.NewKey("base-hot", []string{"redis"}, "vmi-hot", 7)
+	other := retrievecache.NewKey("base-other", []string{"nginx"}, "vmi-other", 3)
+	c.Put(hot, entryOf(1, 512))
+	c.Put(other, entryOf(2, 512))
+
+	// A mutation on base-other moves only its generation: its old entry
+	// becomes unreachable there...
+	otherNext := retrievecache.NewKey("base-other", []string{"nginx"}, "vmi-other", 4)
+	if e, err := c.Get(otherNext); err != nil || e != nil {
+		t.Fatal("lookup at base-other's fresh generation hit its stale entry")
+	}
+	c.Put(otherNext, entryOf(3, 512))
+
+	// ...while the hot base's entry, whose generation did not move, stays
+	// servable through any amount of other-base churn.
+	if e, err := c.Get(hot); err != nil || e == nil {
+		t.Fatal("other-base generation churn made the hot entry unreachable")
+	}
+	if e, err := c.Get(otherNext); err != nil || e == nil {
+		t.Fatal("fresh-generation entry not served")
 	}
 }
 

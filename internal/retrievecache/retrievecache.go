@@ -8,10 +8,13 @@
 //
 // Correctness is invalidation-shaped. A cache key is the quadruple
 // (base image, sorted primary-package set, user-data source, repository
-// generation); the generation is a counter the repository bumps around
-// every mutation (publish commits, removals, garbage collection), so any
-// change to the repository moves subsequent lookups to fresh keys and
-// makes every previously cached entry unreachable. Entries additionally
+// generation); the generation is the combined striped counter the
+// repository bumps around every mutation touching the key's base image or
+// VMI name (publish commits, removals, user-data replacement — see
+// vmirepo.GenerationFor), so any relevant change moves subsequent lookups
+// to fresh keys and makes the previously cached entries for that base
+// unreachable, while mutations scoped to other stripes leave them
+// servable. Entries additionally
 // carry the SHA-256 of their serialized image and are re-verified on every
 // hit: a poisoned entry (bit rot, an aliasing bug, a caller scribbling on
 // shared bytes) surfaces as ErrPoisoned instead of wrong image bytes.
@@ -55,9 +58,11 @@ type Key struct {
 	// ("" when none) — two VMIs with identical base and primaries but
 	// different user data must never share an entry.
 	UserData string
-	// Generation is the repository generation the assembly ran against
-	// (see vmirepo.Generation). Any repository mutation bumps it, which is
-	// the cache's whole invalidation story: stale entries are not found.
+	// Generation is the striped repository generation the assembly ran
+	// against (see vmirepo.GenerationFor, summed over the stripes of the
+	// base image and the VMI name). Any mutation relevant to those keys
+	// bumps it, which is the cache's whole invalidation story: stale
+	// entries are not found.
 	Generation uint64
 }
 
@@ -131,7 +136,8 @@ type Stats struct {
 	// insertions (including replacements of an existing key).
 	Hits, Misses, Puts int64
 	// Evictions counts entries dropped by the LRU to fit the byte budget;
-	// Rejected counts entries refused because they alone exceed it.
+	// Rejected counts entries that alone exceed it — refused by Put, or
+	// skipped upfront by the caller and recorded via NoteRejected.
 	Evictions, Rejected int64
 	// Poisoned counts hits whose image bytes failed content verification
 	// (the entry is evicted and ErrPoisoned returned).
@@ -209,11 +215,21 @@ func (c *Cache) removeLocked(n *node) {
 // a miss. The stored image is re-verified against the content hash taken
 // at insertion; on mismatch the entry is evicted and ErrPoisoned returned,
 // so damaged bytes can never be served as an assembled image.
-func (c *Cache) Get(key Key) (*Entry, error) {
+func (c *Cache) Get(key Key) (*Entry, error) { return c.get(key, true) }
+
+// Peek is Get for double-checked miss paths: a resident entry is served
+// (verified, recency refreshed, counted as a hit), but a miss is not
+// counted — the caller already counted its miss before deciding to run
+// the assembly this lookup re-checks.
+func (c *Cache) Peek(key Key) (*Entry, error) { return c.get(key, false) }
+
+func (c *Cache) get(key Key, countMiss bool) (*Entry, error) {
 	c.mu.Lock()
 	n, ok := c.items[key]
 	if !ok {
-		c.misses++
+		if countMiss {
+			c.misses++
+		}
 		c.mu.Unlock()
 		return nil, nil
 	}
@@ -274,6 +290,16 @@ func (c *Cache) Put(key Key, e *Entry) bool {
 		c.evictions++
 	}
 	return true
+}
+
+// NoteRejected records an insert the caller skipped because the entry
+// could never be resident (a serialized image whose lower-bound size
+// already exceeds the budget), keeping Stats.Rejected an accurate count
+// of uncacheable assemblies even when Put is never called for them.
+func (c *Cache) NoteRejected() {
+	c.mu.Lock()
+	c.rejected++
+	c.mu.Unlock()
 }
 
 // Remove drops the entry for key, reporting whether one was resident.

@@ -3,6 +3,7 @@ package vmirepo
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 
@@ -199,5 +200,89 @@ func TestPutUserDataReplaceReclaims(t *testing.T) {
 	}
 	if got := r.Stats().BlobBytes; got != 0 {
 		t.Fatalf("blob bytes = %d after removal, want 0", got)
+	}
+}
+
+// TestRewireVMIsDoesNotClobberConcurrentRepublish races base rewires
+// against republishes of one affected VMI name onto a different base (as
+// a concurrent publish of another attribute class would commit under the
+// core's striped commit locks — its commit stripe does not exclude this
+// one). The rewire's per-record compare-and-rewrite must leave a
+// republished record alone; the corrupt outcome an unguarded rewrite
+// produces is the rewire's base spliced onto the republish's primaries.
+// Many sibling records keep rewires in flight long enough for the
+// republisher to land inside the scan-to-rewrite window, and a checker
+// goroutine asserts no reader can ever observe a spliced record.
+func TestRewireVMIsDoesNotClobberConcurrentRepublish(t *testing.T) {
+	r := testRepo()
+	const siblings = 400
+	const rounds = 200
+	victim := fmt.Sprintf("vmi-%04d", siblings)
+	for j := 0; j <= siblings; j++ {
+		r.PutVMI(VMIRecord{Name: fmt.Sprintf("vmi-%04d", j), BaseID: "oldA", Primaries: []string{"primsA"}}, nil)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	done := make(chan struct{})
+	rewiresDone := make(chan struct{})
+	go func() { // rewirer: ping-pongs every oldA/newA record
+		defer wg.Done()
+		defer close(rewiresDone)
+		for i := 0; i < rounds; i++ {
+			r.RewireVMIs("oldA", "newA", nil)
+			r.RewireVMIs("newA", "oldA", nil)
+		}
+	}()
+	go func() { // republisher: toggles the victim onto and off a foreign base
+		// for as long as rewires are in flight, so the toggles keep
+		// landing inside scan-to-rewrite windows.
+		defer wg.Done()
+		for {
+			select {
+			case <-rewiresDone:
+				return
+			default:
+			}
+			r.PutVMI(VMIRecord{Name: victim, BaseID: "baseB", Primaries: []string{"primsB"}}, nil)
+			r.PutVMI(VMIRecord{Name: victim, BaseID: "oldA", Primaries: []string{"primsA"}}, nil)
+		}
+	}()
+	go func() { wg.Wait(); close(done) }()
+
+	// Invariant: primaries always belong to the base family the record
+	// names. A rewire splicing newA/oldA onto primsB (or leaving primsA
+	// under baseB) is the corruption the guard exists to prevent.
+	check := func() {
+		rec, err := r.GetVMI(victim, nil)
+		if err != nil {
+			t.Errorf("victim vanished: %v", err)
+			return
+		}
+		prims := strings.Join(rec.Primaries, ",")
+		switch rec.BaseID {
+		case "oldA", "newA":
+			if prims != "primsA" {
+				t.Errorf("rewire spliced base %s onto foreign primaries %q", rec.BaseID, prims)
+			}
+		case "baseB":
+			if prims != "primsB" {
+				t.Errorf("republished record lost its primaries: %q", prims)
+			}
+		default:
+			t.Errorf("victim on unexpected base %q", rec.BaseID)
+		}
+	}
+	for {
+		select {
+		case <-done:
+			check()
+			return
+		default:
+			check()
+			if t.Failed() {
+				return
+			}
+		}
 	}
 }

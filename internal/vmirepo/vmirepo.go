@@ -78,31 +78,122 @@ type Repo struct {
 	// udMu serialises user-data replacement, whose release-old/store-new
 	// pair must be atomic to keep blob reference counts exact.
 	udMu sync.Mutex
-	// gen is the repository generation: a counter bumped around every
-	// mutating operation (see mutate), read by the retrieval cache to key
-	// and invalidate cached assemblies. Monotonic, never persisted — a
-	// reopened or restored repository starts a fresh generation space,
-	// which is safe because it also starts with an empty cache.
-	gen atomic.Uint64
+	// gens are the striped repository generations: GenStripes counters,
+	// each bumped around every mutating operation that touches its stripe
+	// (see mutate), read by the retrieval cache to key and invalidate
+	// cached assemblies. Mutations scope their bumps to the stripes of the
+	// keys they touch (a base-image ID, a VMI name), so a publish on one
+	// base leaves entries cached for unrelated bases reachable; operations
+	// with no scoping key (package GC) bump every stripe. Monotonic, never
+	// persisted — a reopened or restored repository starts a fresh
+	// generation space, which is safe because it also starts with an empty
+	// cache.
+	gens [GenStripes]atomic.Uint64
 }
 
-// Generation returns the current repository generation. The counter is
-// bumped both before and after every mutating operation, so a reader that
-// captures the generation, performs a multi-step read (e.g. a whole VMI
-// assembly) and then observes the same generation knows that no mutation
-// committed anywhere inside its window — the invariant the retrieval
-// cache's insert path relies on. A mutation in flight (bumped before, not
-// yet after) keeps the generation moving, so such a window can also never
-// span one.
-func (r *Repo) Generation() uint64 { return r.gen.Load() }
+// GenStripes is the number of generation stripes. Keys (base-image IDs,
+// VMI names) hash onto stripes via StripeFor; two keys sharing a stripe
+// false-share invalidations (safe, just a lost warm entry), never miss
+// one.
+const GenStripes = 64
+
+// HashKey hashes a repository scoping key (a base-image ID, a VMI name,
+// an attribute quadruple) over the full 32-bit FNV-1a width. Callers
+// reduce it by their own stripe count, so differently sized stripe
+// spaces (generation stripes here, the core's commit-lock stripes) stay
+// uniformly distributed and never couple to each other's counts.
+func HashKey(key string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return h
+}
+
+// StripeFor maps a generation-scoping key — a base-image ID or a VMI
+// name — to its stripe index.
+func StripeFor(key string) int {
+	return int(HashKey(key) % GenStripes)
+}
+
+// Generation returns the cross-stripe repository generation: the sum of
+// all stripe counters, which moves on every mutation anywhere. It is the
+// fallback for readers with no scoping key (a restore check, a whole-repo
+// consistency probe); scoped readers — the retrieval cache — use
+// GenerationFor and stay immune to unrelated stripes.
+func (r *Repo) Generation() uint64 {
+	var sum uint64
+	for i := range r.gens {
+		sum += r.gens[i].Load()
+	}
+	return sum
+}
+
+// GenerationFor returns the combined generation of the stripes covering
+// keys (deduplicated, so the value is independent of key order and
+// repetition). Each stripe counter is bumped both before and after every
+// mutation touching it, so a reader that captures GenerationFor, performs
+// a multi-step read (e.g. a whole VMI assembly) and then observes the
+// same value knows that no mutation relevant to those keys committed
+// anywhere inside its window — the invariant the retrieval cache's insert
+// path relies on. A mutation in flight (bumped before, not yet after)
+// keeps the value moving, so such a window can also never span one.
+// Because each counter only ever grows, an unchanged sum implies every
+// constituent stripe is unchanged.
+func (r *Repo) GenerationFor(keys ...string) uint64 {
+	var seen [GenStripes]bool
+	var sum uint64
+	for _, k := range keys {
+		i := StripeFor(k)
+		if !seen[i] {
+			seen[i] = true
+			sum += r.gens[i].Load()
+		}
+	}
+	return sum
+}
 
 // mutate brackets a mutating operation for the generation protocol: one
 // bump before the first write makes any reader that started earlier
 // unable to validate its window, one bump after the last write moves all
-// later readers to fresh cache keys. Use as `defer r.mutate()()`.
-func (r *Repo) mutate() func() {
-	r.gen.Add(1)
-	return func() { r.gen.Add(1) }
+// later readers to fresh cache keys. The bumps land only on the stripes
+// of the given keys — the base image(s) and/or VMI name the mutation
+// touches — so readers scoped to other stripes keep their windows; with
+// no keys every stripe is bumped (the conservative fallback for
+// mutations whose blast radius has no single key, e.g. package GC). Use
+// as `defer r.mutate(keys...)()`.
+func (r *Repo) mutate(keys ...string) func() {
+	if len(keys) == 0 {
+		for i := range r.gens {
+			r.gens[i].Add(1)
+		}
+		return func() {
+			for i := range r.gens {
+				r.gens[i].Add(1)
+			}
+		}
+	}
+	var seen [GenStripes]bool
+	var stripes []int
+	for _, k := range keys {
+		if i := StripeFor(k); !seen[i] {
+			seen[i] = true
+			stripes = append(stripes, i)
+		}
+	}
+	for _, i := range stripes {
+		r.gens[i].Add(1)
+	}
+	return func() {
+		for _, i := range stripes {
+			r.gens[i].Add(1)
+		}
+	}
 }
 
 // New returns an empty in-memory repository using the device for cost
@@ -349,10 +440,17 @@ func (r *Repo) PutPackage(p pkgmeta.Package, blob []byte, m *simio.Meter) error 
 // store already deduplicated the bytes). Only the winner is charged the
 // store write; the loser's outcome is equivalent to having observed the
 // package via HasPackage.
+//
+// EnsurePackage deliberately does NOT bump any generation stripe: it can
+// only add a ref that no master graph references yet (publishes commit
+// their master-graph update strictly after exporting packages, and GC
+// rebuilds masters before dropping refs), so no assembly's output can
+// depend on the insert — invalidating cached images for it would flush
+// warm entries on the data-plane phase of every concurrent publish for
+// nothing.
 func (r *Repo) EnsurePackage(p pkgmeta.Package, blob []byte, m *simio.Meter) (bool, error) {
 	r.opMu.RLock()
 	defer r.opMu.RUnlock()
-	defer r.mutate()()
 	key := []byte(p.Ref())
 	id, _ := r.blobs.Put(blob)
 	if err := r.blobErr(); err != nil {
@@ -458,7 +556,7 @@ func (r *Repo) HasBase(id string, m *simio.Meter) bool {
 func (r *Repo) PutBase(id string, attrs pkgmeta.BaseAttrs, image []byte, m *simio.Meter) error {
 	r.opMu.RLock()
 	defer r.opMu.RUnlock()
-	defer r.mutate()()
+	defer r.mutate(id)()
 	b := r.db.Bucket(bucketBases)
 	if _, exists := b.Get([]byte(id)); exists {
 		return fmt.Errorf("vmirepo: base %s already stored", id)
@@ -503,7 +601,7 @@ func (r *Repo) GetBase(id string, ph simio.Phase, m *simio.Meter) ([]byte, error
 func (r *Repo) RemoveBase(id string, m *simio.Meter) error {
 	r.opMu.RLock()
 	defer r.opMu.RUnlock()
-	defer r.mutate()()
+	defer r.mutate(id)()
 	b := r.db.Bucket(bucketBases)
 	val, ok := b.Get([]byte(id))
 	r.chargeDB(m, 0)
@@ -544,7 +642,7 @@ func (r *Repo) Bases() ([]BaseRecord, error) {
 func (r *Repo) PutMaster(mg *master.Graph, m *simio.Meter) {
 	r.opMu.RLock()
 	defer r.opMu.RUnlock()
-	defer r.mutate()()
+	defer r.mutate(mg.BaseID)()
 	data := mg.Marshal()
 	r.db.Bucket(bucketMasters).Put([]byte(mg.BaseID), data)
 	r.chargeDB(m, int64(len(data)))
@@ -564,7 +662,7 @@ func (r *Repo) GetMaster(baseID string, m *simio.Meter) (*master.Graph, error) {
 func (r *Repo) RemoveMaster(baseID string, m *simio.Meter) {
 	r.opMu.RLock()
 	defer r.opMu.RUnlock()
-	defer r.mutate()()
+	defer r.mutate(baseID)()
 	r.db.Bucket(bucketMasters).Delete([]byte(baseID))
 	r.chargeDB(m, 0)
 }
@@ -598,7 +696,7 @@ type VMIRecord struct {
 func (r *Repo) PutVMI(rec VMIRecord, m *simio.Meter) {
 	r.opMu.RLock()
 	defer r.opMu.RUnlock()
-	defer r.mutate()()
+	defer r.mutate(rec.BaseID, rec.Name)()
 	val := rec.BaseID + "\n" + strings.Join(rec.Primaries, ",")
 	r.db.Bucket(bucketVMIs).Put([]byte(rec.Name), []byte(val))
 	r.chargeDB(m, int64(len(val)))
@@ -625,10 +723,18 @@ func (r *Repo) GetVMI(name string, m *simio.Meter) (VMIRecord, error) {
 // RewireVMIs repoints every VMI record referencing oldBase to newBase,
 // used when base-image selection replaces an obsolete base (its clustered
 // primary subgraphs having been merged into the surviving master).
+//
+// Each rewrite is an atomic compare-and-rewrite that re-checks the record
+// still points at oldBase: under striped commit locks a publish of the
+// same VMI name on a *different* attribute class can commit between the
+// scan and the rewrite (its commit stripe does not exclude this one), and
+// blindly repointing would splice that publish's primaries onto this
+// class's base. A record that moved since the scan is simply left to its
+// new owner.
 func (r *Repo) RewireVMIs(oldBase, newBase string, m *simio.Meter) {
 	r.opMu.RLock()
 	defer r.opMu.RUnlock()
-	defer r.mutate()()
+	defer r.mutate(oldBase, newBase)()
 	b := r.db.Bucket(bucketVMIs)
 	var names []string
 	b.ForEach(func(k, v []byte) bool {
@@ -639,10 +745,14 @@ func (r *Repo) RewireVMIs(oldBase, newBase string, m *simio.Meter) {
 		return true
 	})
 	for _, name := range names {
-		val, _ := b.Get([]byte(name))
-		parts := strings.SplitN(string(val), "\n", 2)
-		b.Put([]byte(name), []byte(newBase+"\n"+parts[1]))
-		r.chargeDB(m, int64(len(val)))
+		b.Update([]byte(name), func(old []byte, ok bool) ([]byte, bool) {
+			parts := strings.SplitN(string(old), "\n", 2)
+			if !ok || len(parts) != 2 || parts[0] != oldBase {
+				return nil, false
+			}
+			r.chargeDB(m, int64(len(old)))
+			return []byte(newBase + "\n" + parts[1]), true
+		})
 	}
 }
 
@@ -668,7 +778,7 @@ func (r *Repo) PutUserData(name string, archive []byte, m *simio.Meter) error {
 	defer r.opMu.RUnlock()
 	r.udMu.Lock()
 	defer r.udMu.Unlock()
-	defer r.mutate()()
+	defer r.mutate(name)()
 	id, _ := r.blobs.Put(archive)
 	if err := r.blobErr(); err != nil {
 		return fmt.Errorf("vmirepo: store user data %q: %w", name, err)
@@ -739,7 +849,7 @@ func (r *Repo) RemoveUserData(name string, m *simio.Meter) error {
 	defer r.opMu.RUnlock()
 	r.udMu.Lock()
 	defer r.udMu.Unlock()
-	defer r.mutate()()
+	defer r.mutate(name)()
 	b := r.db.Bucket(bucketUserData)
 	val, ok := b.Get([]byte(name))
 	r.chargeDB(m, 0)
@@ -759,7 +869,7 @@ func (r *Repo) RemoveUserData(name string, m *simio.Meter) error {
 func (r *Repo) RemoveVMI(name string, m *simio.Meter) {
 	r.opMu.RLock()
 	defer r.opMu.RUnlock()
-	defer r.mutate()()
+	defer r.mutate(name)()
 	r.db.Bucket(bucketVMIs).Delete([]byte(name))
 	r.chargeDB(m, 0)
 }

@@ -1,0 +1,89 @@
+package expelliarmus
+
+import (
+	"strings"
+	"testing"
+
+	"expelliarmus/internal/core"
+	"expelliarmus/internal/simio"
+	"expelliarmus/internal/vmi"
+)
+
+// TestRetrieveAllPartialFailure: a batch containing an unpublished name
+// fails, but the facade must still return one slot per input name with
+// the successful retrievals filled in — the partial-results promise of
+// the doc comment.
+func TestRetrieveAllPartialFailure(t *testing.T) {
+	sys := NewWithOptions(Options{Parallelism: 4})
+	for _, n := range []string{"Mini", "Redis"} {
+		img, err := sys.BuildImage(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.Publish(img); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names := []string{"Mini", "no-such-vmi", "Redis"}
+	imgs, reps, err := sys.RetrieveAll(names)
+	if err == nil {
+		t.Fatal("batch with an unpublished name reported success")
+	}
+	if !strings.Contains(err.Error(), "no-such-vmi") {
+		t.Fatalf("error does not name the failing image: %v", err)
+	}
+	if len(imgs) != len(names) || len(reps) != len(names) {
+		t.Fatalf("got %d images / %d results, want %d slots each", len(imgs), len(reps), len(names))
+	}
+	if imgs[1] != nil || reps[1] != nil {
+		t.Fatal("failed retrieval produced a non-nil result")
+	}
+	for _, i := range []int{0, 2} {
+		// The worker pool stops scheduling after the first failure, so a
+		// successful slot is not guaranteed — but a filled slot must be
+		// coherent (image and result paired and named correctly).
+		if (imgs[i] == nil) != (reps[i] == nil) {
+			t.Fatalf("slot %d: image and result presence diverge", i)
+		}
+		if imgs[i] != nil && imgs[i].Name() != names[i] {
+			t.Fatalf("slot %d: image %q, want %q", i, imgs[i].Name(), names[i])
+		}
+	}
+}
+
+// TestMapRetrieveResultsSkew is the failure-injection test for the
+// result-mapping loop itself: a core batch that (through any future bug
+// or partial cancellation) hands back skewed or short slices must map to
+// nil slots, not index-panic.
+func TestMapRetrieveResultsSkew(t *testing.T) {
+	img := &vmi.Image{Name: "a"}
+	rep := &core.RetrieveReport{Image: "a", Meter: &simio.Meter{}}
+	cases := []struct {
+		name string
+		n    int
+		imgs []*vmi.Image
+		reps []*core.RetrieveReport
+	}{
+		{"RepsShorter", 3, []*vmi.Image{img, img, img}, []*core.RetrieveReport{rep}},
+		{"ImgsShorter", 3, []*vmi.Image{img}, []*core.RetrieveReport{rep, rep, rep}},
+		{"BothEmpty", 2, nil, nil},
+		{"NilHoles", 2, []*vmi.Image{nil, img}, []*core.RetrieveReport{rep, nil}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			outImgs, outReps := mapRetrieveResults(tc.n, tc.imgs, tc.reps)
+			if len(outImgs) != tc.n || len(outReps) != tc.n {
+				t.Fatalf("got %d/%d slots, want %d", len(outImgs), len(outReps), tc.n)
+			}
+			for i := 0; i < tc.n; i++ {
+				want := i < len(tc.imgs) && i < len(tc.reps) && tc.imgs[i] != nil && tc.reps[i] != nil
+				if got := outImgs[i] != nil && outReps[i] != nil; got != want {
+					t.Fatalf("slot %d mapped = %v, want %v", i, got, want)
+				}
+				if (outImgs[i] == nil) != (outReps[i] == nil) {
+					t.Fatalf("slot %d: image and result presence diverge", i)
+				}
+			}
+		})
+	}
+}
