@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	expelbench [-exp all|table2,fig3a,fig3b,fig3c,fig4a,fig4b,fig5a,fig5b,abl1,abl2,abl3,abl4,conc,persist,cachehit,storm] [-ide-builds 40] [-clients 8] [-backend memory|disk] [-store-root DIR] [-cache BYTES] [-warm-iters 3] [-storm-publishes 120] [-storm-bursts 3] [-storm-burst-clients 32]
+//	expelbench [-exp all|table2,fig3a,fig3b,fig3c,fig4a,fig4b,fig5a,fig5b,abl1,abl2,abl3,abl4,conc,persist,cachehit,storm,sync] [-ide-builds 40] [-clients 8] [-backend memory|disk] [-store-root DIR] [-cache BYTES] [-wal-compact BYTES] [-warm-iters 3] [-storm-publishes 120] [-storm-bursts 3] [-storm-burst-clients 32] [-sync-deltas 5]
 //
 // Every experiment runs against the blob backend named by -backend: the
 // in-memory sharded store (the default) or the durable on-disk segment
@@ -19,7 +19,12 @@
 // itself when -cache is unset. The storm experiment (also cache-enabled
 // by default) races hot-image retrievals against publishes on unrelated
 // bases and fires concurrent-miss bursts, verifying the generation
-// striping and miss-singleflight contracts.
+// striping and miss-singleflight contracts. The sync experiment (always
+// on the disk backend) measures Sync cost against delta size: per-image
+// incremental syncs must come in at least 5x cheaper than the full
+// metadata rewrite a compaction performs, or the experiment errors.
+// -wal-compact tunes the metadata-WAL compaction threshold of every
+// disk-backed repository (the sync experiment pins its own).
 package main
 
 import (
@@ -43,11 +48,13 @@ func main() {
 	stormPublishes := flag.Int("storm-publishes", 120, "unrelated-base publishes in the storm experiment")
 	stormBursts := flag.Int("storm-bursts", 3, "concurrent-miss bursts in the storm experiment")
 	stormBurstClients := flag.Int("storm-burst-clients", 32, "concurrent retrievals per storm burst")
+	walCompact := flag.Int64("wal-compact", 0, "metadata-WAL compaction threshold bytes for disk-backed repositories (0 keeps the default)")
+	syncDeltas := flag.Int("sync-deltas", 5, "single-image publish+Sync rounds in the sync experiment")
 	flag.Parse()
 
 	selected := map[string]bool{}
 	if *exps == "all" {
-		for _, e := range []string{"table2", "fig3a", "fig3b", "fig3c", "fig4a", "fig4b", "fig5a", "fig5b", "abl1", "abl2", "abl3", "abl4", "conc", "persist", "cachehit", "storm"} {
+		for _, e := range []string{"table2", "fig3a", "fig3b", "fig3c", "fig4a", "fig4b", "fig5a", "fig5b", "abl1", "abl2", "abl3", "abl4", "conc", "persist", "cachehit", "storm", "sync"} {
 			selected[e] = true
 		}
 	} else {
@@ -65,6 +72,9 @@ func main() {
 	}
 	if *cacheBytes != 0 {
 		r.CacheBytes = *cacheBytes
+	}
+	if *walCompact != 0 {
+		r.WALCompactBytes = *walCompact
 	}
 	run := func(name string, fn func() (fmt.Stringer, error)) {
 		if !selected[name] {
@@ -97,6 +107,7 @@ func main() {
 	run("storm", func() (fmt.Stringer, error) {
 		return r.Storm(*stormPublishes, *clients, *stormBursts, *stormBurstClients)
 	})
+	run("sync", func() (fmt.Stringer, error) { return r.SyncDelta(*syncDeltas) })
 
 	// Closing disk-backed systems is where a sticky store failure (e.g. a
 	// full filesystem mid-run) surfaces; results printed above would

@@ -69,6 +69,12 @@ type Options struct {
 	// on every hit; a corrupted entry surfaces as an error, never as
 	// wrong bytes. See CacheStats for effectiveness counters.
 	CacheBytes int64
+	// WALCompactBytes tunes disk-backed Systems (OpenAt): the metadata
+	// write-ahead log is compacted — rewritten as a fresh full snapshot
+	// with an empty log — when a Sync would grow it beyond this size.
+	// Zero means the default (8 MiB). Memory-backed Systems ignore it.
+	// See also Compact for forcing a compaction explicitly.
+	WALCompactBytes int64
 }
 
 // System is an Expelliarmus VMI management system over an in-memory
@@ -117,15 +123,20 @@ func NewWithOptions(o Options) *System {
 
 // OpenAt creates or reopens a disk-backed System rooted at path. Unlike
 // New, the repository's blobs live in append-only segment files under
-// path/blobs and its metadata in path/meta.db, so the catalog can outgrow
-// RAM and survives the process: reopening the same path (after a clean
-// Close, a plain exit, or a crash — torn log tails are recovered and
-// reported, see internal/blobstore/diskstore) yields the repository as of
-// everything published, plus whatever later operations the log retained.
-// Call Sync to force durability at a point in time; it is incremental.
+// path/blobs and its metadata in a snapshot + write-ahead-log pair under
+// path (see internal/metawal; a legacy path/meta.db layout is migrated
+// on first open), so the catalog can outgrow RAM and survives the
+// process: reopening the same path (after a clean Close, a plain exit,
+// or a crash — torn log tails are recovered and reported, see
+// internal/blobstore/diskstore and internal/metawal) yields the
+// repository as of everything published, plus whatever later operations
+// the logs retained. Call Sync to force durability at a point in time;
+// it is incremental on both the blob and the metadata side.
 func OpenAt(path string, o Options) (*System, error) {
 	dev := newDevice()
-	repo, err := vmirepo.OpenAt(path, dev)
+	repo, err := vmirepo.OpenAtOpts(path, dev, vmirepo.OpenOptions{
+		WALCompactBytes: o.WALCompactBytes,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -146,10 +157,19 @@ type SyncStats struct {
 	// while SegmentBytes never double-counts a byte.
 	Segments     int
 	SegmentBytes int64
-	// IndexBytes and MetaBytes are the blob index and metadata images
-	// committed atomically alongside.
+	// IndexBytes is the blob index image committed atomically alongside.
+	// MetaBytes is the metadata bytes this sync committed: the WAL delta
+	// (framed mutation records plus one commit marker) on the hot path,
+	// or the fresh full snapshot on a compacting sync — never a full
+	// metadata rewrite for an incremental delta.
 	IndexBytes int64
 	MetaBytes  int64
+	// MetaOps counts the metadata mutations committed; Compacted reports
+	// that the metadata WAL was rewritten into a fresh snapshot of
+	// MetaSnapshotBytes (zero otherwise).
+	MetaOps           int
+	Compacted         bool
+	MetaSnapshotBytes int64
 }
 
 // Sync makes a disk-backed System durable up to all completed operations.
@@ -162,12 +182,33 @@ func (s *System) Sync() (SyncStats, error) {
 	if err != nil {
 		return SyncStats{}, err
 	}
+	return newSyncStats(st), nil
+}
+
+// Compact is Sync with a forced compaction of the metadata write-ahead
+// log: the metadata state is rewritten as a fresh full snapshot and the
+// log starts empty, bounding reopen (replay) cost. Size- and
+// period-triggered compactions run automatically inside Sync; Compact
+// exists for operators who want to pick the moment. Safe under
+// concurrent traffic, like Sync.
+func (s *System) Compact() (SyncStats, error) {
+	st, err := s.sys.Compact()
+	if err != nil {
+		return SyncStats{}, err
+	}
+	return newSyncStats(st), nil
+}
+
+func newSyncStats(st vmirepo.SyncStats) SyncStats {
 	return SyncStats{
-		Segments:     st.Blobs.Segments,
-		SegmentBytes: st.Blobs.SegmentBytes,
-		IndexBytes:   st.Blobs.IndexBytes,
-		MetaBytes:    st.MetaBytes,
-	}, nil
+		Segments:          st.Blobs.Segments,
+		SegmentBytes:      st.Blobs.SegmentBytes,
+		IndexBytes:        st.Blobs.IndexBytes,
+		MetaBytes:         st.MetaBytes,
+		MetaOps:           st.MetaOps,
+		Compacted:         st.Compacted,
+		MetaSnapshotBytes: st.MetaSnapshotBytes,
+	}
 }
 
 // Close syncs a disk-backed System and releases its file handles; it is a

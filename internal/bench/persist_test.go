@@ -35,9 +35,15 @@ func TestPersistenceScenario(t *testing.T) {
 		t.Fatalf("not all VMIs retrievable after reopen")
 	}
 	// The repository directory must actually hold segment files, an index
-	// and the metadata image.
-	if _, err := os.Stat(filepath.Join(res.Dir, "meta.db")); err != nil {
-		t.Fatalf("meta.db missing: %v", err)
+	// and the metadata snapshot + WAL pair with its commit record.
+	if _, err := os.Stat(filepath.Join(res.Dir, "meta.commit")); err != nil {
+		t.Fatalf("meta.commit missing: %v", err)
+	}
+	for _, pat := range []string{"meta.snap-*", "meta.wal-*"} {
+		m, err := filepath.Glob(filepath.Join(res.Dir, pat))
+		if err != nil || len(m) != 1 {
+			t.Fatalf("want exactly one %s file, got %v (err %v)", pat, m, err)
+		}
 	}
 	segs, err := filepath.Glob(filepath.Join(res.Dir, "blobs", "*"))
 	if err != nil || len(segs) == 0 {

@@ -1,0 +1,216 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"expelliarmus/internal/catalog"
+	"expelliarmus/internal/core"
+	"expelliarmus/internal/vmirepo"
+)
+
+// SyncDeltaResult reports the sync-cost scenario: the Table II catalog
+// published into a disk-backed repository and synced, followed by a run
+// of single-image publishes each followed by its own Sync, followed by a
+// forced compaction. The headline contrast is the per-delta sync cost
+// (WAL append: O(delta)) against the compaction cost (full metadata
+// snapshot: O(repository)) — the factor the metadata WAL buys over the
+// pre-WAL whole-image rewrite, which paid the snapshot price on every
+// Sync.
+type SyncDeltaResult struct {
+	// Dir is the repository directory (left on disk for inspection).
+	Dir string
+	// Images is the initial catalog size; Deltas how many single-image
+	// publish+Sync rounds followed.
+	Images int
+	Deltas int
+	// CatalogSync is the first durable sync (everything since open) and
+	// its metadata bytes — the baseline the deltas are incremental to.
+	CatalogSync     vmirepo.SyncStats
+	CatalogSyncWall time.Duration
+	// DeltaMetaBytes / DeltaOps / DeltaWall are the per-round metadata
+	// bytes, op counts and wall clock of the incremental syncs.
+	DeltaMetaBytes []int64
+	DeltaOps       []int
+	DeltaWall      []time.Duration
+	// SnapshotBytes is the full metadata snapshot a forced compaction
+	// wrote — what every Sync used to cost before the WAL — and
+	// CompactWall its wall clock.
+	SnapshotBytes int64
+	CompactWall   time.Duration
+	// BytesRatio is SnapshotBytes over the mean delta metadata bytes: how
+	// many times cheaper a single-image Sync is than a full rewrite.
+	// WallRatio is the same contrast in wall-clock time (noisier —
+	// dominated by fsync latency — so the acceptance gate is on bytes).
+	BytesRatio float64
+	WallRatio  float64
+	// RetrievedAll confirms every VMI (catalog + deltas) was assembled
+	// from the reopened repository.
+	RetrievedAll bool
+}
+
+// String renders the scenario as a table.
+func (s *SyncDeltaResult) String() string {
+	tbl := &Table{
+		Title:   fmt.Sprintf("Sync cost vs delta size: %d VMIs + %d single-image deltas on the disk backend (%s)", s.Images, s.Deltas, s.Dir),
+		Columns: []string{"step", "wall[ms]", "meta ops", "meta bytes"},
+	}
+	tbl.AddRow("catalog sync",
+		fmt.Sprintf("%.1f", s.CatalogSyncWall.Seconds()*1e3),
+		fmt.Sprintf("%d", s.CatalogSync.MetaOps),
+		fmt.Sprintf("%d", s.CatalogSync.MetaBytes))
+	var sumBytes int64
+	var sumWall time.Duration
+	for i := range s.DeltaMetaBytes {
+		tbl.AddRow(fmt.Sprintf("delta sync %d (+1 image)", i+1),
+			fmt.Sprintf("%.1f", s.DeltaWall[i].Seconds()*1e3),
+			fmt.Sprintf("%d", s.DeltaOps[i]),
+			fmt.Sprintf("%d", s.DeltaMetaBytes[i]))
+		sumBytes += s.DeltaMetaBytes[i]
+		sumWall += s.DeltaWall[i]
+	}
+	if n := len(s.DeltaMetaBytes); n > 0 {
+		tbl.AddRow("delta sync mean",
+			fmt.Sprintf("%.1f", sumWall.Seconds()*1e3/float64(n)),
+			"",
+			fmt.Sprintf("%d", sumBytes/int64(n)))
+	}
+	tbl.AddRow("forced compaction (full snapshot)",
+		fmt.Sprintf("%.1f", s.CompactWall.Seconds()*1e3),
+		"",
+		fmt.Sprintf("%d", s.SnapshotBytes))
+	tbl.AddRow("full-rewrite/delta bytes", fmt.Sprintf("%.1fx", s.BytesRatio), "", "")
+	tbl.AddRow("full-rewrite/delta wall (fsync-bound at bench scale)", fmt.Sprintf("%.1fx", s.WallRatio), "", "")
+	verified := "retrieval FAILED"
+	if s.RetrievedAll {
+		verified = "all VMIs retrieved after reopen"
+	}
+	tbl.AddRow("reopen", "", "", verified)
+	return tbl.String()
+}
+
+// SyncDelta runs the sync-cost scenario with the given number of
+// single-image delta rounds. It errors — failing the CI smoke job — if a
+// single-image Sync does not come in at least 5x cheaper (metadata bytes)
+// than the full snapshot a pre-WAL Sync would have rewritten, i.e. if
+// Sync has stopped being O(delta) on the metadata side. The WAL
+// compaction threshold is pinned high for the measurement (auto
+// compaction mid-run would bill one delta for a full snapshot); the
+// closing forced compaction exercises the compaction path explicitly.
+func (r *Runner) SyncDelta(deltas int) (*SyncDeltaResult, error) {
+	if deltas < 1 {
+		return nil, fmt.Errorf("bench: sync experiment needs at least 1 delta, got %d", deltas)
+	}
+	dir, repo, err := r.NewDiskRepoOpts("expelbench-sync-", vmirepo.OpenOptions{WALCompactBytes: 1 << 40})
+	if err != nil {
+		return nil, err
+	}
+	sys := core.NewSystemWithRepo(repo, r.Dev, core.Options{})
+	sysOpen := true
+	defer func() {
+		if sysOpen {
+			sys.Close()
+		}
+	}()
+	res := &SyncDeltaResult{Dir: dir, Deltas: deltas}
+
+	tpls := catalog.Paper19()
+	res.Images = len(tpls)
+	names := make([]string, 0, len(tpls)+deltas)
+	for _, t := range tpls {
+		img, err := r.WL.Image(t)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := sys.Publish(img); err != nil {
+			return nil, fmt.Errorf("bench: sync publish %s: %w", t.Name, err)
+		}
+		names = append(names, t.Name)
+	}
+	start := time.Now()
+	if res.CatalogSync, err = sys.Sync(); err != nil {
+		return nil, fmt.Errorf("bench: catalog sync: %w", err)
+	}
+	res.CatalogSyncWall = time.Since(start)
+	// The bulk load's pending delta (every intermediate master version)
+	// outweighs the database, so this first sync is expected to take the
+	// oversized-delta compaction path — O(min(delta, repository)).
+	if !res.CatalogSync.Compacted {
+		return nil, fmt.Errorf("bench: catalog sync did not take the oversized-delta compaction path (%+v)", res.CatalogSync)
+	}
+
+	for i, t := range catalog.IDEBuilds(deltas) {
+		img, err := r.WL.Builder().Build(t)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := sys.Publish(img); err != nil {
+			return nil, fmt.Errorf("bench: sync publish delta %s: %w", t.Name, err)
+		}
+		names = append(names, t.Name)
+		start = time.Now()
+		st, err := sys.Sync()
+		if err != nil {
+			return nil, fmt.Errorf("bench: delta sync %d: %w", i+1, err)
+		}
+		wall := time.Since(start)
+		if st.Compacted {
+			return nil, fmt.Errorf("bench: delta sync %d compacted — a single-image delta must append, not rewrite (%+v)", i+1, st)
+		}
+		if st.MetaBytes == 0 || st.MetaOps == 0 {
+			return nil, fmt.Errorf("bench: delta sync %d committed nothing (%+v)", i+1, st)
+		}
+		res.DeltaMetaBytes = append(res.DeltaMetaBytes, st.MetaBytes)
+		res.DeltaOps = append(res.DeltaOps, st.MetaOps)
+		res.DeltaWall = append(res.DeltaWall, wall)
+	}
+
+	start = time.Now()
+	comp, err := sys.Compact()
+	if err != nil {
+		return nil, fmt.Errorf("bench: forced compaction: %w", err)
+	}
+	res.CompactWall = time.Since(start)
+	if !comp.Compacted || comp.MetaSnapshotBytes == 0 {
+		return nil, fmt.Errorf("bench: forced compaction did not rewrite a snapshot (%+v)", comp)
+	}
+	res.SnapshotBytes = comp.MetaSnapshotBytes
+
+	var sumBytes int64
+	var sumWall time.Duration
+	for i := range res.DeltaMetaBytes {
+		sumBytes += res.DeltaMetaBytes[i]
+		sumWall += res.DeltaWall[i]
+	}
+	meanBytes := float64(sumBytes) / float64(deltas)
+	res.BytesRatio = float64(res.SnapshotBytes) / meanBytes
+	if meanWall := sumWall.Seconds() / float64(deltas); meanWall > 0 {
+		res.WallRatio = res.CompactWall.Seconds() / meanWall
+	}
+	if res.BytesRatio < 5 {
+		return nil, fmt.Errorf("bench: single-image Sync wrote %0.f metadata bytes vs a %d-byte full rewrite (%.1fx < 5x): Sync is not O(delta)",
+			meanBytes, res.SnapshotBytes, res.BytesRatio)
+	}
+
+	sysOpen = false
+	if err := sys.Close(); err != nil {
+		return nil, err
+	}
+	repo2, err := vmirepo.OpenAt(dir, r.Dev)
+	if err != nil {
+		return nil, fmt.Errorf("bench: reopen: %w", err)
+	}
+	sys2 := core.NewSystemWithRepo(repo2, r.Dev, core.Options{})
+	res.RetrievedAll = true
+	for _, name := range names {
+		if _, _, err := sys2.Retrieve(name); err != nil {
+			res.RetrievedAll = false
+			sys2.Close()
+			return res, fmt.Errorf("bench: retrieve %s after reopen: %w", name, err)
+		}
+	}
+	if err := sys2.Close(); err != nil {
+		return nil, fmt.Errorf("bench: close reopened store: %w", err)
+	}
+	return res, nil
+}

@@ -75,6 +75,12 @@ type Runner struct {
 	// modeled numbers are identical with it on or off — which the
 	// cache-enabled CI leg verifies by rerunning this whole suite.
 	CacheBytes int64
+	// WALCompactBytes tunes disk-backed systems' metadata-WAL compaction
+	// threshold (zero keeps the default). CI's compaction leg sets it to
+	// a few KiB so the whole bench suite runs with compactions firing on
+	// nearly every sync — results must be identical, since compaction
+	// only reorganises durable state.
+	WALCompactBytes int64
 
 	mu     sync.Mutex
 	opened []*core.System // disk-backed systems to close via CloseAll
@@ -87,11 +93,13 @@ type Runner struct {
 
 // NewRunner returns a runner using the paper-calibrated device profile
 // scaled to the generated workload. The backend defaults to in-memory but
-// honours the EXPELBENCH_BACKEND, EXPELBENCH_STORE_ROOT and
-// EXPELBENCH_CACHE (retrieval-cache bytes) environment variables, so the
-// identical benchmark (and test) suite can be pointed at the disk store
-// or run cache-enabled with nothing recompiled — CI's disk-backend and
-// cache legs do exactly that.
+// honours the EXPELBENCH_BACKEND, EXPELBENCH_STORE_ROOT, EXPELBENCH_CACHE
+// (retrieval-cache bytes) and EXPELBENCH_WAL_COMPACT (metadata-WAL
+// compaction threshold bytes) environment variables, so the identical
+// benchmark (and test) suite can be pointed at the disk store, run
+// cache-enabled, or run with aggressive WAL compaction with nothing
+// recompiled — CI's disk-backend, cache and compaction legs do exactly
+// that.
 func NewRunner() *Runner {
 	r := &Runner{
 		Backend:   os.Getenv("EXPELBENCH_BACKEND"),
@@ -109,12 +117,30 @@ func NewRunner() *Runner {
 		}
 		r.CacheBytes = n
 	}
+	if v := os.Getenv("EXPELBENCH_WAL_COMPACT"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			// Same loud-failure rule as above: the compaction leg exists to
+			// exercise compaction, so a typo must not silently disable it.
+			r.envErr = fmt.Errorf("bench: EXPELBENCH_WAL_COMPACT=%q: %w", v, err)
+		}
+		r.WALCompactBytes = n
+	}
 	return r
 }
 
 // NewDiskRepo creates a fresh disk-backed repository in its own directory
-// under StoreRoot (or the OS temp dir) and returns the directory.
+// under StoreRoot (or the OS temp dir) and returns the directory. The
+// repository honours the runner's WALCompactBytes.
 func (r *Runner) NewDiskRepo(prefix string) (string, *vmirepo.Repo, error) {
+	return r.NewDiskRepoOpts(prefix, vmirepo.OpenOptions{WALCompactBytes: r.WALCompactBytes})
+}
+
+// NewDiskRepoOpts is NewDiskRepo with explicit repository options,
+// overriding the runner's defaults — for experiments that must pin a
+// setting regardless of the environment (the sync experiment pins the
+// compaction threshold out of reach so its delta measurements stay pure).
+func (r *Runner) NewDiskRepoOpts(prefix string, o vmirepo.OpenOptions) (string, *vmirepo.Repo, error) {
 	root := r.StoreRoot
 	if root == "" {
 		root = os.TempDir()
@@ -126,7 +152,7 @@ func (r *Runner) NewDiskRepo(prefix string) (string, *vmirepo.Repo, error) {
 	if err != nil {
 		return "", nil, err
 	}
-	repo, err := vmirepo.OpenAt(dir, r.Dev)
+	repo, err := vmirepo.OpenAtOpts(dir, r.Dev, o)
 	if err != nil {
 		return "", nil, err
 	}

@@ -59,6 +59,7 @@ import (
 
 	"expelliarmus/internal/atomicfile"
 	"expelliarmus/internal/blobstore"
+	"expelliarmus/internal/recframe"
 )
 
 // DefaultMaxSegmentBytes is the roll threshold when Options leave it zero.
@@ -348,18 +349,9 @@ func (s *Store) replaySegment(n uint32, start int64, last bool) error {
 }
 
 // nextValidRecord scans b for any offset at which a whole record parses,
-// returning that offset or -1. The length pre-check in parseRecord rejects
-// almost every misaligned offset in O(1), so the scan is near-linear; a
-// random byte sequence passing the CRC is a ~2^-32 event per offset, so a
-// hit is overwhelming evidence of a real record.
-func nextValidRecord(b []byte) int {
-	for i := 0; i+recHeaderSize <= len(b); i++ {
-		if _, _, _, err := parseRecord(b[i:]); err == nil {
-			return i
-		}
-	}
-	return -1
-}
+// returning that offset or -1 — evidence that damage is real corruption
+// of committed data rather than a torn append (see recframe.NextValid).
+func nextValidRecord(b []byte) int { return recframe.NextValid(b) }
 
 // truncateSegment drops the torn tail of segment n and records it.
 func (s *Store) truncateSegment(n uint32, keep, dropped int64) error {

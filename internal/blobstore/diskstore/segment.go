@@ -1,24 +1,23 @@
 package diskstore
 
 import (
-	"encoding/binary"
-	"errors"
 	"fmt"
-	"hash/crc32"
 
 	"expelliarmus/internal/blobstore"
+	"expelliarmus/internal/recframe"
 )
 
 // Segment files are append-only operation logs. Each file starts with an
-// 8-byte magic and then holds CRC-framed records:
+// 8-byte magic and then holds records in the shared recframe framing
+// (crc32c | len | kind | payload — the same vocabulary the metadata WAL
+// speaks):
 //
 //	offset 0: "EXPSEG1\n"
 //	records: | crc32c (4, LE) | payload len n (4, LE) | kind (1) | payload (n) |
 //
-// The checksum covers the kind byte and the payload, so a flipped bit
-// anywhere in a record (including its kind) fails verification. A record
-// is the unit of atomicity: recovery replays whole records and truncates
-// anything after the first incomplete or mismatching one at the log tail.
+// A record is the unit of atomicity: recovery replays whole records and
+// truncates anything after the first incomplete or mismatching one at
+// the log tail.
 var segmentMagic = []byte("EXPSEG1\n")
 
 // Record kinds. The log captures every mutating operation, not just blob
@@ -29,51 +28,22 @@ const (
 	recRelease byte = 3 // payload: 32-byte blob ID
 )
 
-// recHeaderSize is crc(4) + len(4) + kind(1).
-const recHeaderSize = 9
+// Local names for the shared framing, kept so the recovery code reads in
+// this package's vocabulary.
+const recHeaderSize = recframe.HeaderSize
 
-var crcTable = crc32.MakeTable(crc32.Castagnoli)
-
-// errTorn marks an incomplete record at a log tail: more bytes could have
-// completed it, so it is the signature of a crash mid-append. errCorrupt
-// marks a record whose bytes are all present but fail the checksum.
 var (
-	errTorn    = errors.New("diskstore: torn record")
-	errCorrupt = errors.New("diskstore: corrupt record")
+	crcTable   = recframe.CRCTable
+	errTorn    = recframe.ErrTorn
+	errCorrupt = recframe.ErrCorrupt
 )
 
-// appendRecord frames kind+payload into buf and returns the extended
-// slice. The wire image is exactly what parseRecord accepts.
 func appendRecord(buf []byte, kind byte, payload []byte) []byte {
-	var hdr [recHeaderSize]byte
-	crc := crc32.Checksum([]byte{kind}, crcTable)
-	crc = crc32.Update(crc, crcTable, payload)
-	binary.LittleEndian.PutUint32(hdr[0:4], crc)
-	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(payload)))
-	hdr[8] = kind
-	buf = append(buf, hdr[:]...)
-	return append(buf, payload...)
+	return recframe.Append(buf, kind, payload)
 }
 
-// parseRecord decodes one record from the head of b without copying. It
-// returns the record kind, the payload (aliasing b), and the total encoded
-// size. Incomplete input yields errTorn; a checksum mismatch yields
-// errCorrupt.
 func parseRecord(b []byte) (kind byte, payload []byte, size int, err error) {
-	if len(b) < recHeaderSize {
-		return 0, nil, 0, errTorn
-	}
-	n := binary.LittleEndian.Uint32(b[4:8])
-	if uint64(len(b)-recHeaderSize) < uint64(n) {
-		return 0, nil, 0, errTorn
-	}
-	kind = b[8]
-	payload = b[recHeaderSize : recHeaderSize+int(n)]
-	crc := crc32.Checksum(b[8:recHeaderSize+int(n)], crcTable)
-	if crc != binary.LittleEndian.Uint32(b[0:4]) {
-		return 0, nil, 0, errCorrupt
-	}
-	return kind, payload, recHeaderSize + int(n), nil
+	return recframe.Parse(b)
 }
 
 // refPayload validates the payload of an addref/release record.

@@ -77,6 +77,16 @@ func (s *System) Sync() (vmirepo.SyncStats, error) {
 	return s.repo.Sync()
 }
 
+// Compact is Sync with a forced metadata-WAL compaction: the metadata
+// state is rewritten as a fresh full snapshot and the log starts empty,
+// bounding reopen cost. Like Sync it waits out any in-flight metadata
+// commit, so the snapshot it writes is transactionally consistent even
+// under concurrent traffic.
+func (s *System) Compact() (vmirepo.SyncStats, error) {
+	defer s.lockAllCommits()()
+	return s.repo.Compact()
+}
+
 // Close syncs (when disk-backed) and releases repository resources.
 func (s *System) Close() error {
 	defer s.lockAllCommits()()

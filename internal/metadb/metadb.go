@@ -11,7 +11,10 @@
 // scans. Inserts split full nodes; deletes are lazy (no eager rebalancing,
 // like several production engines that defer structural cleanup to
 // compaction), which keeps every tree invariant needed by readers while
-// simplifying the write path. Snapshot/Load give durable round trips.
+// simplifying the write path. Snapshot/Load give durable round trips, and
+// an optional Journal observes every committed mutation — the hook the
+// disk backend's metadata write-ahead log (internal/metawal) uses to make
+// Sync O(delta) instead of a whole-image rewrite.
 package metadb
 
 import (
@@ -21,6 +24,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // PageSize is the modeled database page size, matching simio's cost model.
@@ -28,6 +32,44 @@ const PageSize = 4096
 
 // maxKeys bounds the number of keys per node; nodes split above it.
 const maxKeys = 64
+
+// OpKind labels one committed mutation reported to a Journal.
+type OpKind uint8
+
+// The journaled mutation kinds. Every path that changes durable database
+// contents maps onto exactly one of them, so a journal is a complete
+// operation history: replaying it against the database's prior state
+// reproduces equal contents (the property the metadata WAL relies on).
+const (
+	OpPut          OpKind = iota + 1 // Key stored with Value
+	OpDelete                         // Key removed
+	OpCreateBucket                   // bucket created (no keys yet)
+	OpDropBucket                     // bucket and all contents removed
+)
+
+// Op describes one committed mutation. Key and Value alias the caller's
+// slices and are only valid for the duration of the Journal call — a
+// journal that retains them must copy (the metadata WAL encodes them into
+// its own buffer immediately).
+type Op struct {
+	Kind   OpKind
+	Bucket string
+	Key    []byte
+	Value  []byte // OpPut only
+}
+
+// Journal observes committed mutations. It is invoked after the mutation
+// is applied, while the mutated bucket's lock is still held, so the call
+// order per bucket is exactly the apply order (a valid linearization for
+// replay). The one exception is DeleteBucket, which holds only the
+// bucket-directory lock: a DeleteBucket racing writers that still hold a
+// handle to the doomed bucket may journal in an order that diverges from
+// the live outcome (the stragglers' writes land in a detached tree), so
+// journaled databases must not drop a bucket while its writers are still
+// running — the repository never does. The journal must not touch the
+// database and should return quickly — every writer on the bucket waits
+// behind it.
+type Journal func(Op)
 
 // DB is a collection of named buckets. It is safe for concurrent use:
 // locking is per bucket (each tree carries its own RWMutex), so readers and
@@ -37,6 +79,26 @@ const maxKeys = 64
 type DB struct {
 	mu      sync.RWMutex // guards the buckets map, not bucket contents
 	buckets map[string]*tree
+	journal atomic.Pointer[Journal]
+}
+
+// SetJournal installs (or, with nil, removes) the mutation journal.
+// Installing a journal does not emit ops for existing contents; callers
+// that need a baseline take a Snapshot first (the metadata WAL's
+// snapshot+log split).
+func (db *DB) SetJournal(j Journal) {
+	if j == nil {
+		db.journal.Store(nil)
+		return
+	}
+	db.journal.Store(&j)
+}
+
+// record emits one op to the installed journal, if any.
+func (db *DB) record(op Op) {
+	if j := db.journal.Load(); j != nil {
+		(*j)(op)
+	}
 }
 
 // New returns an empty database.
@@ -51,7 +113,9 @@ type Bucket struct {
 	t    *tree
 }
 
-// CreateBucket returns the named bucket, creating it if needed.
+// CreateBucket returns the named bucket, creating it if needed. Only an
+// actual creation is journaled — fetching an existing bucket mutates
+// nothing.
 func (db *DB) CreateBucket(name string) *Bucket {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -59,6 +123,7 @@ func (db *DB) CreateBucket(name string) *Bucket {
 	if !ok {
 		t = newTree()
 		db.buckets[name] = t
+		db.record(Op{Kind: OpCreateBucket, Bucket: name})
 	}
 	return &Bucket{db: db, name: name, t: t}
 }
@@ -74,11 +139,18 @@ func (db *DB) Bucket(name string) *Bucket {
 	return &Bucket{db: db, name: name, t: t}
 }
 
-// DeleteBucket removes the named bucket and all its contents.
+// DeleteBucket removes the named bucket and all its contents. Only the
+// removal of a bucket that existed is journaled. When a journal is
+// installed, DeleteBucket must not race writers holding a handle to this
+// bucket (see Journal).
 func (db *DB) DeleteBucket(name string) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if _, ok := db.buckets[name]; !ok {
+		return
+	}
 	delete(db.buckets, name)
+	db.record(Op{Kind: OpDropBucket, Bucket: name})
 }
 
 // Buckets returns all bucket names in sorted order.
@@ -102,6 +174,7 @@ func (b *Bucket) Put(key, value []byte) {
 	b.t.mu.Lock()
 	defer b.t.mu.Unlock()
 	b.t.put(cloneBytes(key), cloneBytes(value))
+	b.db.record(Op{Kind: OpPut, Bucket: b.name, Key: key, Value: value})
 }
 
 // PutIfAbsent stores value under key only when the key is not yet present,
@@ -115,6 +188,7 @@ func (b *Bucket) PutIfAbsent(key, value []byte) bool {
 		return false
 	}
 	b.t.put(cloneBytes(key), cloneBytes(value))
+	b.db.record(Op{Kind: OpPut, Bucket: b.name, Key: key, Value: value})
 	return true
 }
 
@@ -142,14 +216,20 @@ func (b *Bucket) Update(key []byte, fn func(old []byte, ok bool) ([]byte, bool))
 		return false
 	}
 	b.t.put(cloneBytes(key), cloneBytes(val))
+	b.db.record(Op{Kind: OpPut, Bucket: b.name, Key: key, Value: val})
 	return true
 }
 
-// Delete removes key. It reports whether the key was present.
+// Delete removes key. It reports whether the key was present. Only a
+// deletion that removed something is journaled.
 func (b *Bucket) Delete(key []byte) bool {
 	b.t.mu.Lock()
 	defer b.t.mu.Unlock()
-	return b.t.delete(key)
+	if !b.t.delete(key) {
+		return false
+	}
+	b.db.record(Op{Kind: OpDelete, Bucket: b.name, Key: key})
+	return true
 }
 
 // Len returns the number of keys in the bucket.

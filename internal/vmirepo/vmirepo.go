@@ -21,18 +21,17 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 
-	"expelliarmus/internal/atomicfile"
 	"expelliarmus/internal/blobstore"
 	"expelliarmus/internal/blobstore/diskstore"
 	"expelliarmus/internal/master"
 	"expelliarmus/internal/metadb"
+	"expelliarmus/internal/metawal"
 	"expelliarmus/internal/pkgmeta"
 	"expelliarmus/internal/simio"
 )
@@ -61,13 +60,14 @@ type Repo struct {
 	db    *metadb.DB
 	dev   *simio.Device
 	// dir is the on-disk root for disk-backed repositories ("" when the
-	// blob backend is in-memory); metadata commits land in dir/meta.db.
+	// blob backend is in-memory); metadata commits land in the dir's
+	// metadata WAL (see internal/metawal).
 	dir string
-	// metaSum is the hash of the last committed meta.db image, so a quiet
-	// Sync (nothing changed) skips the full-image write and its fsyncs the
-	// same way the blob layer skips its index rewrite. Guarded by opMu
-	// held exclusively (Sync) or set before concurrency starts (OpenAt).
-	metaSum [sha256.Size]byte
+	// wal is the metadata write-ahead log of a disk-backed repository
+	// (nil when in-memory). Every committed metadata mutation streams
+	// into it via the metadb journal hook, so Sync appends the delta
+	// instead of rewriting the whole database image.
+	wal *metawal.Log
 	// opMu is held in shared mode by every mutating operation and
 	// exclusively by Snapshot, so a snapshot never interleaves with the
 	// blob-put/record-put pair of a store operation (which would serialize
@@ -218,30 +218,48 @@ func (r *Repo) createBuckets() {
 	}
 }
 
-// OpenAt creates or reopens a disk-backed repository rooted at dir: blobs
-// live in dir/blobs (append-only segments + index, see diskstore), the
-// metadata database in dir/meta.db. Reopening runs blob crash recovery
-// and loads the last committed metadata image; call Sync to make later
-// work durable.
+// OpenOptions tune a disk-backed repository beyond the defaults.
+type OpenOptions struct {
+	// WALCompactBytes compacts the metadata WAL (full snapshot rewrite +
+	// fresh log) when a Sync would grow it beyond this size. Zero means
+	// metawal.DefaultCompactBytes; small values force compaction churn
+	// for tests and stress legs.
+	WALCompactBytes int64
+	// WALCompactEvery additionally compacts on every Nth effective Sync
+	// (0 disables the periodic trigger).
+	WALCompactEvery int
+}
+
+// OpenAt creates or reopens a disk-backed repository rooted at dir with
+// default options: blobs live in dir/blobs (append-only segments + index,
+// see diskstore), the metadata database in the dir's snapshot + WAL pair
+// (see metawal; a legacy meta.db layout is migrated on first open).
+// Reopening runs blob crash recovery and metadata WAL replay; call Sync
+// to make later work durable.
 func OpenAt(dir string, dev *simio.Device) (*Repo, error) {
+	return OpenAtOpts(dir, dev, OpenOptions{})
+}
+
+// OpenAtOpts is OpenAt with explicit options.
+func OpenAtOpts(dir string, dev *simio.Device, o OpenOptions) (*Repo, error) {
 	blobs, err := diskstore.Open(filepath.Join(dir, "blobs"), diskstore.Options{})
 	if err != nil {
 		return nil, err
 	}
-	db := metadb.New()
-	var metaSum [sha256.Size]byte
-	if img, err := os.ReadFile(filepath.Join(dir, "meta.db")); err == nil {
-		if db, err = metadb.Load(img); err != nil {
-			blobs.Close()
-			return nil, fmt.Errorf("vmirepo: load %s/meta.db: %w", dir, err)
-		}
-		metaSum = sha256.Sum256(img)
-	} else if !os.IsNotExist(err) {
+	wal, db, err := metawal.Open(dir, metawal.Options{
+		CompactBytes: o.WALCompactBytes,
+		CompactEvery: o.WALCompactEvery,
+	})
+	if err != nil {
 		blobs.Close()
-		return nil, err
+		return nil, fmt.Errorf("vmirepo: %w", err)
 	}
-	r := &Repo{blobs: blobs, db: db, dev: dev, dir: dir, metaSum: metaSum}
+	r := &Repo{blobs: blobs, db: db, dev: dev, dir: dir, wal: wal}
+	// Bucket creation precedes the journal hookup: the five fixed buckets
+	// are (re)created by every open on both the live and the replay path,
+	// so journaling their creation would only append noise to the WAL.
 	r.createBuckets()
+	db.SetJournal(wal.Record)
 	return r, nil
 }
 
@@ -250,11 +268,22 @@ func OpenAt(dir string, dev *simio.Device) (*Repo, error) {
 // production code wants Close. In-memory repositories have nothing to
 // abandon.
 func (r *Repo) Abandon() error {
-	if ds, ok := r.blobs.(*diskstore.Store); ok {
-		return ds.Abandon()
+	var first error
+	if r.wal != nil {
+		first = r.wal.Abandon()
 	}
-	return nil
+	if ds, ok := r.blobs.(*diskstore.Store); ok {
+		if err := ds.Abandon(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
+
+// WAL exposes the metadata write-ahead log of a disk-backed repository
+// (nil when in-memory) — recovery reports, compaction state, and the
+// crash-injection hook the kill-point tests use.
+func (r *Repo) WAL() *metawal.Log { return r.wal }
 
 // Persistent reports whether the repository is disk-backed (Sync commits
 // to durable storage) or in-memory (Snapshot/Load is the only
@@ -287,22 +316,46 @@ type SyncStats struct {
 	// Blobs is the blob backend's incremental flush: only segments
 	// appended since the previous sync are written.
 	Blobs blobstore.SyncStats
-	// MetaBytes is the size of the committed metadata image.
+	// MetaBytes is the metadata bytes committed this sync: the WAL delta
+	// (framed op records plus the commit marker) or, on a compacting
+	// sync, the fresh full snapshot. On the hot path it is O(delta) — no
+	// full metadata rewrite.
 	MetaBytes int64
+	// MetaOps is the number of metadata mutations this sync committed.
+	MetaOps int
+	// Compacted reports that this sync rewrote the metadata WAL into a
+	// fresh snapshot; MetaSnapshotBytes is that snapshot's size.
+	Compacted         bool
+	MetaSnapshotBytes int64
 }
 
 // Sync makes the repository durable on disk. It quiesces mutating
 // operations (like Snapshot), then runs the two-phase commit the durable
 // backend contract exists for: first SyncData makes every new blob
-// durable, then meta.db is atomically replaced, then the full blob Sync
-// makes the queued releases and the blob index durable. Each crash window
-// is safe in the same direction: before the meta commit, old metadata
+// durable, then the metadata WAL appends and fsyncs the mutation delta
+// and commits its durability watermark, then the full blob Sync makes
+// the queued releases and the blob index durable. Each crash window is
+// safe in the same direction: before the WAL watermark, old metadata
 // plus extra durable blobs (orphans); after it, new metadata whose every
 // referenced blob is already durable, with released blobs at worst
 // resurrected as orphans — never committed records pointing at missing
 // blobs. Sync on an in-memory repository returns an error; use Snapshot
 // instead.
 func (r *Repo) Sync() (SyncStats, error) {
+	return r.syncOrCompact(false)
+}
+
+// Compact is Sync with a forced metadata-WAL compaction: the metadata
+// state is rewritten as a fresh full snapshot at the next epoch and the
+// log starts empty. The size- and period-triggered compactions run the
+// same code from inside Sync; this entry point exists for operators (and
+// stress tests) that want to bound reopen cost at a moment of their
+// choosing.
+func (r *Repo) Compact() (SyncStats, error) {
+	return r.syncOrCompact(true)
+}
+
+func (r *Repo) syncOrCompact(forceCompact bool) (SyncStats, error) {
 	if r.dir == "" {
 		return SyncStats{}, fmt.Errorf("vmirepo: repository is in-memory; Sync requires OpenAt")
 	}
@@ -317,14 +370,19 @@ func (r *Repo) Sync() (SyncStats, error) {
 	if st.Blobs, err = d.SyncData(); err != nil {
 		return st, err
 	}
-	img := r.db.Snapshot()
-	if sum := sha256.Sum256(img); sum != r.metaSum {
-		if err := atomicfile.Write(filepath.Join(r.dir, "meta.db"), img); err != nil {
-			return st, fmt.Errorf("vmirepo: commit meta.db: %w", err)
-		}
-		r.metaSum = sum
-		st.MetaBytes = int64(len(img))
+	var ws metawal.SyncStats
+	if forceCompact {
+		ws, err = r.wal.Compact()
+	} else {
+		ws, err = r.wal.Sync()
 	}
+	if err != nil {
+		return st, fmt.Errorf("vmirepo: commit metadata log: %w", err)
+	}
+	st.MetaBytes = ws.WALBytes + ws.SnapshotBytes
+	st.MetaOps = ws.Ops
+	st.Compacted = ws.Compacted
+	st.MetaSnapshotBytes = ws.SnapshotBytes
 	rel, err := d.Sync()
 	if err != nil {
 		return st, err
@@ -356,7 +414,16 @@ func (r *Repo) Close() error {
 			return err
 		}
 	}
-	return d.Close()
+	var first error
+	if r.wal != nil {
+		// The Sync above already committed everything; this only releases
+		// the WAL file handle (its internal close-sync is a no-op).
+		first = r.wal.Close()
+	}
+	if err := d.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
 }
 
 // SizeBytes is the repository footprint: unique blob bytes plus the
@@ -639,12 +706,22 @@ func (r *Repo) Bases() ([]BaseRecord, error) {
 // --- master graphs ---
 
 // PutMaster stores (or replaces) the master graph keyed by its base image.
+// A rewrite that would not change the stored bytes is elided — the master
+// is the largest metadata record, and a republish of an unchanged image
+// must not push a full copy of it into the metadata WAL. The modeled DB
+// charge is unchanged either way (the cost model accounts the logical
+// operation; the elision is an I/O-layer optimisation).
 func (r *Repo) PutMaster(mg *master.Graph, m *simio.Meter) {
 	r.opMu.RLock()
 	defer r.opMu.RUnlock()
 	defer r.mutate(mg.BaseID)()
 	data := mg.Marshal()
-	r.db.Bucket(bucketMasters).Put([]byte(mg.BaseID), data)
+	r.db.Bucket(bucketMasters).Update([]byte(mg.BaseID), func(old []byte, ok bool) ([]byte, bool) {
+		if ok && bytes.Equal(old, data) {
+			return nil, false
+		}
+		return data, true
+	})
 	r.chargeDB(m, int64(len(data)))
 }
 
@@ -692,13 +769,20 @@ type VMIRecord struct {
 	Primaries []string
 }
 
-// PutVMI stores a VMI record.
+// PutVMI stores a VMI record. Like PutMaster, a rewrite that would not
+// change the stored bytes is elided from the write path (and so from the
+// metadata WAL) while charging the same modeled cost.
 func (r *Repo) PutVMI(rec VMIRecord, m *simio.Meter) {
 	r.opMu.RLock()
 	defer r.opMu.RUnlock()
 	defer r.mutate(rec.BaseID, rec.Name)()
-	val := rec.BaseID + "\n" + strings.Join(rec.Primaries, ",")
-	r.db.Bucket(bucketVMIs).Put([]byte(rec.Name), []byte(val))
+	val := []byte(rec.BaseID + "\n" + strings.Join(rec.Primaries, ","))
+	r.db.Bucket(bucketVMIs).Update([]byte(rec.Name), func(old []byte, ok bool) ([]byte, bool) {
+		if ok && bytes.Equal(old, val) {
+			return nil, false
+		}
+		return val, true
+	})
 	r.chargeDB(m, int64(len(val)))
 }
 
@@ -779,11 +863,29 @@ func (r *Repo) PutUserData(name string, archive []byte, m *simio.Meter) error {
 	r.udMu.Lock()
 	defer r.udMu.Unlock()
 	defer r.mutate(name)()
+	b := r.db.Bucket(bucketUserData)
+	sum := blobstore.Sum(archive)
+	if old, ok := b.Get([]byte(name)); ok && bytes.Equal(old, sum[:]) {
+		// Identical archive for the same name: the stored blob, its single
+		// reference and the record are already exactly right, so the
+		// replacement is elided end to end — no blob-log or WAL traffic
+		// for a republish whose user data did not change. A sticky store
+		// failure still surfaces like on the write path (elision must not
+		// narrow the error surface), and the modeled charge below stays,
+		// like PutMaster's.
+		if err := r.blobErr(); err != nil {
+			return fmt.Errorf("vmirepo: store user data %q: %w", name, err)
+		}
+		if m != nil {
+			m.Charge(simio.PhaseStore, r.dev.WriteCost(int64(len(archive))))
+		}
+		r.chargeDB(m, 40)
+		return nil
+	}
 	id, _ := r.blobs.Put(archive)
 	if err := r.blobErr(); err != nil {
 		return fmt.Errorf("vmirepo: store user data %q: %w", name, err)
 	}
-	b := r.db.Bucket(bucketUserData)
 	if old, ok := b.Get([]byte(name)); ok {
 		// Drop the previous record's reference. When the new archive has
 		// identical content this simply undoes the extra reference the Put
