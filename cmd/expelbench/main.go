@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	expelbench [-exp all|table2,fig3a,fig3b,fig3c,fig4a,fig4b,fig5a,fig5b,abl1,abl2,abl3,abl4,conc,persist,cachehit,storm,sync] [-ide-builds 40] [-clients 8] [-backend memory|disk] [-store-root DIR] [-cache BYTES] [-wal-compact BYTES] [-warm-iters 3] [-storm-publishes 120] [-storm-bursts 3] [-storm-burst-clients 32] [-sync-deltas 5]
+//	expelbench [-exp all|table2,fig3a,fig3b,fig3c,fig4a,fig4b,fig5a,fig5b,abl1,abl2,abl3,abl4,conc,persist,cachehit,storm,sync,stream] [-ide-builds 40] [-clients 8] [-backend memory|disk] [-store-root DIR] [-cache BYTES] [-wal-compact BYTES] [-warm-iters 3] [-storm-publishes 120] [-storm-bursts 3] [-storm-burst-clients 32] [-sync-deltas 5] [-stream-bulk MIB]
 //
 // Every experiment runs against the blob backend named by -backend: the
 // in-memory sharded store (the default) or the durable on-disk segment
@@ -24,7 +24,13 @@
 // incremental syncs must come in at least 5x cheaper than the full
 // metadata rewrite a compaction performs, or the experiment errors.
 // -wal-compact tunes the metadata-WAL compaction threshold of every
-// disk-backed repository (the sync experiment pins its own).
+// disk-backed repository (the sync experiment pins its own). The stream
+// experiment retrieves images whose bulk payload grows 100x (up to
+// -stream-bulk MiB) through both the streaming and the materializing
+// retrieval paths and errors unless streamed memory stays flat under a
+// constant ceiling, the materializing path allocates at least 5x more at
+// the largest scale, and both paths produce byte-identical images; it
+// pins the cache off for itself.
 package main
 
 import (
@@ -50,11 +56,12 @@ func main() {
 	stormBurstClients := flag.Int("storm-burst-clients", 32, "concurrent retrievals per storm burst")
 	walCompact := flag.Int64("wal-compact", 0, "metadata-WAL compaction threshold bytes for disk-backed repositories (0 keeps the default)")
 	syncDeltas := flag.Int("sync-deltas", 5, "single-image publish+Sync rounds in the sync experiment")
+	streamBulk := flag.Int64("stream-bulk", 200, "largest bulk payload in MiB for the stream experiment (scales 1x/10x/100x up to this)")
 	flag.Parse()
 
 	selected := map[string]bool{}
 	if *exps == "all" {
-		for _, e := range []string{"table2", "fig3a", "fig3b", "fig3c", "fig4a", "fig4b", "fig5a", "fig5b", "abl1", "abl2", "abl3", "abl4", "conc", "persist", "cachehit", "storm", "sync"} {
+		for _, e := range []string{"table2", "fig3a", "fig3b", "fig3c", "fig4a", "fig4b", "fig5a", "fig5b", "abl1", "abl2", "abl3", "abl4", "conc", "persist", "cachehit", "storm", "sync", "stream"} {
 			selected[e] = true
 		}
 	} else {
@@ -108,6 +115,7 @@ func main() {
 		return r.Storm(*stormPublishes, *clients, *stormBursts, *stormBurstClients)
 	})
 	run("sync", func() (fmt.Stringer, error) { return r.SyncDelta(*syncDeltas) })
+	run("stream", func() (fmt.Stringer, error) { return r.StreamFlatRSS(*streamBulk << 20) })
 
 	// Closing disk-backed systems is where a sticky store failure (e.g. a
 	// full filesystem mid-run) surfaces; results printed above would

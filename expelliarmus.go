@@ -23,6 +23,7 @@ package expelliarmus
 
 import (
 	"fmt"
+	"io"
 
 	"expelliarmus/internal/builder"
 	"expelliarmus/internal/catalog"
@@ -424,6 +425,20 @@ func (s *System) Retrieve(name string) (*Image, *RetrieveResult, error) {
 	return &Image{inner: img}, newRetrieveResult(rep), nil
 }
 
+// RetrieveTo reassembles a published VMI and streams its serialized
+// image straight to w, returning the byte count. Unlike Retrieve, no
+// in-memory Image is handed back: the bytes flow from the blob store
+// through the assembly to w in bounded chunks, so peak memory does not
+// grow with image size — this is the call a delivery endpoint should
+// use to serve images it does not itself mutate.
+func (s *System) RetrieveTo(w io.Writer, name string) (int64, *RetrieveResult, error) {
+	n, rep, err := s.sys.RetrieveTo(w, name)
+	if err != nil {
+		return n, nil, err
+	}
+	return n, newRetrieveResult(rep), nil
+}
+
 func newRetrieveResult(rep *core.RetrieveReport) *RetrieveResult {
 	return &RetrieveResult{
 		Imported: append([]string(nil), rep.Imported...),
@@ -559,6 +574,15 @@ type CacheStats struct {
 	Entries  int
 	Bytes    int64
 	MaxBytes int64
+	// FlightsLed counts assemblies started as the leader of a miss
+	// singleflight; FlightsActive and FlightWaiters are gauges of flights
+	// currently assembling and retrievals currently queued behind one;
+	// FlightPeakDepth is the deepest follower queue any single flight has
+	// built up — together the queue-depth meter of retrieval pressure.
+	FlightsLed      int64
+	FlightsActive   int64
+	FlightWaiters   int64
+	FlightPeakDepth int64
 }
 
 // CacheStats returns current retrieval-cache counters.
@@ -581,6 +605,10 @@ func (s *System) CacheStats() CacheStats {
 		Entries:             st.Entries,
 		Bytes:               st.Bytes,
 		MaxBytes:            st.MaxBytes,
+		FlightsLed:          st.Flights.Led,
+		FlightsActive:       st.Flights.Active,
+		FlightWaiters:       st.Flights.Waiting,
+		FlightPeakDepth:     st.Flights.PeakDepth,
 	}
 }
 

@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestStreamExperiment runs the stream experiment on the configured
+// backend at a 64 MiB top scale (1x / 10x / 100x bulk growth). The
+// experiment self-enforces its gates — streamed allocation under the
+// constant ceiling at every scale, legacy/streamed ratio of at least
+// StreamMinRatio at the largest, and byte-identical output between the
+// streamed and materializing paths — so any violation surfaces as an
+// error here. The memory flatness is additionally asserted across the
+// scales: allocation at 100x bulk must stay within a small constant
+// multiple of allocation at 1x, or the path has started scaling with
+// image size even if it still fits the absolute ceiling.
+func TestStreamExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stream experiment skipped in -short mode")
+	}
+	r := NewRunner()
+	res, err := r.StreamFlatRSS(64 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := r.CloseAll(); err != nil {
+			t.Errorf("CloseAll: %v", err)
+		}
+	}()
+	if len(res.Scales) != 3 {
+		t.Fatalf("got %d scales, want 3\n%s", len(res.Scales), res)
+	}
+	first, last := res.Scales[0], res.Scales[len(res.Scales)-1]
+	// The residual growth across 100x of bulk is the per-cluster lazy
+	// directory (~0.1% of image size); 4x headroom over the smallest
+	// scale bounds it without inviting flakes.
+	if last.StreamedAlloc > 4*first.StreamedAlloc {
+		t.Fatalf("streamed allocation grew %.1fx across 100x bulk growth (%d -> %d bytes)\n%s",
+			float64(last.StreamedAlloc)/float64(first.StreamedAlloc),
+			first.StreamedAlloc, last.StreamedAlloc, res)
+	}
+	t.Logf("\n%s", res)
+}

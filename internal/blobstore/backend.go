@@ -1,5 +1,7 @@
 package blobstore
 
+import "io"
+
 // Backend is the storage contract behind the repository's content-addressed
 // blob layer. Two implementations exist: the in-memory sharded Store in
 // this package, and the append-only on-disk store in
@@ -15,10 +17,33 @@ package blobstore
 type Backend interface {
 	// Put stores data (if not already present) and takes one reference on
 	// it, returning the blob ID and whether the content was newly stored.
+	// The store never aliases data: the caller may reuse or mutate the
+	// slice after Put returns. Implementations keep Put a thin adapter
+	// over PutReader so both entry points share one streaming core.
 	Put(data []byte) (ID, bool)
-	// Get returns the blob's contents. The returned slice must not be
-	// modified by the caller.
+	// PutReader streams r into the store, hashing as it reads, and takes
+	// one reference on the resulting blob. It returns the blob ID, the
+	// number of bytes consumed, and whether the content was newly stored.
+	// If r fails mid-stream the store is left unchanged and the read error
+	// is returned. Peak memory is bounded by the chunk size (plus a small
+	// spool for the on-disk backend), not the blob size.
+	PutReader(r io.Reader) (ID, int64, bool, error)
+	// Get returns a copy of the blob's contents; the caller owns the
+	// returned slice and may mutate it freely. Implementations keep Get a
+	// thin adapter over Open.
 	Get(id ID) ([]byte, bool)
+	// Open returns a reader over the blob's contents and its size. The
+	// returned reader also implements io.ReaderAt for random access. It
+	// never materializes the whole blob: the memory backend serves a
+	// zero-copy view of its immutable stored bytes, and the disk backend
+	// serves straight from the segment offset (spot-verifying the record
+	// header on open, and verifying the full record checksum incrementally
+	// as a sequential read crosses it). An open reader stays readable
+	// after the blob is released — content-addressed bytes are immutable
+	// and append-only — but is valid only until the backend is closed.
+	// Close never fails and releases no shared resources; it exists so
+	// callers can treat blobs uniformly with file-backed streams.
+	Open(id ID) (io.ReadCloser, int64, bool)
 	// Size returns the length of the blob without copying it.
 	Size(id ID) (int64, bool)
 	// Has reports whether the blob exists.

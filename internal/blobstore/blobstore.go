@@ -19,12 +19,16 @@
 package blobstore
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"expelliarmus/internal/chunkpool"
 )
 
 // ID is the SHA-256 digest addressing a blob.
@@ -89,9 +93,28 @@ func (s *Store) shardFor(id ID) *shard {
 }
 
 // Put stores data (if not already present) and takes one reference on it.
-// It returns the blob ID and whether the content was newly stored.
+// It returns the blob ID and whether the content was newly stored. The
+// caller keeps ownership of data; it is copied, never aliased. Put is a
+// thin adapter over PutReader (in-memory sources can never fail, so the
+// error leg vanishes).
 func (s *Store) Put(data []byte) (ID, bool) {
-	id := Sum(data)
+	id, _, stored, _ := s.PutReader(bytes.NewReader(data))
+	return id, stored
+}
+
+// PutReader streams r into the store, hashing incrementally, and takes one
+// reference on the resulting blob. The bytes read from r become the
+// store's private copy, so the contents can never alias caller memory. If
+// r fails mid-stream the store is unchanged and the error is returned.
+func (s *Store) PutReader(r io.Reader) (ID, int64, bool, error) {
+	h := sha256.New()
+	var buf bytes.Buffer
+	n, err := chunkpool.Copy(io.MultiWriter(&buf, h), r)
+	if err != nil {
+		return ID{}, n, false, fmt.Errorf("blobstore: put stream: %w", err)
+	}
+	var id ID
+	h.Sum(id[:0])
 	sh := s.shardFor(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -99,25 +122,47 @@ func (s *Store) Put(data []byte) (ID, bool) {
 	if e, ok := sh.blobs[id]; ok {
 		e.refs++
 		s.hits.Add(1)
-		return id, false
+		return id, n, false, nil
 	}
-	cp := make([]byte, len(data))
-	copy(cp, data)
-	sh.blobs[id] = &entry{data: cp, refs: 1}
-	s.bytes.Add(int64(len(cp)))
-	return id, true
+	sh.blobs[id] = &entry{data: buf.Bytes(), refs: 1}
+	s.bytes.Add(n)
+	return id, n, true, nil
 }
 
-// Get returns the blob's contents. The returned slice must not be modified.
+// Get returns a copy of the blob's contents; the caller owns the result
+// and may mutate it without affecting the store. Get is a thin adapter
+// over Open.
 func (s *Store) Get(id ID) ([]byte, bool) {
-	sh := s.shardFor(id)
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	e, ok := sh.blobs[id]
+	rc, size, ok := s.Open(id)
 	if !ok {
 		return nil, false
 	}
-	return e.data, true
+	defer rc.Close()
+	out := make([]byte, size)
+	if _, err := io.ReadFull(rc, out); err != nil {
+		return nil, false
+	}
+	return out, true
+}
+
+// memReader is a zero-copy view over a stored blob. The underlying slice
+// is immutable (PutReader builds it privately, Get hands out copies), so
+// the view stays valid even after the blob is released.
+type memReader struct{ *bytes.Reader }
+
+func (memReader) Close() error { return nil }
+
+// Open returns a zero-copy reader over the blob's immutable stored bytes
+// and its size. The reader also implements io.ReaderAt.
+func (s *Store) Open(id ID) (io.ReadCloser, int64, bool) {
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	e, ok := sh.blobs[id]
+	sh.mu.RUnlock()
+	if !ok {
+		return nil, 0, false
+	}
+	return memReader{bytes.NewReader(e.data)}, int64(len(e.data)), true
 }
 
 // Size returns the length of the blob without copying it.

@@ -35,6 +35,7 @@ func Run(t *testing.T, newBackend Factory) {
 	t.Run("ConcurrentDistinct", func(t *testing.T) { testConcurrentDistinct(t, newBackend(t)) })
 	t.Run("ConcurrentSameBlob", func(t *testing.T) { testConcurrentSame(t, newBackend(t)) })
 	t.Run("ConcurrentMixed", func(t *testing.T) { testConcurrentMixed(t, newBackend(t)) })
+	runStreaming(t, newBackend)
 }
 
 func blobOf(i int) []byte {

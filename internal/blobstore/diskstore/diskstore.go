@@ -48,6 +48,7 @@
 package diskstore
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"fmt"
 	"io"
@@ -171,6 +172,10 @@ func (s *Store) Dir() string { return s.dir }
 // load reads the index (if usable), opens all segments and replays the
 // log from the index watermark (or from the beginning when rebuilding).
 func (s *Store) load() error {
+	// Spill files from streaming puts interrupted by a crash are dead
+	// weight: the exclusive directory lock guarantees no live PutReader
+	// owns one.
+	s.removeStraySpools()
 	watermarkSeg, watermarkOff, entries, idxErr := s.loadIndex()
 	segNums, err := s.listSegments()
 	if err != nil {
@@ -419,13 +424,14 @@ func (s *Store) fail(err error) {
 	}
 }
 
-// appendLocked frames and appends one record, rolling the active segment
-// when full, and returns the payload's file offset. Caller holds mu.
-func (s *Store) appendLocked(kind byte, payload []byte) (seg uint32, payloadOff int64, err error) {
-	recSize := int64(recHeaderSize + len(payload))
+// prepareAppendLocked rolls the active segment when the next record would
+// overflow it and restores a truncated-away magic, returning the file the
+// record must land in. It is the one place the roll/magic discipline
+// lives, shared by the buffered and streaming append paths. Caller holds mu.
+func (s *Store) prepareAppendLocked(recSize int64) (*os.File, error) {
 	if s.active == 0 || (s.lens[s.active] > int64(len(segmentMagic)) && s.lens[s.active]+recSize > s.maxSeg) {
 		if err := s.rollLocked(); err != nil {
-			return 0, 0, err
+			return nil, err
 		}
 	}
 	f := s.segs[s.active]
@@ -433,9 +439,22 @@ func (s *Store) appendLocked(kind byte, payload []byte) (seg uint32, payloadOff 
 		// Recovery truncated this segment to nothing (torn before its
 		// header finished); restore the magic before the first record.
 		if _, err := f.Write(segmentMagic); err != nil {
-			return 0, 0, fmt.Errorf("diskstore: rewrite segment %d magic: %w", s.active, err)
+			return nil, fmt.Errorf("diskstore: rewrite segment %d magic: %w", s.active, err)
 		}
 		s.lens[s.active] = int64(len(segmentMagic))
+	}
+	return f, nil
+}
+
+// appendLocked frames and appends one small record (refs, releases) in a
+// single write, rolling the active segment when full, and returns the
+// payload's file offset. Blob payloads go through appendStreamLocked
+// instead. Caller holds mu.
+func (s *Store) appendLocked(kind byte, payload []byte) (seg uint32, payloadOff int64, err error) {
+	recSize := int64(recHeaderSize + len(payload))
+	f, err := s.prepareAppendLocked(recSize)
+	if err != nil {
+		return 0, 0, err
 	}
 	buf := make([]byte, 0, recSize)
 	buf = appendRecord(buf, kind, payload)
@@ -485,34 +504,11 @@ func (s *Store) rollLocked() error {
 // Either way the operation is logged, so a reopened store reproduces the
 // exact reference count. After a previous I/O failure Put mutates nothing
 // and reports the content as not newly stored; the failure itself is
-// surfaced by Sync/Close.
+// surfaced by Sync/Close. Put is a thin adapter over PutReader, so both
+// entry points share the streaming append path.
 func (s *Store) Put(data []byte) (blobstore.ID, bool) {
-	id := blobstore.Sum(data)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.puts.Add(1)
-	if s.failure != nil {
-		return id, false
-	}
-	if e, ok := s.blobs[id]; ok {
-		if _, _, err := s.appendLocked(recAddRef, id[:]); err != nil {
-			s.fail(err)
-			return id, false
-		}
-		e.refs++
-		s.hits.Add(1)
-		s.dirty = true
-		return id, false
-	}
-	seg, off, err := s.appendLocked(recPut, data)
-	if err != nil {
-		s.fail(err)
-		return id, false
-	}
-	s.blobs[id] = &entry{seg: seg, off: off, size: int64(len(data)), refs: 1}
-	s.bytes += int64(len(data))
-	s.dirty = true
-	return id, true
+	id, _, stored, _ := s.PutReader(bytes.NewReader(data))
+	return id, stored
 }
 
 // readLocked fetches a blob's payload from its segment. Caller holds mu
@@ -539,16 +535,19 @@ func (s *Store) readLocked(e *entry) ([]byte, error) {
 
 // Get returns the blob's contents, re-verifying the content address on
 // the way in — a blob whose stored bytes no longer hash to its ID (disk
-// damage after the fact) is reported as absent rather than returned.
+// damage after the fact) is reported as absent rather than returned. Get
+// is a thin adapter over Open; the caller owns the returned slice.
 func (s *Store) Get(id blobstore.ID) ([]byte, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	e, ok := s.blobs[id]
+	rc, size, ok := s.Open(id)
 	if !ok {
 		return nil, false
 	}
-	data, err := s.readLocked(e)
-	if err != nil || blobstore.Sum(data) != id {
+	defer rc.Close()
+	data := make([]byte, size)
+	if _, err := io.ReadFull(rc, data); err != nil {
+		return nil, false
+	}
+	if blobstore.Sum(data) != id {
 		return nil, false
 	}
 	return data, true

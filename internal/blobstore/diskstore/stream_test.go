@@ -1,0 +1,103 @@
+package diskstore_test
+
+// Streaming-specific crash tests: gets are served straight from segment
+// offsets, so damage on disk must surface through the streamed read path
+// — a torn record must not be openable at all, and a record whose bytes
+// rot after the index was written must fail its in-flight CRC check
+// rather than hand corrupt data to a caller.
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"testing"
+
+	"expelliarmus/internal/blobstore/diskstore"
+)
+
+// TestTornTailRefusesStreamedRead cuts the last record mid-payload and
+// reopens: the torn blob must not be streamable (Open says no), while the
+// record before the tear still streams end to end.
+func TestTornTailRefusesStreamedRead(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, diskstore.Options{})
+	intact := bytes.Repeat([]byte("whole "), 4000)
+	intactID, _ := s.Put(intact)
+	before := fileSize(t, lastSegment(t, dir))
+	tornID, _ := s.Put(bytes.Repeat([]byte("torn "), 4000))
+	after := fileSize(t, lastSegment(t, dir))
+	if err := s.Abandon(); err != nil {
+		t.Fatalf("Abandon: %v", err)
+	}
+	if err := os.Truncate(lastSegment(t, dir), before+(after-before)/2); err != nil {
+		t.Fatal(err)
+	}
+
+	r := open(t, dir, diskstore.Options{})
+	defer r.Close()
+	if !r.Recovery().Torn() {
+		t.Fatalf("tear not reported: %+v", r.Recovery())
+	}
+	if rc, _, ok := r.Open(tornID); ok {
+		rc.Close()
+		t.Fatalf("Open succeeded on a torn record")
+	}
+	rc, size, ok := r.Open(intactID)
+	if !ok || size != int64(len(intact)) {
+		t.Fatalf("Open(intact) = %v, %d; want true, %d", ok, size, len(intact))
+	}
+	defer rc.Close()
+	got, err := io.ReadAll(rc)
+	if err != nil || !bytes.Equal(got, intact) {
+		t.Fatalf("streamed read of pre-tear blob differs (err=%v)", err)
+	}
+}
+
+// TestPostHocRotFailsStreamedCRC flips payload bytes of a fully synced
+// record after the store closed. Index-based load trusts the index, so
+// the damage is only discoverable at read time: the streamed reader's
+// incremental CRC must refuse to complete, and the materializing Get must
+// report the blob unavailable rather than return rotten bytes.
+func TestPostHocRotFailsStreamedCRC(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, diskstore.Options{})
+	data := bytes.Repeat([]byte("payload "), 8192)
+	id, _ := s.Put(data)
+	if _, err := s.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Rot a byte deep inside the record's payload.
+	seg := lastSegment(t, dir)
+	raw, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := bytes.Index(raw, data[:64])
+	if pos < 0 {
+		t.Fatal("payload not found in segment")
+	}
+	raw[pos+1000] ^= 0x40
+	if err := os.WriteFile(seg, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r := open(t, dir, diskstore.Options{})
+	defer r.Close()
+	if r.Recovery().IndexRebuilt {
+		t.Fatalf("index unexpectedly rebuilt; rot would be caught at replay, not read")
+	}
+	rc, _, ok := r.Open(id)
+	if !ok {
+		t.Fatalf("Open refused a catalogued blob before any read")
+	}
+	defer rc.Close()
+	if _, err := io.ReadAll(rc); err == nil {
+		t.Fatalf("streamed read of a rotten record completed without error")
+	}
+	if _, ok := r.Get(id); ok {
+		t.Fatalf("Get returned rotten bytes")
+	}
+}

@@ -1,0 +1,89 @@
+package chunkpool
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// sliceReader yields data in deliberately small, non-chunk-aligned reads so
+// Copy exercises its loop rather than a single pass.
+type sliceReader struct {
+	data []byte
+	step int
+}
+
+func (r *sliceReader) Read(p []byte) (int, error) {
+	if len(r.data) == 0 {
+		return 0, io.EOF
+	}
+	n := r.step
+	if n > len(r.data) {
+		n = len(r.data)
+	}
+	if n > len(p) {
+		n = len(p)
+	}
+	copy(p, r.data[:n])
+	r.data = r.data[n:]
+	return n, nil
+}
+
+func TestCopy(t *testing.T) {
+	data := make([]byte, 3*Size+1234)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	var dst bytes.Buffer
+	n, err := Copy(&dst, &sliceReader{data: append([]byte(nil), data...), step: 7919})
+	if err != nil {
+		t.Fatalf("Copy: %v", err)
+	}
+	if n != int64(len(data)) {
+		t.Fatalf("Copy wrote %d bytes, want %d", n, len(data))
+	}
+	if !bytes.Equal(dst.Bytes(), data) {
+		t.Fatal("Copy corrupted data")
+	}
+}
+
+func TestGetPutSize(t *testing.T) {
+	b := Get()
+	if len(*b) != Size {
+		t.Fatalf("Get returned %d-byte chunk, want %d", len(*b), Size)
+	}
+	Put(b)
+	short := make([]byte, 10)
+	Put(&short) // must be dropped, not pooled
+	b2 := Get()
+	if len(*b2) != Size {
+		t.Fatalf("Get after undersized Put returned %d-byte chunk, want %d", len(*b2), Size)
+	}
+	Put(b2)
+}
+
+// TestWarmPathZeroAllocs is the satellite gate: once the pool is warm, a
+// chunk round-trip allocates nothing.
+func TestWarmPathZeroAllocs(t *testing.T) {
+	Put(Get()) // warm the pool
+	allocs := testing.AllocsPerRun(200, func() {
+		b := Get()
+		(*b)[0] = 1
+		Put(b)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm Get/Put allocates %v objects per op, want 0", allocs)
+	}
+}
+
+func BenchmarkWarmCopy(b *testing.B) {
+	src := make([]byte, Size)
+	b.SetBytes(Size)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Copy(io.Discard, bytes.NewReader(src)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 	"sync/atomic"
 
@@ -46,6 +47,10 @@ type CacheStats struct {
 	// the hot image's stripe keeps accumulating hits.
 	StripeHits          []int64
 	StripeInvalidations []int64
+	// Flights is the queue-depth meter of the miss singleflight: how many
+	// assemblies are in the air right now, how many retrievals are queued
+	// behind them, and the deepest queue any single flight has built up.
+	Flights FlightStats
 }
 
 // CacheStats returns the retrieval cache's counters; ok is false when the
@@ -62,18 +67,22 @@ func (s *System) CacheStats() (st CacheStats, ok bool) {
 		st.StripeHits[i] = s.cctr.hits[i].Load()
 		st.StripeInvalidations[i] = s.cctr.invalidations[i].Load()
 	}
+	st.Flights = s.flights.stats()
 	return st, true
 }
 
 // materializeCached turns a verified cache entry into a fresh image and
-// report. The image is deserialized from the cached bytes (a full copy —
-// callers may mutate the result without touching the cache), and the
-// report replays the cold retrieval's per-phase charges into a fresh
-// meter, so a hit's report is byte-identical to the miss that seeded it.
-// Singleflight followers go through the same path, so a coalesced miss is
-// indistinguishable from a hit to the caller.
+// report. The image is deserialized lazily over the cached bytes: the
+// disk's copy-on-write layer means callers may still mutate the result
+// without touching the cache, but a hit no longer duplicates the whole
+// image up front — clusters are read from the (immutable) cached entry on
+// demand, which is what keeps hit-path memory flat under the streaming
+// retrieval. The report replays the cold retrieval's per-phase charges
+// into a fresh meter, so a hit's report is byte-identical to the miss
+// that seeded it. Singleflight followers go through the same path, so a
+// coalesced miss is indistinguishable from a hit to the caller.
 func (s *System) materializeCached(name string, rec vmirepo.VMIRecord, ent *retrievecache.Entry) (*vmi.Image, *RetrieveReport, error) {
-	disk, err := vdisk.Deserialize(name, ent.Image)
+	disk, err := vdisk.DeserializeLazy(name, bytes.NewReader(ent.Image), int64(len(ent.Image)))
 	if err != nil {
 		// The bytes hashed correctly, so this is an insertion-side bug,
 		// not bit rot — surface it rather than fall back silently.
@@ -121,18 +130,29 @@ func (s *System) cacheAssembled(key retrievecache.Key, gen uint64, img *vmi.Imag
 		return nil, nil
 	}
 	newEntry := func() *retrievecache.Entry {
+		// The assembled disk may be lazily backed by the blob store, so
+		// serialization can fail (a store torn down mid-flight). A failed
+		// build simply isn't cached — nil sends followers back to retry,
+		// and correctness never depends on an insert happening.
+		var buf bytes.Buffer
+		buf.Grow(int(img.Disk.SerializedBytes()))
+		if _, err := img.Disk.WriteTo(&buf); err != nil {
+			return nil
+		}
 		return retrievecache.NewEntry(
-			img.Disk.Serialize(), img.Base, rep.Imported, rep.ImportedBytes, rep.Meter.Snapshot())
+			buf.Bytes(), img.Base, rep.Imported, rep.ImportedBytes, rep.Meter.Snapshot())
 	}
 	// AllocatedBytes is a lower bound on the serialized size (data
 	// clusters without tables); when it alone exceeds the whole budget the
-	// cache would reject the entry anyway, so defer the Serialize + hash
+	// cache would reject the entry anyway, so defer the serialize + hash
 	// to whoever actually has followers waiting for the bytes.
 	if img.Disk.AllocatedBytes() > s.cache.MaxBytes() {
 		s.cache.NoteRejected()
 		return nil, newEntry
 	}
-	ent = newEntry()
+	if ent = newEntry(); ent == nil {
+		return nil, nil
+	}
 	s.cache.Put(key, ent)
 	return ent, nil
 }

@@ -9,6 +9,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"io"
 	"path"
 	"sort"
 	"sync"
@@ -851,12 +852,68 @@ func (s *System) assemble(name, baseID string, primaries []string, userDataFrom 
 		return nil, fmt.Errorf("core: assemble %s: primary packages incompatible with base %s", name, baseID)
 	}
 
-	// Lines 3–4: copy the base image and reset it.
-	blob, err := s.repo.GetBase(baseID, simio.PhaseCopy, rep.Meter)
+	// Lines 6–10, hoisted: packages in the primary subgraph missing from
+	// the base, and their install order. Both need only graph data, so
+	// they run before the base image opens — which lets the package
+	// payloads prefetch concurrently with the copy/launch/sysprep window
+	// below instead of serializing behind it.
+	var missing []string
+	for _, v := range psUnion.Vertices() {
+		if !baseSub.HasVertex(v.Pkg.Name) {
+			missing = append(missing, v.Pkg.Name)
+		}
+	}
+	order, err := pkgmgr.InstallOrder(graphUniverse{psUnion}, missing)
 	if err != nil {
 		return nil, err
 	}
-	disk, err := vdisk.Deserialize(name, blob)
+	var flat []string
+	for _, group := range order {
+		flat = append(flat, group...)
+	}
+	blobs := make([][]byte, len(flat))
+	blobAt := make(map[string]int, len(flat))
+	for i, pkgName := range flat {
+		blobAt[pkgName] = i
+	}
+	fetch := func(i int) error {
+		v, _ := psUnion.Vertex(flat[i])
+		_, blob, err := s.repo.GetPackage(v.Pkg.Ref(), simio.PhaseImport, rep.Meter)
+		if err != nil {
+			return err
+		}
+		blobs[i] = blob
+		return nil
+	}
+	fetchDone := func() error { return nil }
+	if len(flat) > 0 {
+		if workers > 1 {
+			ch := make(chan error, 1)
+			go func() { ch <- pool.Map(workers, len(flat), fetch) }()
+			var once sync.Once
+			var ferr error
+			fetchDone = func() error {
+				once.Do(func() { ferr = <-ch })
+				return ferr
+			}
+			// Drain on every exit path: an error return from the guest
+			// phases below must not leave the fetch goroutine charging the
+			// meter after the retrieval has reported.
+			defer fetchDone()
+		} else {
+			fetchDone = func() error { return pool.Map(workers, len(flat), fetch) }
+		}
+	}
+
+	// Lines 3–4: copy the base image and reset it. The copy is lazy: the
+	// disk deserializes over the blob store's own reader (segment-offset
+	// section reads on the disk backend, zero-copy views in memory), so
+	// base clusters the assembly never touches are never materialized.
+	rc, size, err := s.repo.OpenBase(baseID, simio.PhaseCopy, rep.Meter)
+	if err != nil {
+		return nil, err
+	}
+	disk, err := deserializeBase(name, rc, size)
 	if err != nil {
 		return nil, err
 	}
@@ -891,21 +948,9 @@ func (s *System) assemble(name, baseID string, primaries []string, userDataFrom 
 		}
 	}
 
-	// Lines 6–10: packages in the primary subgraph missing from the base.
-	var missing []string
-	for _, v := range psUnion.Vertices() {
-		if !baseSub.HasVertex(v.Pkg.Name) {
-			missing = append(missing, v.Pkg.Name)
-		}
-	}
-
 	// Lines 11–13: import and install through the guest package manager
 	// from a temporary local repository.
 	mgr, err := h.PackageManager()
-	if err != nil {
-		return nil, err
-	}
-	order, err := pkgmgr.InstallOrder(graphUniverse{psUnion}, missing)
 	if err != nil {
 		return nil, err
 	}
@@ -919,27 +964,18 @@ func (s *System) assemble(name, baseID string, primaries []string, userDataFrom 
 		[]byte("deb [trusted=yes] file:"+localRepoDir+" ./\n")); err != nil {
 		return nil, err
 	}
+	// Join the prefetch started above; from here every payload is in hand
+	// (the guest-side installs below mutate the image filesystem and stay
+	// sequential, preserving dependency order and determinism).
+	if err := fetchDone(); err != nil {
+		return nil, err
+	}
 	for _, group := range order {
-		// Fetch the group's packages from the repository in parallel (the
-		// guest-side installs below mutate the image filesystem and stay
-		// sequential, preserving dependency order and determinism).
-		blobs := make([][]byte, len(group))
-		fetchErr := pool.Map(workers, len(group), func(i int) error {
-			v, _ := psUnion.Vertex(group[i])
-			_, blob, err := s.repo.GetPackage(v.Pkg.Ref(), simio.PhaseImport, rep.Meter)
-			if err != nil {
-				return err
-			}
-			blobs[i] = blob
-			return nil
-		})
-		if fetchErr != nil {
-			return nil, fetchErr
-		}
-		for i, pkgName := range group {
+		for _, pkgName := range group {
+			blob := blobs[blobAt[pkgName]]
 			v, _ := psUnion.Vertex(pkgName)
 			local := path.Join(localRepoDir, pkgName+".deb")
-			if err := fs.WriteFile(local, blobs[i]); err != nil {
+			if err := fs.WriteFile(local, blob); err != nil {
 				return nil, err
 			}
 			if mgr.IsInstalled(pkgName) {
@@ -947,7 +983,7 @@ func (s *System) assemble(name, baseID string, primaries []string, userDataFrom 
 				fs.Remove(local)
 				continue
 			}
-			if err := mgr.Install(blobs[i]); err != nil {
+			if err := mgr.Install(blob); err != nil {
 				return nil, err
 			}
 			rep.Meter.Charge(simio.PhaseImport,
@@ -975,6 +1011,41 @@ func (s *System) assemble(name, baseID string, primaries []string, userDataFrom 
 		Primaries: append([]string(nil), primaries...),
 		Disk:      disk,
 	}, nil
+}
+
+// deserializeBase builds the assembly's working disk over a just-opened
+// base image reader. Both built-in backends hand out io.ReaderAt views
+// that stay valid for the life of the store (their Close is a no-op), so
+// the disk reads base clusters straight from the store on demand; a
+// backend whose reader lacks ReaderAt falls back to materializing the
+// blob once.
+func deserializeBase(name string, rc io.ReadCloser, size int64) (*vdisk.Disk, error) {
+	defer rc.Close()
+	if ra, ok := rc.(io.ReaderAt); ok {
+		return vdisk.DeserializeLazy(name, ra, size)
+	}
+	blob, err := io.ReadAll(rc)
+	if err != nil {
+		return nil, err
+	}
+	return vdisk.Deserialize(name, blob)
+}
+
+// RetrieveTo assembles a published VMI like Retrieve and streams its
+// serialized image straight to w, returning the byte count. The written
+// bytes pass through the same lazy backing the assembly read them from,
+// so peak memory stays bounded by the clusters the assembly actually
+// touched plus the streaming chunk — it does not grow with image size.
+func (s *System) RetrieveTo(w io.Writer, name string) (int64, *RetrieveReport, error) {
+	img, rep, err := s.retrieve(name, s.parallelism())
+	if err != nil {
+		return 0, nil, err
+	}
+	n, err := img.Disk.WriteTo(w)
+	if err != nil {
+		return n, rep, fmt.Errorf("core: retrieve %s: stream image: %w", name, err)
+	}
+	return n, rep, nil
 }
 
 // graphUniverse adapts a semantic graph to the resolver's Universe.

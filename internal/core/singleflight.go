@@ -28,11 +28,29 @@ type flight struct {
 	err error
 }
 
+// FlightStats is the queue-depth meter of the miss singleflight. Led and
+// PeakDepth are cumulative over the system's lifetime; Active and Waiting
+// are gauges of the in-flight state at the instant of the snapshot.
+type FlightStats struct {
+	// Led counts flights that took off: assemblies started as the
+	// singleflight leader of their key.
+	Led int64
+	// Active is the number of flights currently in the air.
+	Active int64
+	// Waiting is the number of retrievals currently queued behind an
+	// active flight (followers blocked on a leader's outcome).
+	Waiting int64
+	// PeakDepth is the deepest follower queue any single flight has ever
+	// built up — the high-water mark of per-key retrieval pressure.
+	PeakDepth int64
+}
+
 // flightGroup coalesces concurrent misses per cache key. The zero value
 // is ready to use.
 type flightGroup struct {
-	mu sync.Mutex
-	m  map[retrievecache.Key]*flight
+	mu  sync.Mutex
+	m   map[retrievecache.Key]*flight
+	ctr FlightStats // maintained under mu
 }
 
 // join returns the flight for key and whether the caller leads it. A
@@ -41,7 +59,11 @@ func (g *flightGroup) join(key retrievecache.Key) (fl *flight, leader bool) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if fl, ok := g.m[key]; ok {
-		fl.waiters.Add(1)
+		depth := int64(fl.waiters.Add(1))
+		g.ctr.Waiting++
+		if depth > g.ctr.PeakDepth {
+			g.ctr.PeakDepth = depth
+		}
 		return fl, false
 	}
 	if g.m == nil {
@@ -49,7 +71,16 @@ func (g *flightGroup) join(key retrievecache.Key) (fl *flight, leader bool) {
 	}
 	fl = &flight{done: make(chan struct{})}
 	g.m[key] = fl
+	g.ctr.Led++
+	g.ctr.Active++
 	return fl, true
+}
+
+// stats snapshots the queue-depth meter.
+func (g *flightGroup) stats() FlightStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.ctr
 }
 
 // finish publishes the leader's outcome and releases the flight. The key
@@ -66,6 +97,10 @@ func (g *flightGroup) join(key retrievecache.Key) (fl *flight, leader bool) {
 func (g *flightGroup) finish(key retrievecache.Key, fl *flight, ent *retrievecache.Entry, err error, build func() *retrievecache.Entry) {
 	g.mu.Lock()
 	delete(g.m, key)
+	g.ctr.Active--
+	// The key is out of the map, so the waiter count is final: settle the
+	// gauge for every follower this flight is about to release.
+	g.ctr.Waiting -= int64(fl.waiters.Load())
 	g.mu.Unlock()
 	if ent == nil && err == nil && build != nil && fl.waiters.Load() > 0 {
 		ent = build()

@@ -19,14 +19,12 @@ func (d *Disk) Snapshot(name string) error {
 		return fmt.Errorf("vdisk %s: snapshot %q already exists", d.name, name)
 	}
 	snap := make(map[int64][]byte)
-	for disk := d; disk != nil; disk = disk.backing {
-		for ci, data := range disk.clusters {
-			if _, ok := snap[ci]; !ok {
-				cp := make([]byte, len(data))
-				copy(cp, data)
-				snap[ci] = cp
-			}
+	for _, ci := range d.effectiveIndices() {
+		cp := make([]byte, d.clusterSize)
+		if err := d.readSpan(cp, ci, 0); err != nil {
+			return fmt.Errorf("vdisk %s: snapshot %q: %w", d.name, name, err)
 		}
+		snap[ci] = cp
 	}
 	d.snapshots[name] = snap
 	return nil
@@ -47,6 +45,10 @@ func (d *Disk) Revert(name string) error {
 		clusters[ci] = cp
 	}
 	d.clusters = clusters
+	// The snapshot captured the full effective state, so the lazy source
+	// and backing chain are detached along with their masks.
+	d.lazy = nil
+	d.dropped = nil
 	d.backing = nil
 	return nil
 }

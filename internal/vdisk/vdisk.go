@@ -15,6 +15,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"io"
 	"sort"
 )
 
@@ -28,13 +29,32 @@ var Magic = []byte("QGO1")
 
 const headerSize = 40
 
+// lazySource is an on-demand cluster provider: a serialized image behind
+// an io.ReaderAt plus the file offset of every allocated cluster. A disk
+// opened with DeserializeLazy reads clusters straight from the source as
+// they are touched instead of materializing the whole image up front. The
+// source is immutable and safe to share between disks (Clone does).
+type lazySource struct {
+	ra      io.ReaderAt
+	offsets map[int64]int64 // cluster index -> byte offset in ra
+}
+
 // Disk is a sparse virtual disk. The zero value is not usable; construct
-// with New or Deserialize. Disk is not safe for concurrent mutation.
+// with New, Deserialize, or DeserializeLazy. Disk is not safe for
+// concurrent mutation.
+//
+// A disk has up to three layers per cluster, consulted in order: local
+// writes (clusters), the lazy source it was deserialized from (lazy,
+// masked per-cluster by dropped so Discard works without materializing),
+// and the backing chain. Writes always land in clusters (copy-on-write),
+// so the lazy source is never modified.
 type Disk struct {
 	name        string
 	clusterSize int
 	virtualSize int64
 	clusters    map[int64][]byte // cluster index -> cluster data
+	lazy        *lazySource
+	dropped     map[int64]struct{} // lazy clusters masked by Discard
 	backing     *Disk
 	snapshots   map[string]map[int64][]byte // named internal snapshots
 }
@@ -71,13 +91,28 @@ func (d *Disk) ClusterSize() int { return d.clusterSize }
 func (d *Disk) Backing() *Disk { return d.backing }
 
 // AllocatedClusters returns the number of clusters allocated locally
-// (excluding the backing chain).
-func (d *Disk) AllocatedClusters() int { return len(d.clusters) }
+// (excluding the backing chain). Lazily backed clusters count: they are
+// this disk's own content, merely not materialized yet.
+func (d *Disk) AllocatedClusters() int {
+	n := len(d.clusters)
+	if d.lazy != nil {
+		for ci := range d.lazy.offsets {
+			if _, ok := d.clusters[ci]; ok {
+				continue
+			}
+			if _, ok := d.dropped[ci]; ok {
+				continue
+			}
+			n++
+		}
+	}
+	return n
+}
 
 // AllocatedBytes returns the local allocation in bytes — the sparse
 // "actual size" of the image, excluding the backing chain.
 func (d *Disk) AllocatedBytes() int64 {
-	return int64(len(d.clusters)) * int64(d.clusterSize)
+	return int64(d.AllocatedClusters()) * int64(d.clusterSize)
 }
 
 // Grow extends the virtual size. Shrinking is not supported.
@@ -104,26 +139,38 @@ func (d *Disk) ReadAt(p []byte, off int64) (int, error) {
 		if span > len(p)-n {
 			span = len(p) - n
 		}
-		src := d.lookup(ci)
-		if src == nil {
-			for i := 0; i < span; i++ {
-				p[n+i] = 0
-			}
-		} else {
-			copy(p[n:n+span], src[co:co+span])
+		if err := d.readSpan(p[n:n+span], ci, co); err != nil {
+			return n, err
 		}
 		n += span
 	}
 	return n, nil
 }
 
-// lookup finds the cluster data for index ci in this disk or its backing
-// chain; nil means never written.
-func (d *Disk) lookup(ci int64) []byte {
+// readSpan fills dst with the bytes of cluster ci starting at in-cluster
+// offset co, walking the layers: local clusters, then the disk's lazy
+// source (unless the cluster was discarded), then the backing chain, then
+// zeros. Lazy clusters are read straight into dst — no cluster buffer is
+// materialized or retained.
+func (d *Disk) readSpan(dst []byte, ci int64, co int) error {
 	for disk := d; disk != nil; disk = disk.backing {
 		if c, ok := disk.clusters[ci]; ok {
-			return c
+			copy(dst, c[co:co+len(dst)])
+			return nil
 		}
+		if disk.lazy != nil {
+			if _, gone := disk.dropped[ci]; !gone {
+				if off, ok := disk.lazy.offsets[ci]; ok {
+					if _, err := disk.lazy.ra.ReadAt(dst, off+int64(co)); err != nil {
+						return fmt.Errorf("vdisk %s: lazy read of cluster %d: %w", disk.name, ci, err)
+					}
+					return nil
+				}
+			}
+		}
+	}
+	for i := range dst {
+		dst[i] = 0
 	}
 	return nil
 }
@@ -147,9 +194,9 @@ func (d *Disk) WriteAt(p []byte, off int64) (int, error) {
 		if !ok {
 			c = make([]byte, d.clusterSize)
 			if span != d.clusterSize {
-				// Partial write: preserve backing contents (COW).
-				if old := d.lookup(ci); old != nil {
-					copy(c, old)
+				// Partial write: preserve lazy/backing contents (COW).
+				if err := d.readSpan(c, ci, 0); err != nil {
+					return n, err
 				}
 			}
 			d.clusters[ci] = c
@@ -173,6 +220,17 @@ func (d *Disk) Discard(off, length int64) {
 	last := (off + length) / int64(d.clusterSize) // exclusive
 	for ci := first; ci < last; ci++ {
 		delete(d.clusters, ci)
+		if d.lazy != nil {
+			// Mask (don't materialize) the lazy cluster so reads fall
+			// through to backing/zeros and serialization drops it, exactly
+			// as if a materialized cluster had been deleted.
+			if _, ok := d.lazy.offsets[ci]; ok {
+				if d.dropped == nil {
+					d.dropped = make(map[int64]struct{})
+				}
+				d.dropped[ci] = struct{}{}
+			}
+		}
 	}
 }
 
@@ -206,13 +264,17 @@ func (d *Disk) NewChild(name string) *Disk {
 	}
 }
 
-// Clone returns an independent deep copy of the disk (same backing).
+// Clone returns an independent copy of the disk (same backing). Local
+// clusters are deep-copied; the lazy source — immutable by construction —
+// is shared, with the discard mask copied so each clone discards
+// independently.
 func (d *Disk) Clone(name string) *Disk {
 	c := &Disk{
 		name:        name,
 		clusterSize: d.clusterSize,
 		virtualSize: d.virtualSize,
 		clusters:    make(map[int64][]byte, len(d.clusters)),
+		lazy:        d.lazy,
 		backing:     d.backing,
 	}
 	for ci, data := range d.clusters {
@@ -220,59 +282,79 @@ func (d *Disk) Clone(name string) *Disk {
 		copy(cp, data)
 		c.clusters[ci] = cp
 	}
+	if len(d.dropped) > 0 {
+		c.dropped = make(map[int64]struct{}, len(d.dropped))
+		for ci := range d.dropped {
+			c.dropped[ci] = struct{}{}
+		}
+	}
 	return c
 }
 
-// Flatten merges the whole backing chain into d, making it standalone.
-func (d *Disk) Flatten() {
-	for b := d.backing; b != nil; b = b.backing {
-		for ci, data := range b.clusters {
-			if _, ok := d.clusters[ci]; !ok {
-				cp := make([]byte, len(data))
-				copy(cp, data)
-				d.clusters[ci] = cp
+// Flatten merges the whole backing chain and the disk's own lazy source
+// into local clusters, making it standalone: after Flatten the disk holds
+// every byte itself and no longer references its deserialization source.
+// The error is always nil for fully materialized disks; a lazily backed
+// disk surfaces read failures from its source.
+func (d *Disk) Flatten() error {
+	for _, ci := range d.effectiveIndices() {
+		if _, ok := d.clusters[ci]; ok {
+			continue
+		}
+		c := make([]byte, d.clusterSize)
+		if err := d.readSpan(c, ci, 0); err != nil {
+			return err
+		}
+		d.clusters[ci] = c
+	}
+	d.lazy = nil
+	d.dropped = nil
+	d.backing = nil
+	return nil
+}
+
+// effectiveIndices returns the sorted union of allocated cluster indices
+// across all layers: local clusters, the lazy source minus its discard
+// mask, and the backing chain — the cluster set Serialize encodes.
+func (d *Disk) effectiveIndices() []int64 {
+	set := make(map[int64]struct{})
+	for disk := d; disk != nil; disk = disk.backing {
+		for ci := range disk.clusters {
+			set[ci] = struct{}{}
+		}
+		if disk.lazy != nil {
+			for ci := range disk.lazy.offsets {
+				if _, gone := disk.dropped[ci]; !gone {
+					set[ci] = struct{}{}
+				}
 			}
 		}
 	}
-	d.backing = nil
-}
-
-// allocatedIndices returns the locally allocated cluster indices in order.
-func (d *Disk) allocatedIndices() []int64 {
-	idx := make([]int64, 0, len(d.clusters))
-	for ci := range d.clusters {
+	idx := make([]int64, 0, len(set))
+	for ci := range set {
 		idx = append(idx, ci)
 	}
 	sort.Slice(idx, func(i, j int) bool { return idx[i] < idx[j] })
 	return idx
 }
 
-// Serialize encodes the disk (with its backing chain flattened into the
-// output, like `qemu-img convert`) in the qcow2-like format:
-//
-//	header | L1 table | L2 tables | data clusters
-//
-// Unallocated clusters occupy no space (sparse encoding). The length of
-// the returned slice is the image's on-disk size, the quantity the Qcow2
-// baseline accounts in Fig. 3.
-func (d *Disk) Serialize() []byte {
-	// Collect the effective cluster set including the backing chain.
-	eff := make(map[int64][]byte)
-	var chain []*Disk
-	for disk := d; disk != nil; disk = disk.backing {
-		chain = append(chain, disk)
-	}
-	for i := len(chain) - 1; i >= 0; i-- {
-		for ci, data := range chain[i].clusters {
-			eff[ci] = data
-		}
-	}
-	indices := make([]int64, 0, len(eff))
-	for ci := range eff {
-		indices = append(indices, ci)
-	}
-	sort.Slice(indices, func(i, j int) bool { return indices[i] < indices[j] })
+// layout captures where each section of the serialized image lands. It is
+// derived deterministically from the cluster set, so WriteTo can stream
+// the image without building it.
+type layout struct {
+	cs             int64
+	entriesPerL2   int64
+	numL2          int64
+	headerClusters int64
+	l1Clusters     int64
+	l2Start        int64
+	dataStart      int64
+	indices        []int64
+	l2Order        []int64
+	total          int64
+}
 
+func (d *Disk) layoutFor(indices []int64) layout {
 	cs := int64(d.clusterSize)
 	entriesPerL2 := cs / 8
 	numClusters := (d.virtualSize + cs - 1) / cs
@@ -302,58 +384,156 @@ func (d *Disk) Serialize() []byte {
 	l1Clusters := (l1Bytes + cs - 1) / cs
 	l2Start := (headerClusters + l1Clusters) * cs
 	dataStart := l2Start + int64(len(l2Order))*cs
+	return layout{
+		cs:             cs,
+		entriesPerL2:   entriesPerL2,
+		numL2:          numL2,
+		headerClusters: headerClusters,
+		l1Clusters:     l1Clusters,
+		l2Start:        l2Start,
+		dataStart:      dataStart,
+		indices:        indices,
+		l2Order:        l2Order,
+		total:          dataStart + int64(len(indices))*cs,
+	}
+}
 
-	var buf bytes.Buffer
+// WriteTo streams the serialized image (identical bytes to Serialize) to
+// w, one section buffer at a time: header and L1 up front, then each L2
+// table through a single reused cluster buffer, then each data cluster
+// through another. Peak memory is a few cluster buffers plus the offset
+// bookkeeping — independent of image size — so a retrieval can serve a
+// gigabyte image straight to a sink without ever holding it.
+func (d *Disk) WriteTo(w io.Writer) (int64, error) {
+	lo := d.layoutFor(d.effectiveIndices())
+	var written int64
+	emit := func(b []byte) error {
+		n, err := w.Write(b)
+		written += int64(n)
+		if err != nil {
+			return err
+		}
+		if n < len(b) {
+			return io.ErrShortWrite
+		}
+		return nil
+	}
+
 	// Header cluster(s).
-	buf.Write(Magic)
-	hdr := make([]byte, headerClusters*cs-int64(len(Magic)))
-	binary.BigEndian.PutUint32(hdr[0:], 1) // version
-	binary.BigEndian.PutUint32(hdr[4:], uint32(d.clusterSize))
-	binary.BigEndian.PutUint64(hdr[8:], uint64(d.virtualSize))
-	binary.BigEndian.PutUint64(hdr[16:], uint64(numL2))
-	binary.BigEndian.PutUint64(hdr[24:], uint64(len(indices)))
-	buf.Write(hdr)
+	hdr := make([]byte, lo.headerClusters*lo.cs)
+	copy(hdr, Magic)
+	h := hdr[len(Magic):]
+	binary.BigEndian.PutUint32(h[0:], 1) // version
+	binary.BigEndian.PutUint32(h[4:], uint32(d.clusterSize))
+	binary.BigEndian.PutUint64(h[8:], uint64(d.virtualSize))
+	binary.BigEndian.PutUint64(h[16:], uint64(lo.numL2))
+	binary.BigEndian.PutUint64(h[24:], uint64(len(lo.indices)))
+	if err := emit(hdr); err != nil {
+		return written, err
+	}
 
 	// L1 table: offset of each L2 table, 0 = absent.
-	l2Offset := make(map[int64]int64, len(l2Order))
-	for i, t := range l2Order {
-		l2Offset[t] = l2Start + int64(i)*cs
+	l1 := make([]byte, lo.l1Clusters*lo.cs)
+	for i, t := range lo.l2Order {
+		binary.BigEndian.PutUint64(l1[t*8:], uint64(lo.l2Start+int64(i)*lo.cs))
 	}
-	l1 := make([]byte, l1Clusters*cs)
-	for t, off := range l2Offset {
-		binary.BigEndian.PutUint64(l1[t*8:], uint64(off))
+	if err := emit(l1); err != nil {
+		return written, err
 	}
-	buf.Write(l1)
 
-	// L2 tables: offset of each data cluster, 0 = unallocated.
-	clusterOffset := make(map[int64]int64, len(indices))
-	for i, ci := range indices {
-		clusterOffset[ci] = dataStart + int64(i)*cs
-	}
-	for _, t := range l2Order {
-		l2 := make([]byte, cs)
-		base := t * entriesPerL2
-		for e := int64(0); e < entriesPerL2; e++ {
-			if off, ok := clusterOffset[base+e]; ok {
-				binary.BigEndian.PutUint64(l2[e*8:], uint64(off))
-			}
+	// L2 tables: offset of each data cluster, 0 = unallocated. Data
+	// cluster offsets follow from each cluster's rank in the sorted index
+	// list, so one pass over indices in step with l2Order fills every
+	// table through a single reused buffer.
+	l2 := make([]byte, lo.cs)
+	next := 0 // rank of the next index to place
+	for _, t := range lo.l2Order {
+		for i := range l2 {
+			l2[i] = 0
 		}
-		buf.Write(l2)
+		base := t * lo.entriesPerL2
+		for next < len(lo.indices) && lo.indices[next] < base+lo.entriesPerL2 {
+			ci := lo.indices[next]
+			off := lo.dataStart + int64(next)*lo.cs
+			binary.BigEndian.PutUint64(l2[(ci-base)*8:], uint64(off))
+			next++
+		}
+		if err := emit(l2); err != nil {
+			return written, err
+		}
 	}
 
-	// Data clusters.
-	for _, ci := range indices {
-		buf.Write(eff[ci])
+	// Data clusters, each streamed through one reused buffer.
+	buf := make([]byte, lo.cs)
+	for _, ci := range lo.indices {
+		if err := d.readSpan(buf, ci, 0); err != nil {
+			return written, err
+		}
+		if err := emit(buf); err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// SerializedBytes returns the exact length of the serialized image without
+// producing any of it.
+func (d *Disk) SerializedBytes() int64 {
+	return d.layoutFor(d.effectiveIndices()).total
+}
+
+// Serialize encodes the disk (with its backing chain flattened into the
+// output, like `qemu-img convert`) in the qcow2-like format:
+//
+//	header | L1 table | L2 tables | data clusters
+//
+// Unallocated clusters occupy no space (sparse encoding). The length of
+// the returned slice is the image's on-disk size, the quantity the Qcow2
+// baseline accounts in Fig. 3. Serialize is a materializing adapter over
+// WriteTo; it panics if a lazily backed cluster can no longer be read
+// (error-aware callers stream with WriteTo instead).
+func (d *Disk) Serialize() []byte {
+	var buf bytes.Buffer
+	buf.Grow(int(d.SerializedBytes()))
+	if _, err := d.WriteTo(&buf); err != nil {
+		panic(fmt.Sprintf("vdisk %s: serialize: %v", d.name, err))
 	}
 	return buf.Bytes()
 }
 
-// Deserialize decodes a serialized disk image.
+// Deserialize decodes a serialized disk image into a fully materialized
+// disk: an adapter over DeserializeLazy that copies every cluster out of
+// the image, so the result never references it.
 func Deserialize(name string, image []byte) (*Disk, error) {
-	if len(image) < headerSize || !bytes.Equal(image[:len(Magic)], Magic) {
+	d, err := DeserializeLazy(name, bytes.NewReader(image), int64(len(image)))
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Flatten(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// DeserializeLazy decodes a serialized disk image served by ra without
+// materializing its data clusters: the mapping tables are parsed (through
+// one reused table buffer) and each cluster is remembered as an offset
+// into ra, to be read on demand. The returned disk references ra for its
+// lifetime — or until Flatten — so ra must stay readable; writes never
+// touch it (copy-on-write), and Discard masks lazy clusters rather than
+// materializing them.
+func DeserializeLazy(name string, ra io.ReaderAt, size int64) (*Disk, error) {
+	var hdrBuf [headerSize]byte
+	if size < headerSize {
 		return nil, fmt.Errorf("vdisk: bad magic")
 	}
-	hdr := image[len(Magic):headerSize]
+	if _, err := ra.ReadAt(hdrBuf[:], 0); err != nil {
+		return nil, fmt.Errorf("vdisk: read header: %w", err)
+	}
+	if !bytes.Equal(hdrBuf[:len(Magic)], Magic) {
+		return nil, fmt.Errorf("vdisk: bad magic")
+	}
+	hdr := hdrBuf[len(Magic):]
 	version := binary.BigEndian.Uint32(hdr[0:])
 	if version != 1 {
 		return nil, fmt.Errorf("vdisk: unsupported version %d", version)
@@ -373,31 +553,42 @@ func Deserialize(name string, image []byte) (*Disk, error) {
 	}
 	l1Start := headerClusters * cs
 	l1End := l1Start + numL2*8
-	if int64(len(image)) < l1End {
+	if size < l1End {
 		return nil, fmt.Errorf("vdisk: truncated L1 table")
 	}
 	d := New(name, virtualSize, clusterSize)
+	l1 := make([]byte, numL2*8)
+	if numL2 > 0 {
+		if _, err := ra.ReadAt(l1, l1Start); err != nil {
+			return nil, fmt.Errorf("vdisk: read L1 table: %w", err)
+		}
+	}
+	offsets := make(map[int64]int64)
+	l2 := make([]byte, cs)
 	for t := int64(0); t < numL2; t++ {
-		l2Off := int64(binary.BigEndian.Uint64(image[l1Start+t*8:]))
+		l2Off := int64(binary.BigEndian.Uint64(l1[t*8:]))
 		if l2Off == 0 {
 			continue
 		}
-		if l2Off+cs > int64(len(image)) {
+		if l2Off+cs > size {
 			return nil, fmt.Errorf("vdisk: L2 table %d out of bounds", t)
 		}
-		l2 := image[l2Off : l2Off+cs]
+		if _, err := ra.ReadAt(l2, l2Off); err != nil {
+			return nil, fmt.Errorf("vdisk: read L2 table %d: %w", t, err)
+		}
 		for e := int64(0); e < entriesPerL2; e++ {
 			dataOff := int64(binary.BigEndian.Uint64(l2[e*8:]))
 			if dataOff == 0 {
 				continue
 			}
-			if dataOff+cs > int64(len(image)) {
+			if dataOff+cs > size {
 				return nil, fmt.Errorf("vdisk: cluster %d out of bounds", t*entriesPerL2+e)
 			}
-			c := make([]byte, cs)
-			copy(c, image[dataOff:dataOff+cs])
-			d.clusters[t*entriesPerL2+e] = c
+			offsets[t*entriesPerL2+e] = dataOff
 		}
+	}
+	if len(offsets) > 0 {
+		d.lazy = &lazySource{ra: ra, offsets: offsets}
 	}
 	return d, nil
 }

@@ -551,12 +551,16 @@ func (r *Repo) GetPackage(ref string, ph simio.Phase, m *simio.Meter) (pkgmeta.P
 	if err != nil {
 		return pkgmeta.Package{}, nil, err
 	}
-	blob, ok := r.blobs.Get(rec.BlobID)
+	rc, size, ok := r.blobs.Open(rec.BlobID)
 	if !ok {
 		return pkgmeta.Package{}, nil, fmt.Errorf("vmirepo: package blob %s missing", rec.BlobID)
 	}
 	if m != nil {
-		m.Charge(ph, r.dev.ReadCost(int64(len(blob))))
+		m.Charge(ph, r.dev.ReadCost(size))
+	}
+	blob, err := readAll(rc, size, "package blob")
+	if err != nil {
+		return pkgmeta.Package{}, nil, err
 	}
 	return rec.Pkg, blob, nil
 }
@@ -653,14 +657,14 @@ func (r *Repo) GetBase(id string, ph simio.Phase, m *simio.Meter) ([]byte, error
 	if err != nil {
 		return nil, err
 	}
-	blob, ok := r.blobs.Get(rec.BlobID)
+	rc, size, ok := r.blobs.Open(rec.BlobID)
 	if !ok {
 		return nil, fmt.Errorf("vmirepo: base blob %s missing", rec.BlobID)
 	}
 	if m != nil {
-		m.Charge(ph, r.dev.ReadCost(int64(len(blob))))
+		m.Charge(ph, r.dev.ReadCost(size))
 	}
-	return blob, nil
+	return readAll(rc, size, "base blob")
 }
 
 // RemoveBase deletes a stored base image, reclaiming its blob (Algorithm 1
@@ -913,14 +917,14 @@ func (r *Repo) GetUserData(name string, ph simio.Phase, m *simio.Meter) ([]byte,
 	}
 	var id blobstore.ID
 	copy(id[:], val)
-	blob, ok := r.blobs.Get(id)
+	rc, size, ok := r.blobs.Open(id)
 	if !ok {
 		return nil, fmt.Errorf("vmirepo: user data blob for %q missing", name)
 	}
 	if m != nil {
-		m.Charge(ph, r.dev.ReadCost(int64(len(blob))))
+		m.Charge(ph, r.dev.ReadCost(size))
 	}
-	return blob, nil
+	return readAll(rc, size, fmt.Sprintf("user data for %q", name))
 }
 
 // RemovePackage deletes a stored package record and releases its blob.
