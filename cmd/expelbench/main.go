@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	expelbench [-exp all|table2,fig3a,fig3b,fig3c,fig4a,fig4b,fig5a,fig5b,abl1,abl2,abl3,abl4,conc,persist,cachehit,storm,sync,stream] [-ide-builds 40] [-clients 8] [-backend memory|disk] [-store-root DIR] [-cache BYTES] [-wal-compact BYTES] [-warm-iters 3] [-storm-publishes 120] [-storm-bursts 3] [-storm-burst-clients 32] [-sync-deltas 5] [-stream-bulk MIB]
+//	expelbench [-exp all|table2,fig3a,fig3b,fig3c,fig4a,fig4b,fig5a,fig5b,abl1,abl2,abl3,abl4,conc,persist,cachehit,storm,sync,stream,remote] [-ide-builds 40] [-clients 8] [-backend memory|disk] [-store-root DIR] [-cache BYTES] [-wal-compact BYTES] [-warm-iters 3] [-storm-publishes 120] [-storm-bursts 3] [-storm-burst-clients 32] [-sync-deltas 5] [-stream-bulk MIB] [-remote-clients 16] [-remote-bulk MIB]
 //
 // Every experiment runs against the blob backend named by -backend: the
 // in-memory sharded store (the default) or the durable on-disk segment
@@ -30,7 +30,13 @@
 // retrieval paths and errors unless streamed memory stays flat under a
 // constant ceiling, the materializing path allocates at least 5x more at
 // the largest scale, and both paths produce byte-identical images; it
-// pins the cache off for itself.
+// pins the cache off for itself. The remote experiment serves each scale
+// over a real loopback HTTP server (cmd/expelserverd's handler) and
+// drives -remote-clients concurrent network retrievals of images whose
+// bulk grows 100x (up to -remote-bulk MiB), erroring unless every remote
+// stream is byte-identical to an in-process retrieval and total
+// allocation stays under a flat per-client ceiling; like stream, it pins
+// the cache off.
 package main
 
 import (
@@ -57,11 +63,13 @@ func main() {
 	walCompact := flag.Int64("wal-compact", 0, "metadata-WAL compaction threshold bytes for disk-backed repositories (0 keeps the default)")
 	syncDeltas := flag.Int("sync-deltas", 5, "single-image publish+Sync rounds in the sync experiment")
 	streamBulk := flag.Int64("stream-bulk", 200, "largest bulk payload in MiB for the stream experiment (scales 1x/10x/100x up to this)")
+	remoteClients := flag.Int("remote-clients", 16, "concurrent network clients in the remote experiment")
+	remoteBulk := flag.Int64("remote-bulk", 64, "largest bulk payload in MiB for the remote experiment (scales 1x/10x/100x up to this)")
 	flag.Parse()
 
 	selected := map[string]bool{}
 	if *exps == "all" {
-		for _, e := range []string{"table2", "fig3a", "fig3b", "fig3c", "fig4a", "fig4b", "fig5a", "fig5b", "abl1", "abl2", "abl3", "abl4", "conc", "persist", "cachehit", "storm", "sync", "stream"} {
+		for _, e := range []string{"table2", "fig3a", "fig3b", "fig3c", "fig4a", "fig4b", "fig5a", "fig5b", "abl1", "abl2", "abl3", "abl4", "conc", "persist", "cachehit", "storm", "sync", "stream", "remote"} {
 			selected[e] = true
 		}
 	} else {
@@ -116,6 +124,7 @@ func main() {
 	})
 	run("sync", func() (fmt.Stringer, error) { return r.SyncDelta(*syncDeltas) })
 	run("stream", func() (fmt.Stringer, error) { return r.StreamFlatRSS(*streamBulk << 20) })
+	run("remote", func() (fmt.Stringer, error) { return r.RemoteFlatRSS(*remoteBulk<<20, *remoteClients) })
 
 	// Closing disk-backed systems is where a sticky store failure (e.g. a
 	// full filesystem mid-run) surfaces; results printed above would

@@ -3,9 +3,17 @@
 // retrieves or assembles VMIs and reports repository statistics — the
 // Fig. 2 workflow end to end.
 //
+// The repository is in-process by default. With -server ADDR every
+// operation instead runs against a live expelserverd: images are built
+// locally, streamed up as wire envelopes, and retrievals stream back as
+// verified byte streams. Repository-side options (-no-dedup,
+// -no-base-selection, -load) belong to whoever owns the repository and
+// are rejected in remote mode.
+//
 // Usage:
 //
 //	expelctl -publish Mini,Redis,Base [-retrieve Redis] [-assemble combo=redis-server+apache2] [-v]
+//	expelctl -server 127.0.0.1:9747 -publish Redis -retrieve Redis
 package main
 
 import (
@@ -28,8 +36,26 @@ func main() {
 	saveFile := flag.String("save", "", "write the repository snapshot to this file when done")
 	loadFile := flag.String("load", "", "restore the repository from this snapshot file first")
 	dotFile := flag.String("dot", "", "write the master graph(s) in Graphviz DOT format to this file")
+	serverAddr := flag.String("server", "", "run against a live expelserverd at this address instead of in-process")
 	verbose := flag.Bool("v", false, "verbose per-operation phase breakdowns")
 	flag.Parse()
+
+	if *serverAddr != "" {
+		runRemote(remoteArgs{
+			addr:     *serverAddr,
+			publish:  *publish,
+			retrieve: *retrieve,
+			assemble: *assemble,
+			remove:   *remove,
+			saveFile: *saveFile,
+			loadFile: *loadFile,
+			dotFile:   *dotFile,
+			noDedup:   *noDedup,
+			noBaseSel: *noBaseSel,
+			verbose:   *verbose,
+		})
+		return
+	}
 
 	if *publish == "" && *loadFile == "" {
 		fmt.Fprintln(os.Stderr, "expelctl: -publish is required; templates:")

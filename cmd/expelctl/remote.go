@@ -1,0 +1,156 @@
+package main
+
+// Remote mode: every subcommand runs against a live expelserverd through
+// the thin HTTP client. Images are still built locally — the synthetic
+// catalog is deterministic, so the client and server agree on content —
+// and publishes stream up as wire envelopes while retrievals stream back
+// with end-to-end verification.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"expelliarmus"
+	"expelliarmus/internal/catalog"
+	"expelliarmus/internal/client"
+	"expelliarmus/internal/wire"
+)
+
+type remoteArgs struct {
+	addr      string
+	publish   string
+	retrieve  string
+	assemble  string
+	remove    string
+	saveFile  string
+	loadFile  string
+	dotFile   string
+	noDedup   bool
+	noBaseSel bool
+	verbose   bool
+}
+
+func runRemote(a remoteArgs) {
+	// Repository-side configuration belongs to the server's operator; a
+	// client silently publishing into a differently-configured repository
+	// than it asked for would be worse than an error.
+	switch {
+	case a.loadFile != "":
+		fail(fmt.Errorf("-load restores an in-process repository; it cannot be used with -server (start expelserverd with -store instead)"))
+	case a.noDedup:
+		fail(fmt.Errorf("-no-dedup configures the repository; set it where expelserverd runs, not with -server"))
+	case a.noBaseSel:
+		fail(fmt.Errorf("-no-base-selection configures the repository; set it where expelserverd runs, not with -server"))
+	}
+
+	ctx := context.Background()
+	cl := client.New(a.addr, client.Options{Timeout: 10 * time.Minute, Retries: 2})
+	defer cl.Close()
+	sys := expelliarmus.New() // local builder only; nothing is published in-process
+
+	var names []string
+	switch {
+	case a.publish == "all":
+		names = expelliarmus.Templates()
+	case a.publish != "":
+		names = strings.Split(a.publish, ",")
+	}
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		img, err := sys.BuildImage(name)
+		if err != nil {
+			fail(err)
+		}
+		st, err := img.Stats()
+		if err != nil {
+			fail(err)
+		}
+		pub, err := cl.Publish(ctx, img.EncodeWire)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("published %-14s mounted %.3f GB, %6d files, SimG %.2f, %5.1fs, exported %d pkgs (skipped %d)\n",
+			name, st.MountedGB, st.Files, pub.Similarity, pub.Seconds, len(pub.Exported), pub.Skipped)
+		if a.verbose {
+			printPhases(pub.Phases)
+		}
+	}
+
+	printRemoteStats(ctx, cl, "repository")
+
+	if a.retrieve != "" {
+		n, ret, err := cl.Retrieve(ctx, a.retrieve, io.Discard)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("retrieved %s in %.1fs (%d packages imported, %d image bytes verified)\n",
+			a.retrieve, ret.Seconds, len(ret.Imported), n)
+		if a.verbose {
+			printPhases(ret.Phases)
+		}
+	}
+
+	if a.remove != "" {
+		if err := cl.Remove(ctx, a.remove); err != nil {
+			fail(err)
+		}
+		fmt.Printf("removed %s\n", a.remove)
+		printRemoteStats(ctx, cl, "repository now")
+	}
+
+	if a.assemble != "" {
+		name, spec, ok := strings.Cut(a.assemble, "=")
+		if !ok {
+			fail(fmt.Errorf("bad -assemble %q, want name=pkg1+pkg2", a.assemble))
+		}
+		primaries := strings.Split(spec, "+")
+		n, ret, err := cl.Assemble(ctx, wire.AssembleRequest{Name: name, Primaries: primaries}, io.Discard)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("assembled %s with %v in %.1fs (%d packages imported, %d image bytes verified)\n",
+			name, primaries, ret.Seconds, len(ret.Imported), n)
+		if a.verbose {
+			printPhases(ret.Phases)
+		}
+	}
+
+	if a.dotFile != "" {
+		dot, err := cl.GraphDOT(ctx)
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(a.dotFile, []byte(dot), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("master graphs written to %s\n", a.dotFile)
+	}
+
+	if a.saveFile != "" {
+		f, err := os.Create(a.saveFile)
+		if err != nil {
+			fail(err)
+		}
+		if _, err := cl.Snapshot(ctx, f); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("repository snapshot written to %s\n", a.saveFile)
+	}
+}
+
+func printRemoteStats(ctx context.Context, cl *client.Client, label string) {
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("%s: %d VMIs, %d base image(s), %d packages, %.2f GB\n",
+		label, st.VMIs, st.Bases, st.Packages, float64(catalog.Paper(st.TotalBytes))/1e9)
+}

@@ -1,0 +1,111 @@
+// Command expelserverd serves one Expelliarmus repository over HTTP: the
+// network face of the Fig. 2 workflow. Clients publish image envelopes,
+// retrieve and assemble VMIs as verified byte streams, remove images,
+// and read stats — all against one shared repository, memory-backed by
+// default or durable on disk with -store.
+//
+// Usage:
+//
+//	expelserverd [-addr 127.0.0.1:9747] [-store DIR] [-cache BYTES]
+//	             [-parallelism N] [-wal-compact BYTES]
+//	             [-tls-cert FILE -tls-key FILE]
+//
+// With -store the repository lives in append-only segment files plus a
+// metadata WAL under DIR and survives restarts; shutdown (SIGINT or
+// SIGTERM) drains in-flight requests, then syncs and closes the store.
+// With -tls-cert/-tls-key the server speaks HTTPS (and HTTP/2, which the
+// standard library enables over TLS automatically).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"expelliarmus/internal/catalog"
+	"expelliarmus/internal/core"
+	"expelliarmus/internal/server"
+	"expelliarmus/internal/simio"
+	"expelliarmus/internal/vmirepo"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9747", "listen address")
+	store := flag.String("store", "", "repository directory for the durable disk backend (empty: in-memory)")
+	cache := flag.Int64("cache", 0, "retrieval-cache bytes (0 disables)")
+	parallelism := flag.Int("parallelism", 0, "worker-goroutine bound per operation (<=1 sequential)")
+	walCompact := flag.Int64("wal-compact", 0, "metadata-WAL compaction threshold bytes (0 keeps the default)")
+	tlsCert := flag.String("tls-cert", "", "TLS certificate file (with -tls-key enables HTTPS)")
+	tlsKey := flag.String("tls-key", "", "TLS private key file")
+	flag.Parse()
+
+	if (*tlsCert == "") != (*tlsKey == "") {
+		fail(fmt.Errorf("-tls-cert and -tls-key must be given together"))
+	}
+
+	dev := simio.NewDevice(simio.PaperProfile().Scaled(catalog.ByteScale, catalog.FileScale))
+	opts := core.Options{Parallelism: *parallelism, CacheBytes: *cache}
+	var sys *core.System
+	if *store == "" {
+		sys = core.NewSystem(dev, opts)
+		log.Printf("expelserverd: in-memory repository")
+	} else {
+		repo, err := vmirepo.OpenAtOpts(*store, dev, vmirepo.OpenOptions{WALCompactBytes: *walCompact})
+		if err != nil {
+			fail(err)
+		}
+		sys = core.NewSystemWithRepo(repo, dev, opts)
+		log.Printf("expelserverd: disk repository at %s", *store)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail(err)
+	}
+	srv := &http.Server{Handler: server.New(sys)}
+	serveErr := make(chan error, 1)
+	go func() {
+		if *tlsCert != "" {
+			serveErr <- srv.ServeTLS(ln, *tlsCert, *tlsKey)
+		} else {
+			serveErr <- srv.Serve(ln)
+		}
+	}()
+	log.Printf("expelserverd: serving on %s", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case err := <-serveErr:
+		fail(err)
+	}
+
+	log.Printf("expelserverd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("expelserverd: shutdown: %v", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("expelserverd: serve: %v", err)
+	}
+	// Close is where a disk store's sticky failure surfaces; exit nonzero
+	// so an operator (or CI) cannot miss it.
+	if err := sys.Close(); err != nil {
+		fail(fmt.Errorf("closing repository: %w", err))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "expelserverd: %v\n", err)
+	os.Exit(1)
+}

@@ -35,6 +35,7 @@ import (
 	"expelliarmus/internal/stores"
 	"expelliarmus/internal/vmi"
 	"expelliarmus/internal/vmirepo"
+	"expelliarmus/internal/wire"
 )
 
 // Options configure a System.
@@ -304,6 +305,14 @@ func parentDir(p string) string {
 		}
 	}
 	return "/"
+}
+
+// EncodeWire writes the image in the Expelliarmus wire envelope — the
+// upload format of the network repository server (cmd/expelserverd).
+// The disk section streams straight from the virtual disk, so encoding
+// never materializes the image in memory.
+func (im *Image) EncodeWire(w io.Writer) error {
+	return wire.WriteImage(w, im.inner)
 }
 
 // Templates lists the names of the paper's 19 evaluation images in the

@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"expelliarmus/internal/client"
+	"expelliarmus/internal/core"
+	"expelliarmus/internal/server"
+	"expelliarmus/internal/wire"
+)
+
+// RemoteCeilingBytes is the flat-memory gate of the remote experiment,
+// per concurrent client: one remote retrieval may cost the process at
+// most this much allocation — the streamed assembly working set (see
+// StreamCeilingBytes) plus HTTP chunking and the client's verifying
+// copy — no matter how large the image is. Total allocation under N
+// concurrent clients is gated at N times this, at every scale, which is
+// what makes the server's memory ceiling flat while the payload grows.
+const RemoteCeilingBytes = StreamCeilingBytes + 8<<20
+
+// RemoteScale is one row of the remote experiment: one image bulk, N
+// concurrent remote retrievals.
+type RemoteScale struct {
+	BulkBytes  int64
+	ImageBytes int64
+	// TotalAlloc is the process-wide allocation of all Clients concurrent
+	// remote retrievals together (server and client sides; both run in
+	// this process over a real TCP loopback); PerClient is TotalAlloc
+	// divided by the client count.
+	TotalAlloc int64
+	PerClient  int64
+	Wall       time.Duration
+}
+
+// RemoteResult reports the remote experiment across all scales.
+type RemoteResult struct {
+	Backend string
+	Clients int
+	Scales  []RemoteScale
+}
+
+// String renders the experiment as a table.
+func (r *RemoteResult) String() string {
+	backend := r.Backend
+	if backend == "" {
+		backend = "memory"
+	}
+	tbl := &Table{
+		Title: fmt.Sprintf("Remote retrieval memory: %d concurrent clients vs image bulk (%s backend, per-client ceiling %d MiB)",
+			r.Clients, backend, int64(RemoteCeilingBytes)>>20),
+		Columns: []string{"bulk[MiB]", "image[MiB]", "total-alloc[MiB]", "per-client[MiB]", "wall[s]"},
+	}
+	for _, s := range r.Scales {
+		tbl.AddRow(
+			fmt.Sprintf("%.1f", float64(s.BulkBytes)/(1<<20)),
+			fmt.Sprintf("%.1f", float64(s.ImageBytes)/(1<<20)),
+			fmt.Sprintf("%.2f", float64(s.TotalAlloc)/(1<<20)),
+			fmt.Sprintf("%.2f", float64(s.PerClient)/(1<<20)),
+			fmt.Sprintf("%.3f", s.Wall.Seconds()))
+	}
+	return tbl.String()
+}
+
+// RemoteFlatRSS runs the remote experiment: the network half of the
+// streaming story. Per scale (bulk growing 10x, then 10x again, so the
+// largest image is 100x the smallest), a fresh system is served by a
+// real HTTP server on a loopback listener; the bulk image is published
+// THROUGH the wire (exercising the streaming upload and PutBaseReader
+// path), then `clients` concurrent remote retrievals stream it back
+// simultaneously. Three gates:
+//
+//  1. every remote stream is byte-identical (SHA-256) to an in-process
+//     RetrieveTo of the same VMI — network delivery never trades
+//     fidelity;
+//  2. total allocation across all concurrent retrievals stays under
+//     clients x RemoteCeilingBytes at every scale — the server's memory
+//     ceiling is flat while the payload grows 100x;
+//  3. every stream's length matches the in-process byte count.
+//
+// Fresh system per scale for the same reason as StreamFlatRSS: semantic
+// base dedup would otherwise collapse the scales onto one blob. The
+// retrieval cache is pinned off; a warm cache would serve the very
+// traffic whose assembly-under-concurrency cost is being measured.
+func (r *Runner) RemoteFlatRSS(topBulk int64, clients int) (*RemoteResult, error) {
+	if topBulk <= 0 {
+		topBulk = 64 << 20
+	}
+	if clients <= 0 {
+		clients = 16
+	}
+	res := &RemoteResult{Backend: r.Backend, Clients: clients}
+	ctx := context.Background()
+	for _, bulk := range []int64{topBulk / 100, topBulk / 10, topBulk} {
+		sys, err := r.NewCoreSystem(core.Options{CacheBytes: -1})
+		if err != nil {
+			return nil, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		srv := &http.Server{Handler: server.New(sys)}
+		go srv.Serve(ln)
+		cl := client.New(ln.Addr().String(), client.Options{Timeout: 10 * time.Minute, Retries: 1})
+
+		name := fmt.Sprintf("remote-bulk-%dM", bulk>>20)
+		sc, err := r.remoteScale(ctx, sys, cl, name, bulk, clients)
+		cl.Close()
+		srv.Close()
+		if err != nil {
+			return nil, err
+		}
+		res.Scales = append(res.Scales, *sc)
+	}
+	return res, nil
+}
+
+func (r *Runner) remoteScale(ctx context.Context, sys *core.System, cl *client.Client, name string, bulk int64, clients int) (*RemoteScale, error) {
+	img, err := buildBulkImage(name, bulk)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := cl.Publish(ctx, func(w io.Writer) error { return wire.WriteImage(w, img) }); err != nil {
+		return nil, fmt.Errorf("bench: remote publish %s: %w", name, err)
+	}
+
+	// In-process reference stream: the fidelity yardstick.
+	ref := &shaCountWriter{h: sha256.New()}
+	if _, _, err := sys.RetrieveTo(ref, name); err != nil {
+		return nil, fmt.Errorf("bench: reference retrieve %s: %w", name, err)
+	}
+	refSum := fmt.Sprintf("%x", ref.h.Sum(nil))
+
+	// Warm-up: one remote retrieval populates connection pools, chunk
+	// pools and every code path, so the measured burst sees steady state.
+	if _, _, err := cl.Retrieve(ctx, name, io.Discard); err != nil {
+		return nil, fmt.Errorf("bench: remote warmup %s: %w", name, err)
+	}
+
+	sc := &RemoteScale{BulkBytes: bulk, ImageBytes: ref.n}
+	start := time.Now()
+	sc.TotalAlloc, err = measureAlloc(func() error {
+		var wg sync.WaitGroup
+		errs := make([]error, clients)
+		for i := 0; i < clients; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				sink := &shaCountWriter{h: sha256.New()}
+				n, _, err := cl.Retrieve(ctx, name, sink)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				if n != ref.n || fmt.Sprintf("%x", sink.h.Sum(nil)) != refSum {
+					errs[i] = fmt.Errorf("client %d: remote stream differs from in-process retrieval (%d vs %d bytes)", i, n, ref.n)
+				}
+			}(i)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	sc.Wall = time.Since(start)
+	if err != nil {
+		return nil, fmt.Errorf("bench: remote retrieve %s: %w", name, err)
+	}
+	sc.PerClient = sc.TotalAlloc / int64(clients)
+	if ceiling := int64(clients) * RemoteCeilingBytes; sc.TotalAlloc > ceiling {
+		return nil, fmt.Errorf("bench: remote %s: %d concurrent retrievals allocated %d bytes, ceiling %d",
+			name, clients, sc.TotalAlloc, ceiling)
+	}
+	return sc, nil
+}

@@ -1,0 +1,39 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestRemoteExperiment runs the remote experiment on the configured
+// backend at a 16 MiB top scale with 8 concurrent network clients. The
+// experiment self-enforces byte identity against in-process retrieval
+// and the flat per-client allocation ceiling; flatness is additionally
+// asserted across the scales, like the stream experiment — if total
+// allocation under the same client count grows with image bulk, the
+// serving path has started materializing somewhere between the assembly
+// and the socket.
+func TestRemoteExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("remote experiment skipped in -short mode")
+	}
+	r := NewRunner()
+	res, err := r.RemoteFlatRSS(16<<20, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := r.CloseAll(); err != nil {
+			t.Errorf("CloseAll: %v", err)
+		}
+	}()
+	if len(res.Scales) != 3 {
+		t.Fatalf("got %d scales, want 3\n%s", len(res.Scales), res)
+	}
+	first, last := res.Scales[0], res.Scales[len(res.Scales)-1]
+	if last.TotalAlloc > 4*first.TotalAlloc {
+		t.Fatalf("remote allocation grew %.1fx across 100x bulk growth (%d -> %d bytes)\n%s",
+			float64(last.TotalAlloc)/float64(first.TotalAlloc),
+			first.TotalAlloc, last.TotalAlloc, res)
+	}
+	t.Logf("\n%s", res)
+}

@@ -1,6 +1,22 @@
 package blobstore
 
-import "io"
+import (
+	"errors"
+	"io"
+)
+
+// ErrNotFound reports that no live blob with the requested ID exists.
+// Open returns it (wrapped) for absent blobs, so callers can tell a
+// missing blob from one whose stored bytes can no longer be served.
+var ErrNotFound = errors.New("blob not found")
+
+// ErrCorrupt reports that a blob exists in the catalog but its stored
+// bytes cannot be served faithfully — on-disk damage, not absence.
+// Backends wrap it in the errors they return for such blobs; callers
+// must never treat it as not-found (the data is there, but broken, and
+// reporting it absent would silently turn durable data into missing
+// data).
+var ErrCorrupt = errors.New("blob corrupt")
 
 // Backend is the storage contract behind the repository's content-addressed
 // blob layer. Two implementations exist: the in-memory sharded Store in
@@ -38,12 +54,16 @@ type Backend interface {
 	// zero-copy view of its immutable stored bytes, and the disk backend
 	// serves straight from the segment offset (spot-verifying the record
 	// header on open, and verifying the full record checksum incrementally
-	// as a sequential read crosses it). An open reader stays readable
-	// after the blob is released — content-addressed bytes are immutable
-	// and append-only — but is valid only until the backend is closed.
-	// Close never fails and releases no shared resources; it exists so
-	// callers can treat blobs uniformly with file-backed streams.
-	Open(id ID) (io.ReadCloser, int64, bool)
+	// as a sequential read crosses it). An absent blob reports an error
+	// wrapping ErrNotFound; a blob the backend can no longer serve
+	// faithfully (e.g. an on-disk record whose header no longer matches
+	// the catalog) reports an error wrapping ErrCorrupt — the two must
+	// never be conflated. An open reader stays readable after the blob is
+	// released — content-addressed bytes are immutable and append-only —
+	// but is valid only until the backend is closed. Close never fails and
+	// releases no shared resources; it exists so callers can treat blobs
+	// uniformly with file-backed streams.
+	Open(id ID) (io.ReadCloser, int64, error)
 	// Size returns the length of the blob without copying it.
 	Size(id ID) (int64, bool)
 	// Has reports whether the blob exists.

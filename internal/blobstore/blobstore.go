@@ -133,8 +133,8 @@ func (s *Store) PutReader(r io.Reader) (ID, int64, bool, error) {
 // and may mutate it without affecting the store. Get is a thin adapter
 // over Open.
 func (s *Store) Get(id ID) ([]byte, bool) {
-	rc, size, ok := s.Open(id)
-	if !ok {
+	rc, size, err := s.Open(id)
+	if err != nil {
 		return nil, false
 	}
 	defer rc.Close()
@@ -153,16 +153,18 @@ type memReader struct{ *bytes.Reader }
 func (memReader) Close() error { return nil }
 
 // Open returns a zero-copy reader over the blob's immutable stored bytes
-// and its size. The reader also implements io.ReaderAt.
-func (s *Store) Open(id ID) (io.ReadCloser, int64, bool) {
+// and its size. The reader also implements io.ReaderAt. An absent blob
+// reports ErrNotFound; the in-memory store has no corruption failure mode
+// (its bytes are private and immutable), so that is its only error.
+func (s *Store) Open(id ID) (io.ReadCloser, int64, error) {
 	sh := s.shardFor(id)
 	sh.mu.RLock()
 	e, ok := sh.blobs[id]
 	sh.mu.RUnlock()
 	if !ok {
-		return nil, 0, false
+		return nil, 0, fmt.Errorf("blobstore: open %s: %w", id, ErrNotFound)
 	}
-	return memReader{bytes.NewReader(e.data)}, int64(len(e.data)), true
+	return memReader{bytes.NewReader(e.data)}, int64(len(e.data)), nil
 }
 
 // Size returns the length of the blob without copying it.

@@ -8,6 +8,7 @@ package blobstoretest
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -150,6 +151,16 @@ func testMissing(t *testing.T, b blobstore.Backend) {
 	id := blobstore.Sum([]byte("never stored"))
 	if _, ok := b.Get(id); ok {
 		t.Fatalf("Get(missing) = ok")
+	}
+	// Open must report absence specifically — never nil, and never the
+	// corruption error, which callers treat as an integrity incident.
+	if rc, _, err := b.Open(id); err == nil {
+		rc.Close()
+		t.Fatalf("Open(missing) did not error")
+	} else if !errors.Is(err, blobstore.ErrNotFound) {
+		t.Fatalf("Open(missing) = %v, want ErrNotFound", err)
+	} else if errors.Is(err, blobstore.ErrCorrupt) {
+		t.Fatalf("Open(missing) reports corruption: %v", err)
 	}
 	if _, ok := b.Size(id); ok {
 		t.Fatalf("Size(missing) = ok")

@@ -70,9 +70,9 @@ func testStreamRoundTrip(t *testing.T, b blobstore.Backend) {
 	if !stored || n != int64(len(data)) || id != blobstore.Sum(data) {
 		t.Fatalf("PutReader = (%s, %d, %v), want fresh store of %d bytes", id, n, stored, len(data))
 	}
-	rc, size, ok := b.Open(id)
-	if !ok || size != int64(len(data)) {
-		t.Fatalf("Open = %v, size %d; want true, %d", ok, size, len(data))
+	rc, size, err := b.Open(id)
+	if err != nil || size != int64(len(data)) {
+		t.Fatalf("Open = %v, size %d; want nil, %d", err, size, len(data))
 	}
 	defer rc.Close()
 	got, err := io.ReadAll(rc)
@@ -144,9 +144,9 @@ func testStreamLargeSpill(t *testing.T, b blobstore.Backend) {
 	if err != nil || !stored || n != int64(len(data)) {
 		t.Fatalf("PutReader(3MiB) = (%d, %v, %v)", n, stored, err)
 	}
-	rc, size, ok := b.Open(id)
-	if !ok || size != int64(len(data)) {
-		t.Fatalf("Open(3MiB) = %v, %d", ok, size)
+	rc, size, err := b.Open(id)
+	if err != nil || size != int64(len(data)) {
+		t.Fatalf("Open(3MiB) = %v, %d", err, size)
 	}
 	defer rc.Close()
 	got, err := io.ReadAll(rc)
@@ -162,9 +162,9 @@ func testStreamEarlyClose(t *testing.T, b blobstore.Backend) {
 	data := patternBlob(256 * 1024)
 	id, _ := b.Put(data)
 	for i := 0; i < 500; i++ {
-		rc, _, ok := b.Open(id)
-		if !ok {
-			t.Fatalf("Open failed on iteration %d", i)
+		rc, _, err := b.Open(id)
+		if err != nil {
+			t.Fatalf("Open failed on iteration %d: %v", i, err)
 		}
 		buf := make([]byte, 777)
 		if _, err := io.ReadFull(rc, buf); err != nil {
@@ -189,9 +189,9 @@ func testStreamEarlyClose(t *testing.T, b blobstore.Backend) {
 func testStreamReadAfterRelease(t *testing.T, b blobstore.Backend) {
 	data := patternBlob(64 * 1024)
 	id, _ := b.Put(data)
-	rc, _, ok := b.Open(id)
-	if !ok {
-		t.Fatalf("Open failed")
+	rc, _, err := b.Open(id)
+	if err != nil {
+		t.Fatalf("Open failed: %v", err)
 	}
 	defer rc.Close()
 	if err := b.Release(id); err != nil {
@@ -215,9 +215,9 @@ func testStreamConcurrent(t *testing.T, b blobstore.Backend) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			rc, size, ok := b.Open(id)
-			if !ok {
-				t.Errorf("reader %d: Open failed", w)
+			rc, size, err := b.Open(id)
+			if err != nil {
+				t.Errorf("reader %d: Open failed: %v", w, err)
 				return
 			}
 			defer rc.Close()

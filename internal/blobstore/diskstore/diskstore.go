@@ -417,11 +417,19 @@ func (s *Store) apply(kind byte, payload []byte, seg uint32, recOff int64) error
 }
 
 // fail records the first I/O error; the store refuses further mutations
-// and surfaces the error from Sync and Close.
+// and surfaces the error from Sync and Close. Caller holds mu exclusively.
 func (s *Store) fail(err error) {
 	if s.failure == nil {
 		s.failure = err
 	}
+}
+
+// failSticky is fail for paths that do not already hold the exclusive
+// lock (the read paths, which detect on-disk damage).
+func (s *Store) failSticky(err error) {
+	s.mu.Lock()
+	s.fail(err)
+	s.mu.Unlock()
 }
 
 // prepareAppendLocked rolls the active segment when the next record would
@@ -538,8 +546,8 @@ func (s *Store) readLocked(e *entry) ([]byte, error) {
 // damage after the fact) is reported as absent rather than returned. Get
 // is a thin adapter over Open; the caller owns the returned slice.
 func (s *Store) Get(id blobstore.ID) ([]byte, bool) {
-	rc, size, ok := s.Open(id)
-	if !ok {
+	rc, size, err := s.Open(id)
+	if err != nil {
 		return nil, false
 	}
 	defer rc.Close()

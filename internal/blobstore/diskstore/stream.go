@@ -144,6 +144,14 @@ func (s *Store) removeStraySpools() {
 // log in chunked writes. If r fails mid-stream the store is unchanged. A
 // store already in sticky failure refuses the put and returns the failure.
 func (s *Store) PutReader(r io.Reader) (blobstore.ID, int64, bool, error) {
+	// Fast-fail before consuming the source: a store in sticky failure
+	// refuses the put anyway, so spooling a potentially multi-gigabyte
+	// stream (and burning a temp file) first would be pure waste. The
+	// failure is re-checked under the lock below — it can trip between
+	// here and there.
+	if err := s.Err(); err != nil {
+		return blobstore.ID{}, 0, false, err
+	}
 	sp := newSpool(s.dir)
 	defer sp.discard()
 	if err := sp.fill(r); err != nil {
@@ -268,10 +276,13 @@ func (r *segReader) Close() error { return nil }
 // from its segment offset. The record header is spot-verified here (kind
 // and length must match the catalog; the stored CRC seeds the sequential
 // verification in segReader), but the payload itself is not read — opening
-// a gigabyte blob costs one 9-byte pread. The reader stays readable after
-// the blob is released (segments are append-only) and until the store is
-// closed. It also implements io.ReaderAt.
-func (s *Store) Open(id blobstore.ID) (io.ReadCloser, int64, bool) {
+// a gigabyte blob costs one 9-byte pread. A header that cannot be read or
+// no longer matches the catalog is real on-disk damage, reported as a
+// corruption error (never as not-found) and tripping the store's sticky
+// failure, matching Get's refusal to serve damaged bytes. The reader stays
+// readable after the blob is released (segments are append-only) and until
+// the store is closed. It also implements io.ReaderAt.
+func (s *Store) Open(id blobstore.ID) (io.ReadCloser, int64, error) {
 	s.mu.RLock()
 	e, ok := s.blobs[id]
 	var f *os.File
@@ -280,14 +291,19 @@ func (s *Store) Open(id blobstore.ID) (io.ReadCloser, int64, bool) {
 	}
 	s.mu.RUnlock()
 	if !ok {
-		return nil, 0, false
+		return nil, 0, fmt.Errorf("diskstore: open %s: %w", id, blobstore.ErrNotFound)
 	}
 	var hdr [recHeaderSize]byte
 	if _, err := f.ReadAt(hdr[:], e.off-int64(recHeaderSize)); err != nil {
-		return nil, 0, false
+		cerr := fmt.Errorf("diskstore: segment %d: blob %s header unreadable (%v): %w", e.seg, id, err, blobstore.ErrCorrupt)
+		s.failSticky(cerr)
+		return nil, 0, cerr
 	}
 	if hdr[8] != recPut || int64(binary.LittleEndian.Uint32(hdr[4:8])) != e.size {
-		return nil, 0, false
+		cerr := fmt.Errorf("diskstore: segment %d: blob %s header mismatches catalog (kind %d, length %d, want %d): %w",
+			e.seg, id, hdr[8], binary.LittleEndian.Uint32(hdr[4:8]), e.size, blobstore.ErrCorrupt)
+		s.failSticky(cerr)
+		return nil, 0, cerr
 	}
 	r := &segReader{
 		sr:   io.NewSectionReader(f, e.off, e.size),
@@ -296,5 +312,5 @@ func (s *Store) Open(id blobstore.ID) (io.ReadCloser, int64, bool) {
 		crc:  crc32.Checksum([]byte{recPut}, crcTable),
 		want: binary.LittleEndian.Uint32(hdr[0:4]),
 	}
-	return r, e.size, true
+	return r, e.size, nil
 }

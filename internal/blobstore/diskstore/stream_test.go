@@ -8,10 +8,13 @@ package diskstore_test
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"os"
 	"testing"
 
+	"expelliarmus/internal/blobstore"
+	"expelliarmus/internal/blobstore/blobstoretest"
 	"expelliarmus/internal/blobstore/diskstore"
 )
 
@@ -38,18 +41,70 @@ func TestTornTailRefusesStreamedRead(t *testing.T) {
 	if !r.Recovery().Torn() {
 		t.Fatalf("tear not reported: %+v", r.Recovery())
 	}
-	if rc, _, ok := r.Open(tornID); ok {
+	if rc, _, err := r.Open(tornID); err == nil {
 		rc.Close()
 		t.Fatalf("Open succeeded on a torn record")
+	} else if !errors.Is(err, blobstore.ErrNotFound) {
+		// The torn tail was truncated away at recovery, so the blob is
+		// absent, not corrupt — the store already healed around it.
+		t.Fatalf("Open(torn) = %v, want ErrNotFound", err)
 	}
-	rc, size, ok := r.Open(intactID)
-	if !ok || size != int64(len(intact)) {
-		t.Fatalf("Open(intact) = %v, %d; want true, %d", ok, size, len(intact))
+	rc, size, err := r.Open(intactID)
+	if err != nil || size != int64(len(intact)) {
+		t.Fatalf("Open(intact) = %v, %d; want nil, %d", err, size, len(intact))
 	}
 	defer rc.Close()
 	got, err := io.ReadAll(rc)
 	if err != nil || !bytes.Equal(got, intact) {
 		t.Fatalf("streamed read of pre-tear blob differs (err=%v)", err)
+	}
+}
+
+// TestOpenCorruptHeaderIsNotAbsence damages a stored record's header in
+// place on the live store and runs the shared corruption contract: Open
+// must say "corrupt", never "not found" — conflating the two turned
+// integrity incidents into silent 404s. The damage must also trip the
+// store's sticky failure so later mutations refuse rather than append
+// after known rot.
+func TestOpenCorruptHeaderIsNotAbsence(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, diskstore.Options{})
+	blobstoretest.RunOpenCorrupt(t, s, func(t *testing.T, id blobstore.ID, data []byte) {
+		if _, err := s.Sync(); err != nil {
+			t.Fatalf("Sync: %v", err)
+		}
+		// Locate the record by its payload and break the kind byte, which
+		// sits immediately before the payload in the record framing. The
+		// write goes to the same inode the store holds open, so its
+		// positional reads observe the damage.
+		seg := lastSegment(t, dir)
+		raw, err := os.ReadFile(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pos := bytes.Index(raw, data[:64])
+		if pos <= 0 {
+			t.Fatal("payload not found in segment")
+		}
+		f, err := os.OpenFile(seg, os.O_WRONLY, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if _, err := f.WriteAt([]byte{0xFF}, int64(pos-1)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if err := s.Err(); err == nil {
+		t.Fatalf("corrupt Open did not trip the sticky failure")
+	} else if !errors.Is(err, blobstore.ErrCorrupt) {
+		t.Fatalf("sticky failure = %v, want ErrCorrupt", err)
+	}
+	if _, _, _, err := s.PutReader(bytes.NewReader([]byte("after rot"))); err == nil {
+		t.Fatalf("PutReader accepted data after a detected corruption")
+	}
+	if err := s.Abandon(); err != nil {
+		t.Fatalf("Abandon: %v", err)
 	}
 }
 
@@ -89,9 +144,9 @@ func TestPostHocRotFailsStreamedCRC(t *testing.T) {
 	if r.Recovery().IndexRebuilt {
 		t.Fatalf("index unexpectedly rebuilt; rot would be caught at replay, not read")
 	}
-	rc, _, ok := r.Open(id)
-	if !ok {
-		t.Fatalf("Open refused a catalogued blob before any read")
+	rc, _, err := r.Open(id)
+	if err != nil {
+		t.Fatalf("Open refused a catalogued blob before any read: %v", err)
 	}
 	defer rc.Close()
 	if _, err := io.ReadAll(rc); err == nil {

@@ -392,9 +392,24 @@ func (s *System) publish(img *vmi.Image, workers int) (*PublishReport, error) {
 	var mg *master.Graph
 	if selected == baseID && !s.repo.HasBase(selected, rep.Meter) {
 		// Lines 15–17: store this base image and create its master graph.
-		serialized := img.Disk.Serialize()
-		rep.Meter.Charge(simio.PhaseScan, s.dev.ReadCost(int64(len(serialized))))
-		if err := s.repo.PutBase(baseID, img.Base, serialized, rep.Meter); err != nil {
+		// The serialization streams straight into the blob store through a
+		// pipe — the decomposed base is never materialized as one buffer,
+		// so publish memory stays bounded by the clusters the image already
+		// holds. SerializedBytes prices the read (and pins the expected
+		// stream length) without producing a byte.
+		size := img.Disk.SerializedBytes()
+		rep.Meter.Charge(simio.PhaseScan, s.dev.ReadCost(size))
+		pr, pw := io.Pipe()
+		go func() {
+			_, werr := img.Disk.WriteTo(pw)
+			pw.CloseWithError(werr)
+		}()
+		err := s.repo.PutBaseReader(baseID, img.Base, pr, size, rep.Meter)
+		// Closing the read side unblocks the writer goroutine on every
+		// early-return path (e.g. a store fast-failing before consuming
+		// the stream); after a complete consume it is a no-op.
+		pr.Close()
+		if err != nil {
 			return nil, err
 		}
 		mg = master.New(baseID, baseSub)

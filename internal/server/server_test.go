@@ -1,0 +1,436 @@
+package server_test
+
+// Client/server integration tests over a real TCP loopback listener —
+// httptest's in-process transport would skip exactly the failure modes
+// these pin: mid-request connection aborts, request deadlines, and the
+// chunked-framing truncation signal. All run under -race in CI.
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"expelliarmus/internal/blobstore"
+	"expelliarmus/internal/catalog"
+	"expelliarmus/internal/client"
+	"expelliarmus/internal/core"
+	"expelliarmus/internal/fstree"
+	"expelliarmus/internal/pkgmgr"
+	"expelliarmus/internal/server"
+	"expelliarmus/internal/simio"
+	"expelliarmus/internal/vdisk"
+	"expelliarmus/internal/vmi"
+	"expelliarmus/internal/vmirepo"
+	"expelliarmus/internal/wire"
+)
+
+func testDevice() *simio.Device {
+	return simio.NewDevice(simio.PaperProfile().Scaled(catalog.ByteScale, catalog.FileScale))
+}
+
+// startServer serves sys on a real loopback listener and returns its
+// address plus the http.Server for shutdown-path tests.
+func startServer(t *testing.T, sys *core.System) (string, *http.Server) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: server.New(sys)}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return ln.Addr().String(), srv
+}
+
+// buildTestImage installs the essential package closure onto a fresh
+// disk, optionally adds user data under /home and an opaque bulk payload
+// under /opt/bulk (outside package management and user-data roots, so it
+// rides in the base image and bloats the retrieval stream).
+func buildTestImage(t *testing.T, name string, userData bool, bulk int64) *vmi.Image {
+	t.Helper()
+	uni := catalog.NewUniverse()
+	names, err := pkgmgr.Closure(uni, uni.EssentialNames())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var contentReal int64
+	realFiles := 0
+	for _, n := range names {
+		spec, _ := uni.Spec(n)
+		contentReal += catalog.Real(spec.InstalledSize)
+		realFiles += catalog.RealFiles(spec.FileCount) + 1
+	}
+	const clusterSize = vdisk.DefaultClusterSize
+	maxInodes := uint32(realFiles+realFiles/4+128) + 512
+	virtualSize := contentReal*3 + bulk + bulk/8 + int64(maxInodes)*64*2 + 8<<20
+	virtualSize = (virtualSize + clusterSize - 1) / clusterSize * clusterSize
+
+	disk := vdisk.New(name, virtualSize, clusterSize)
+	fs, err := fstree.Format(disk, maxInodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := pkgmgr.New(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, err := pkgmgr.InstallOrder(uni, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, group := range order {
+		for _, n := range group {
+			spec, _ := uni.Spec(n)
+			files, err := uni.FilesFor(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := mgr.InstallPackage(spec.Package, files); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if userData {
+		if err := fs.MkdirAll("/home/user"); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.WriteFile("/home/user/notes.txt", []byte("remote user data")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if bulk > 0 {
+		if err := fs.MkdirAll("/opt/bulk"); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.WriteFile("/opt/bulk/payload.bin", catalog.GenContent(0x5EC1+uint64(bulk), int(bulk))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &vmi.Image{Name: name, Base: uni.Release().Base, Disk: disk}
+}
+
+type shaCounter struct {
+	h hash.Hash
+	n int64
+}
+
+func newShaCounter() *shaCounter { return &shaCounter{h: sha256.New()} }
+
+func (w *shaCounter) Write(p []byte) (int, error) {
+	w.h.Write(p)
+	w.n += int64(len(p))
+	return len(p), nil
+}
+
+func (w *shaCounter) sum() string { return fmt.Sprintf("%x", w.h.Sum(nil)) }
+
+// TestRemoteRoundTrip publishes over the wire and checks the remote
+// retrieval is byte-identical to an in-process one — the fidelity half
+// of the tentpole's headline gate.
+func TestRemoteRoundTrip(t *testing.T) {
+	sys := core.NewSystem(testDevice(), core.Options{})
+	addr, _ := startServer(t, sys)
+	cl := client.New(addr, client.Options{Timeout: 2 * time.Minute, Retries: 1})
+	defer cl.Close()
+	ctx := context.Background()
+
+	img := buildTestImage(t, "round-trip", true, 1<<20)
+	pub, err := cl.Publish(ctx, func(w io.Writer) error { return wire.WriteImage(w, img) })
+	if err != nil {
+		t.Fatalf("remote publish: %v", err)
+	}
+	// An essential-only image decomposes entirely into its base: a fresh
+	// base must be stored, and nothing package-exported.
+	if !pub.BaseStored || pub.Seconds <= 0 {
+		t.Fatalf("publish result implausible: %+v", pub)
+	}
+
+	local := newShaCounter()
+	if _, _, err := sys.RetrieveTo(local, "round-trip"); err != nil {
+		t.Fatalf("in-process retrieve: %v", err)
+	}
+	remote := newShaCounter()
+	n, res, err := cl.Retrieve(ctx, "round-trip", remote)
+	if err != nil {
+		t.Fatalf("remote retrieve: %v", err)
+	}
+	if n != local.n || remote.sum() != local.sum() {
+		t.Fatalf("remote image differs: %d bytes %s, in-process %d bytes %s",
+			n, remote.sum(), local.n, local.sum())
+	}
+	if res == nil || res.Seconds <= 0 {
+		t.Fatalf("retrieve result missing: %+v", res)
+	}
+
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.VMIs != 1 || st.Bases != 1 {
+		t.Fatalf("stats = %+v, want 1 VMI on 1 base", st)
+	}
+}
+
+// TestRemoteNoUserData is the regression for the OpenUserData absent
+// case: a VMI published without any user data must retrieve cleanly over
+// the wire (the nil-reader, nil-error return must never be dereferenced
+// anywhere on the serving path).
+func TestRemoteNoUserData(t *testing.T) {
+	sys := core.NewSystem(testDevice(), core.Options{})
+	addr, _ := startServer(t, sys)
+	cl := client.New(addr, client.Options{Timeout: 2 * time.Minute})
+	defer cl.Close()
+	ctx := context.Background()
+
+	img := buildTestImage(t, "no-user-data", false, 0)
+	if _, err := cl.Publish(ctx, func(w io.Writer) error { return wire.WriteImage(w, img) }); err != nil {
+		t.Fatalf("remote publish: %v", err)
+	}
+	sink := newShaCounter()
+	n, _, err := cl.Retrieve(ctx, "no-user-data", sink)
+	if err != nil {
+		t.Fatalf("remote retrieve of a user-data-free VMI: %v", err)
+	}
+	if n == 0 {
+		t.Fatalf("retrieved empty image")
+	}
+	// And the same image again via assembly, which takes the other
+	// OpenUserData-adjacent path (userDataFrom empty).
+	if _, _, err := cl.Assemble(ctx, wire.AssembleRequest{Name: "no-user-data-2", Primaries: nil}, io.Discard); err != nil {
+		t.Fatalf("remote assemble: %v", err)
+	}
+}
+
+// TestRemoteNotFound pins the error mapping for absence.
+func TestRemoteNotFound(t *testing.T) {
+	sys := core.NewSystem(testDevice(), core.Options{})
+	addr, _ := startServer(t, sys)
+	cl := client.New(addr, client.Options{Timeout: time.Minute})
+	defer cl.Close()
+
+	_, _, err := cl.Retrieve(context.Background(), "never-published", io.Discard)
+	if !errors.Is(err, vmirepo.ErrNotFound) {
+		t.Fatalf("remote retrieve of missing VMI = %v, want ErrNotFound", err)
+	}
+	if errors.Is(err, blobstore.ErrCorrupt) {
+		t.Fatalf("absence misreported as corruption: %v", err)
+	}
+}
+
+// TestConcurrentRemoteRetrieves races many clients over pooled
+// connections against one shared system; every stream must verify and
+// match every other.
+func TestConcurrentRemoteRetrieves(t *testing.T) {
+	sys := core.NewSystem(testDevice(), core.Options{})
+	addr, _ := startServer(t, sys)
+	cl := client.New(addr, client.Options{Timeout: 2 * time.Minute})
+	defer cl.Close()
+	ctx := context.Background()
+
+	img := buildTestImage(t, "concurrent", true, 2<<20)
+	if _, err := cl.Publish(ctx, func(w io.Writer) error { return wire.WriteImage(w, img) }); err != nil {
+		t.Fatal(err)
+	}
+	ref := newShaCounter()
+	if _, _, err := sys.RetrieveTo(ref, "concurrent"); err != nil {
+		t.Fatal(err)
+	}
+
+	const clients = 8
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sink := newShaCounter()
+			n, _, err := cl.Retrieve(ctx, "concurrent", sink)
+			if err != nil {
+				t.Errorf("client %d: %v", i, err)
+				return
+			}
+			if n != ref.n || sink.sum() != ref.sum() {
+				t.Errorf("client %d: stream differs from in-process retrieval", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// closeServerSink closes the server after the first body bytes arrive,
+// then keeps consuming: the remainder of the stream must fail, not
+// silently end.
+type closeServerSink struct {
+	srv  *http.Server
+	once sync.Once
+	n    int64
+}
+
+func (s *closeServerSink) Write(p []byte) (int, error) {
+	s.once.Do(func() { s.srv.Close() })
+	s.n += int64(len(p))
+	return len(p), nil
+}
+
+// TestMidRequestShutdown kills the server while a retrieval is streaming;
+// the client must surface an error — never a short-but-clean image.
+func TestMidRequestShutdown(t *testing.T) {
+	sys := core.NewSystem(testDevice(), core.Options{})
+	addr, srv := startServer(t, sys)
+	cl := client.New(addr, client.Options{Timeout: 2 * time.Minute})
+	defer cl.Close()
+	ctx := context.Background()
+
+	// Big enough that the response cannot fit in the socket buffers: the
+	// server is still writing when the connection dies.
+	img := buildTestImage(t, "shutdown", false, 24<<20)
+	if _, err := cl.Publish(ctx, func(w io.Writer) error { return wire.WriteImage(w, img) }); err != nil {
+		t.Fatal(err)
+	}
+	sink := &closeServerSink{srv: srv}
+	_, _, err := cl.Retrieve(ctx, "shutdown", sink)
+	if err == nil {
+		t.Fatalf("retrieve across a server shutdown reported success (%d bytes)", sink.n)
+	}
+}
+
+// TestRequestDeadline pins the per-request deadline: a client-imposed
+// timeout shorter than the retrieval must surface context.DeadlineExceeded.
+func TestRequestDeadline(t *testing.T) {
+	sys := core.NewSystem(testDevice(), core.Options{})
+	addr, _ := startServer(t, sys)
+	slow := client.New(addr, client.Options{Timeout: time.Millisecond})
+	defer slow.Close()
+	setup := client.New(addr, client.Options{Timeout: 2 * time.Minute})
+	defer setup.Close()
+	ctx := context.Background()
+
+	img := buildTestImage(t, "deadline", false, 8<<20)
+	if _, err := setup.Publish(ctx, func(w io.Writer) error { return wire.WriteImage(w, img) }); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := slow.Retrieve(ctx, "deadline", io.Discard)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("1ms-deadline retrieve = %v, want DeadlineExceeded", err)
+	}
+}
+
+// corruptSegmentKinds flips the kind byte of every record in every
+// segment file under dir — in place, on the same inodes the store holds
+// open, so its positional reads see the damage immediately.
+func corruptSegmentKinds(t *testing.T, dir string) {
+	t.Helper()
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range des {
+		if !strings.HasPrefix(de.Name(), "seg-") {
+			continue
+		}
+		path := filepath.Join(dir, de.Name())
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := os.OpenFile(path, os.O_WRONLY, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Records start after the 8-byte magic: [crc|len|kind|payload].
+		for off := int64(8); off+9 <= int64(len(raw)); {
+			plen := int64(binary.LittleEndian.Uint32(raw[off+4 : off+8]))
+			if _, err := f.WriteAt([]byte{0xEE}, off+8); err != nil {
+				t.Fatal(err)
+			}
+			off += 9 + plen
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRemoteCorruptIsNotNotFound is the acceptance gate's remote half:
+// after on-disk damage, a remote retrieval must report corruption —
+// wrapping blobstore.ErrCorrupt through the HTTP error mapping — and
+// never a 404.
+func TestRemoteCorruptIsNotNotFound(t *testing.T) {
+	dir := t.TempDir()
+	repo, err := vmirepo.OpenAtOpts(dir, testDevice(), vmirepo.OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := core.NewSystemWithRepo(repo, testDevice(), core.Options{})
+	addr, _ := startServer(t, sys)
+	cl := client.New(addr, client.Options{Timeout: 2 * time.Minute})
+	defer cl.Close()
+	ctx := context.Background()
+
+	img := buildTestImage(t, "rot", true, 1<<20)
+	if _, err := cl.Publish(ctx, func(w io.Writer) error { return wire.WriteImage(w, img) }); err != nil {
+		t.Fatal(err)
+	}
+	// Flush the records to disk, then damage every one of them.
+	if _, err := cl.Sync(ctx); err != nil {
+		t.Fatalf("remote sync: %v", err)
+	}
+	corruptSegmentKinds(t, filepath.Join(dir, "blobs"))
+
+	_, _, err = cl.Retrieve(ctx, "rot", io.Discard)
+	if err == nil {
+		t.Fatalf("remote retrieve served a corrupt repository")
+	}
+	if !errors.Is(err, blobstore.ErrCorrupt) {
+		t.Fatalf("remote retrieve of corrupt blob = %v, want ErrCorrupt", err)
+	}
+	if errors.Is(err, vmirepo.ErrNotFound) {
+		t.Fatalf("corruption conflated with absence over the wire: %v", err)
+	}
+	// The store is sticky-failed now; Close would rightly error. Leave the
+	// handles to the process exit — this repository is damage evidence.
+}
+
+// TestRemoteRemoveAndSnapshot covers the remaining verbs end to end.
+func TestRemoteRemoveAndSnapshot(t *testing.T) {
+	sys := core.NewSystem(testDevice(), core.Options{})
+	addr, _ := startServer(t, sys)
+	cl := client.New(addr, client.Options{Timeout: 2 * time.Minute})
+	defer cl.Close()
+	ctx := context.Background()
+
+	img := buildTestImage(t, "verbs", true, 0)
+	if _, err := cl.Publish(ctx, func(w io.Writer) error { return wire.WriteImage(w, img) }); err != nil {
+		t.Fatal(err)
+	}
+	dot, err := cl.GraphDOT(ctx)
+	if err != nil || !strings.Contains(dot, "digraph") {
+		t.Fatalf("GraphDOT = %q, %v", dot, err)
+	}
+	var snap bytes.Buffer
+	if n, err := cl.Snapshot(ctx, &snap); err != nil || n == 0 {
+		t.Fatalf("Snapshot = %d, %v", n, err)
+	}
+	if err := cl.Remove(ctx, "verbs"); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if err := cl.Remove(ctx, "verbs"); !errors.Is(err, vmirepo.ErrNotFound) {
+		t.Fatalf("second Remove = %v, want ErrNotFound", err)
+	}
+	st, err := cl.Stats(ctx)
+	if err != nil || st.VMIs != 0 {
+		t.Fatalf("stats after remove = %+v, %v", st, err)
+	}
+}

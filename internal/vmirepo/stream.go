@@ -34,9 +34,9 @@ func (r *Repo) OpenBase(id string, ph simio.Phase, m *simio.Meter) (io.ReadClose
 	if err != nil {
 		return nil, 0, err
 	}
-	rc, size, ok := r.blobs.Open(rec.BlobID)
-	if !ok {
-		return nil, 0, fmt.Errorf("vmirepo: base blob %s missing", rec.BlobID)
+	rc, size, err := r.blobs.Open(rec.BlobID)
+	if err != nil {
+		return nil, 0, fmt.Errorf("vmirepo: base %s: %w", id, err)
 	}
 	if m != nil {
 		m.Charge(ph, r.dev.ReadCost(size))
@@ -56,9 +56,9 @@ func (r *Repo) OpenPackage(ref string, ph simio.Phase, m *simio.Meter) (pkgmeta.
 	if err != nil {
 		return pkgmeta.Package{}, nil, 0, err
 	}
-	rc, size, ok := r.blobs.Open(rec.BlobID)
-	if !ok {
-		return pkgmeta.Package{}, nil, 0, fmt.Errorf("vmirepo: package blob %s missing", rec.BlobID)
+	rc, size, err := r.blobs.Open(rec.BlobID)
+	if err != nil {
+		return pkgmeta.Package{}, nil, 0, fmt.Errorf("vmirepo: package %s: %w", ref, err)
 	}
 	if m != nil {
 		m.Charge(ph, r.dev.ReadCost(size))
@@ -68,7 +68,10 @@ func (r *Repo) OpenPackage(ref string, ph simio.Phase, m *simio.Meter) (pkgmeta.
 
 // OpenUserData returns a streaming reader over a VMI's user-data archive,
 // or a nil reader (with nil error) when none is stored — mirroring
-// GetUserData's absent case.
+// GetUserData's absent case. Callers MUST check the reader against nil
+// before the error: a VMI published without user data is the common case,
+// not a failure, and dereferencing the nil reader is the classic bug here
+// (pinned by the no-user-data wire regression test in internal/server).
 func (r *Repo) OpenUserData(name string, ph simio.Phase, m *simio.Meter) (io.ReadCloser, int64, error) {
 	val, ok := r.db.Bucket(bucketUserData).Get([]byte(name))
 	r.chargeDB(m, 0)
@@ -77,9 +80,9 @@ func (r *Repo) OpenUserData(name string, ph simio.Phase, m *simio.Meter) (io.Rea
 	}
 	var id blobstore.ID
 	copy(id[:], val)
-	rc, size, ok := r.blobs.Open(id)
-	if !ok {
-		return nil, 0, fmt.Errorf("vmirepo: user data blob for %q missing", name)
+	rc, size, err := r.blobs.Open(id)
+	if err != nil {
+		return nil, 0, fmt.Errorf("vmirepo: user data for %q: %w", name, err)
 	}
 	if m != nil {
 		m.Charge(ph, r.dev.ReadCost(size))

@@ -551,9 +551,9 @@ func (r *Repo) GetPackage(ref string, ph simio.Phase, m *simio.Meter) (pkgmeta.P
 	if err != nil {
 		return pkgmeta.Package{}, nil, err
 	}
-	rc, size, ok := r.blobs.Open(rec.BlobID)
-	if !ok {
-		return pkgmeta.Package{}, nil, fmt.Errorf("vmirepo: package blob %s missing", rec.BlobID)
+	rc, size, err := r.blobs.Open(rec.BlobID)
+	if err != nil {
+		return pkgmeta.Package{}, nil, fmt.Errorf("vmirepo: package %s: %w", ref, err)
 	}
 	if m != nil {
 		m.Charge(ph, r.dev.ReadCost(size))
@@ -623,8 +623,21 @@ func (r *Repo) HasBase(id string, m *simio.Meter) bool {
 	return ok
 }
 
-// PutBase stores a serialized base image.
+// PutBase stores a serialized base image. It is a thin adapter over
+// PutBaseReader, so both entry points share one streaming store path.
 func (r *Repo) PutBase(id string, attrs pkgmeta.BaseAttrs, image []byte, m *simio.Meter) error {
+	return r.PutBaseReader(id, attrs, bytes.NewReader(image), int64(len(image)), m)
+}
+
+// PutBaseReader streams a serialized base image from src into the
+// repository: the bytes flow straight into the blob store (hashed and
+// spooled by the backend in bounded chunks), so storing a gigabyte base
+// never materializes it here. size is the expected serialized length when
+// known (>= 0) — a publish knows it exactly via Disk.SerializedBytes — or
+// -1 to accept whatever src yields; a known size that the stream fails to
+// match releases the stored blob and errors, because a base record whose
+// length disagrees with its blob would poison every later retrieval.
+func (r *Repo) PutBaseReader(id string, attrs pkgmeta.BaseAttrs, src io.Reader, size int64, m *simio.Meter) error {
 	r.opMu.RLock()
 	defer r.opMu.RUnlock()
 	defer r.mutate(id)()
@@ -632,14 +645,23 @@ func (r *Repo) PutBase(id string, attrs pkgmeta.BaseAttrs, image []byte, m *simi
 	if _, exists := b.Get([]byte(id)); exists {
 		return fmt.Errorf("vmirepo: base %s already stored", id)
 	}
-	blobID, _ := r.blobs.Put(image)
+	blobID, n, _, err := r.blobs.PutReader(src)
+	if err != nil {
+		return fmt.Errorf("vmirepo: store base %s: %w", id, err)
+	}
 	if err := r.blobErr(); err != nil {
 		return fmt.Errorf("vmirepo: store base %s: %w", id, err)
 	}
-	rec := BaseRecord{ID: id, Attrs: attrs, BlobID: blobID, BlobSize: int64(len(image))}
+	if size >= 0 && n != size {
+		if rerr := r.blobs.Release(blobID); rerr != nil {
+			return fmt.Errorf("vmirepo: store base %s: stream yielded %d of %d bytes; release: %w", id, n, size, rerr)
+		}
+		return fmt.Errorf("vmirepo: store base %s: stream yielded %d of %d bytes", id, n, size)
+	}
+	rec := BaseRecord{ID: id, Attrs: attrs, BlobID: blobID, BlobSize: n}
 	b.Put([]byte(id), encodeBaseRecord(rec))
 	if m != nil {
-		m.Charge(simio.PhaseStore, r.dev.WriteCost(int64(len(image))))
+		m.Charge(simio.PhaseStore, r.dev.WriteCost(n))
 	}
 	r.chargeDB(m, 64)
 	return nil
@@ -657,9 +679,9 @@ func (r *Repo) GetBase(id string, ph simio.Phase, m *simio.Meter) ([]byte, error
 	if err != nil {
 		return nil, err
 	}
-	rc, size, ok := r.blobs.Open(rec.BlobID)
-	if !ok {
-		return nil, fmt.Errorf("vmirepo: base blob %s missing", rec.BlobID)
+	rc, size, err := r.blobs.Open(rec.BlobID)
+	if err != nil {
+		return nil, fmt.Errorf("vmirepo: base %s: %w", id, err)
 	}
 	if m != nil {
 		m.Charge(ph, r.dev.ReadCost(size))
@@ -917,9 +939,9 @@ func (r *Repo) GetUserData(name string, ph simio.Phase, m *simio.Meter) ([]byte,
 	}
 	var id blobstore.ID
 	copy(id[:], val)
-	rc, size, ok := r.blobs.Open(id)
-	if !ok {
-		return nil, fmt.Errorf("vmirepo: user data blob for %q missing", name)
+	rc, size, err := r.blobs.Open(id)
+	if err != nil {
+		return nil, fmt.Errorf("vmirepo: user data for %q: %w", name, err)
 	}
 	if m != nil {
 		m.Charge(ph, r.dev.ReadCost(size))

@@ -1,0 +1,216 @@
+// Package wire defines the Expelliarmus network wire protocol shared by
+// the repository server (internal/server) and its client
+// (internal/client): the streaming image envelope that carries a VMI
+// upload, and the JSON result types the server returns for each
+// operation.
+//
+// The image envelope is designed so both sides can stream it:
+//
+//	magic "EXPWIR1\n"            (8 bytes)
+//	header length, uint32 LE     (4 bytes)
+//	header JSON                  (ImageHeader: name, base attrs,
+//	                              primaries, disk byte count)
+//	disk bytes                   (exactly ImageHeader.DiskBytes, the
+//	                              image's qcow2-like serialized form)
+//
+// The sender produces the disk bytes with Disk.WriteTo — no whole-image
+// buffer on the way out. The receiver must materialize the disk section
+// once (publish mounts and mutates the image, so it needs random
+// access), but hands it to vdisk.DeserializeLazy so clusters are
+// directory-backed rather than copied again; the base image then streams
+// into the blob store via the repository's PutBaseReader without a
+// second materialization.
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"expelliarmus/internal/core"
+	"expelliarmus/internal/pkgmeta"
+	"expelliarmus/internal/simio"
+	"expelliarmus/internal/vdisk"
+	"expelliarmus/internal/vmi"
+)
+
+// Magic opens every image envelope.
+const Magic = "EXPWIR1\n"
+
+// maxHeaderBytes bounds the JSON header so a corrupt or hostile length
+// prefix cannot ask the receiver to allocate gigabytes.
+const maxHeaderBytes = 1 << 20
+
+// ImageHeader is the metadata section of an image envelope.
+type ImageHeader struct {
+	Name      string
+	Base      pkgmeta.BaseAttrs
+	Primaries []string
+	// DiskBytes is the exact length of the disk section that follows.
+	DiskBytes int64
+}
+
+// WriteImage encodes img as one image envelope on w, streaming the disk
+// section straight from the virtual disk.
+func WriteImage(w io.Writer, img *vmi.Image) error {
+	hdr := ImageHeader{
+		Name:      img.Name,
+		Base:      img.Base,
+		Primaries: img.Primaries,
+		DiskBytes: img.Disk.SerializedBytes(),
+	}
+	hb, err := json.Marshal(hdr)
+	if err != nil {
+		return fmt.Errorf("wire: encode header: %w", err)
+	}
+	if len(hb) > maxHeaderBytes {
+		return fmt.Errorf("wire: header %d bytes exceeds limit %d", len(hb), maxHeaderBytes)
+	}
+	var pre [12]byte
+	copy(pre[:8], Magic)
+	binary.LittleEndian.PutUint32(pre[8:], uint32(len(hb)))
+	if _, err := w.Write(pre[:]); err != nil {
+		return fmt.Errorf("wire: write envelope: %w", err)
+	}
+	if _, err := w.Write(hb); err != nil {
+		return fmt.Errorf("wire: write header: %w", err)
+	}
+	n, err := img.Disk.WriteTo(w)
+	if err != nil {
+		return fmt.Errorf("wire: write disk: %w", err)
+	}
+	if n != hdr.DiskBytes {
+		return fmt.Errorf("wire: disk wrote %d bytes, header promised %d", n, hdr.DiskBytes)
+	}
+	return nil
+}
+
+// ReadImage decodes one image envelope from r into a VMI. The disk
+// section is read into one owned buffer — the single materialization the
+// receiving side needs for random access — and mounted lazily over it.
+func ReadImage(r io.Reader) (*vmi.Image, error) {
+	var pre [12]byte
+	if _, err := io.ReadFull(r, pre[:]); err != nil {
+		return nil, fmt.Errorf("wire: read envelope: %w", err)
+	}
+	if string(pre[:8]) != Magic {
+		return nil, fmt.Errorf("wire: bad magic %q", pre[:8])
+	}
+	hlen := binary.LittleEndian.Uint32(pre[8:])
+	if hlen == 0 || hlen > maxHeaderBytes {
+		return nil, fmt.Errorf("wire: header length %d out of range", hlen)
+	}
+	hb := make([]byte, hlen)
+	if _, err := io.ReadFull(r, hb); err != nil {
+		return nil, fmt.Errorf("wire: read header: %w", err)
+	}
+	var hdr ImageHeader
+	if err := json.Unmarshal(hb, &hdr); err != nil {
+		return nil, fmt.Errorf("wire: decode header: %w", err)
+	}
+	if hdr.Name == "" {
+		return nil, fmt.Errorf("wire: envelope names no image")
+	}
+	if hdr.DiskBytes < 0 {
+		return nil, fmt.Errorf("wire: negative disk length %d", hdr.DiskBytes)
+	}
+	buf := make([]byte, hdr.DiskBytes)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("wire: read disk (%d bytes): %w", hdr.DiskBytes, err)
+	}
+	disk, err := vdisk.DeserializeLazy(hdr.Name, bytes.NewReader(buf), hdr.DiskBytes)
+	if err != nil {
+		return nil, fmt.Errorf("wire: open disk: %w", err)
+	}
+	return &vmi.Image{
+		Name:      hdr.Name,
+		Base:      hdr.Base,
+		Primaries: hdr.Primaries,
+		Disk:      disk,
+	}, nil
+}
+
+// PublishResult is the server's reply to a publish.
+type PublishResult struct {
+	Similarity float64
+	Exported   []string
+	Skipped    int
+	BaseStored bool
+	Seconds    float64
+	Phases     map[string]float64
+}
+
+// NewPublishResult flattens a core publish report for the wire.
+func NewPublishResult(rep *core.PublishReport) *PublishResult {
+	return &PublishResult{
+		Similarity: rep.Similarity,
+		Exported:   append([]string(nil), rep.Exported...),
+		Skipped:    rep.Skipped,
+		BaseStored: rep.BaseStored,
+		Seconds:    rep.Seconds(),
+		Phases:     phaseMap(rep.Meter),
+	}
+}
+
+// RetrieveResult is the server's reply to a retrieval or assembly. For
+// streamed responses it rides in the X-Expel-Result trailer, after the
+// image bytes.
+type RetrieveResult struct {
+	Imported []string
+	Seconds  float64
+	Phases   map[string]float64
+}
+
+// NewRetrieveResult flattens a core retrieve report for the wire.
+func NewRetrieveResult(rep *core.RetrieveReport) *RetrieveResult {
+	return &RetrieveResult{
+		Imported: append([]string(nil), rep.Imported...),
+		Seconds:  rep.Seconds(),
+		Phases:   phaseMap(rep.Meter),
+	}
+}
+
+func phaseMap(m *simio.Meter) map[string]float64 {
+	out := map[string]float64{}
+	for ph, d := range m.Snapshot() {
+		out[string(ph)] = d.Seconds()
+	}
+	return out
+}
+
+// Stats is the server's repository and cache statistics reply.
+type Stats struct {
+	Packages   int
+	Bases      int
+	VMIs       int
+	TotalBytes int64
+
+	CacheEnabled bool
+	CacheHits    int64
+	CacheMisses  int64
+	CacheEntries int
+	CacheBytes   int64
+}
+
+// SyncStats is the server's reply to a sync: the durable-save breakdown
+// of a disk-backed repository (see the facade's SyncStats for field
+// semantics).
+type SyncStats struct {
+	Segments          int
+	SegmentBytes      int64
+	IndexBytes        int64
+	MetaBytes         int64
+	MetaOps           int
+	Compacted         bool
+	MetaSnapshotBytes int64
+}
+
+// AssembleRequest asks the server to build a VMI from stored packages
+// (Algorithm 3 without a prior upload of this exact image).
+type AssembleRequest struct {
+	Name         string
+	Primaries    []string
+	UserDataFrom string
+}
