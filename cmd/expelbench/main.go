@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	expelbench [-exp all|table2,fig3a,fig3b,fig3c,fig4a,fig4b,fig5a,fig5b,abl1,abl2,abl3,abl4,conc,persist,cachehit,storm,sync,stream,remote] [-ide-builds 40] [-clients 8] [-backend memory|disk] [-store-root DIR] [-cache BYTES] [-wal-compact BYTES] [-warm-iters 3] [-storm-publishes 120] [-storm-bursts 3] [-storm-burst-clients 32] [-sync-deltas 5] [-stream-bulk MIB] [-remote-clients 16] [-remote-bulk MIB]
+//	expelbench [-exp all|table2,fig3a,fig3b,fig3c,fig4a,fig4b,fig5a,fig5b,abl1,abl2,abl3,abl4,conc,persist,cachehit,storm,sync,stream,remote,churn] [-ide-builds 40] [-clients 8] [-backend memory|disk] [-store-root DIR] [-cache BYTES] [-wal-compact BYTES] [-warm-iters 3] [-storm-publishes 120] [-storm-bursts 3] [-storm-burst-clients 32] [-sync-deltas 5] [-stream-bulk MIB] [-remote-clients 16] [-remote-bulk MIB] [-churn-rounds 6]
 //
 // Every experiment runs against the blob backend named by -backend: the
 // in-memory sharded store (the default) or the durable on-disk segment
@@ -36,7 +36,12 @@
 // bulk grows 100x (up to -remote-bulk MiB), erroring unless every remote
 // stream is byte-identical to an in-process retrieval and total
 // allocation stays under a flat per-client ceiling; like stream, it pins
-// the cache off.
+// the cache off. The churn experiment (always on the disk backend) drives
+// an identical publish/remove loop against two repositories — dead-ratio
+// blob compaction enabled vs disabled — and errors unless the enabled
+// one keeps steady-state disk usage within 2x the live bytes while the
+// disabled one demonstrably grows past it, with every surviving image
+// byte-identical across the two.
 package main
 
 import (
@@ -65,11 +70,12 @@ func main() {
 	streamBulk := flag.Int64("stream-bulk", 200, "largest bulk payload in MiB for the stream experiment (scales 1x/10x/100x up to this)")
 	remoteClients := flag.Int("remote-clients", 16, "concurrent network clients in the remote experiment")
 	remoteBulk := flag.Int64("remote-bulk", 64, "largest bulk payload in MiB for the remote experiment (scales 1x/10x/100x up to this)")
+	churnRounds := flag.Int("churn-rounds", 6, "publish/remove rounds in the churn experiment")
 	flag.Parse()
 
 	selected := map[string]bool{}
 	if *exps == "all" {
-		for _, e := range []string{"table2", "fig3a", "fig3b", "fig3c", "fig4a", "fig4b", "fig5a", "fig5b", "abl1", "abl2", "abl3", "abl4", "conc", "persist", "cachehit", "storm", "sync", "stream", "remote"} {
+		for _, e := range []string{"table2", "fig3a", "fig3b", "fig3c", "fig4a", "fig4b", "fig5a", "fig5b", "abl1", "abl2", "abl3", "abl4", "conc", "persist", "cachehit", "storm", "sync", "stream", "remote", "churn"} {
 			selected[e] = true
 		}
 	} else {
@@ -125,6 +131,7 @@ func main() {
 	run("sync", func() (fmt.Stringer, error) { return r.SyncDelta(*syncDeltas) })
 	run("stream", func() (fmt.Stringer, error) { return r.StreamFlatRSS(*streamBulk << 20) })
 	run("remote", func() (fmt.Stringer, error) { return r.RemoteFlatRSS(*remoteBulk<<20, *remoteClients) })
+	run("churn", func() (fmt.Stringer, error) { return r.Churn(*churnRounds) })
 
 	// Closing disk-backed systems is where a sticky store failure (e.g. a
 	// full filesystem mid-run) surfaces; results printed above would

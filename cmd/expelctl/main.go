@@ -24,7 +24,12 @@ import (
 	"strings"
 
 	"expelliarmus"
+	"expelliarmus/internal/catalog"
 )
+
+// gb converts a store-scaled byte count to paper-scale gigabytes, the
+// same presentation RepoStats uses for its GB fields.
+func gb(b int64) float64 { return float64(catalog.Paper(b)) / 1e9 }
 
 func main() {
 	publish := flag.String("publish", "", "comma-separated template names to build and publish, or 'all'")
@@ -33,6 +38,7 @@ func main() {
 	noDedup := flag.Bool("no-dedup", false, "disable semantic dedup (the paper's 'Semantic' variant)")
 	noBaseSel := flag.Bool("no-base-selection", false, "disable base image selection (Algorithm 2)")
 	remove := flag.String("remove", "", "VMI name to remove (with garbage collection)")
+	compact := flag.Bool("compact", false, "force compaction (blob segments + metadata WAL) after the other operations and report what was reclaimed")
 	saveFile := flag.String("save", "", "write the repository snapshot to this file when done")
 	loadFile := flag.String("load", "", "restore the repository from this snapshot file first")
 	dotFile := flag.String("dot", "", "write the master graph(s) in Graphviz DOT format to this file")
@@ -47,6 +53,7 @@ func main() {
 			retrieve: *retrieve,
 			assemble: *assemble,
 			remove:   *remove,
+			compact:  *compact,
 			saveFile: *saveFile,
 			loadFile: *loadFile,
 			dotFile:   *dotFile,
@@ -110,9 +117,7 @@ func main() {
 		}
 	}
 
-	rs := sys.RepoStats()
-	fmt.Printf("repository: %d VMIs, %d base image(s), %d packages, %.2f GB\n",
-		rs.VMIs, rs.BaseImages, rs.Packages, rs.TotalGB)
+	printRepoStats(sys, "repository")
 
 	if *retrieve != "" {
 		img, ret, err := sys.Retrieve(*retrieve)
@@ -130,9 +135,8 @@ func main() {
 		if err := sys.Remove(*remove); err != nil {
 			fail(err)
 		}
-		rs := sys.RepoStats()
-		fmt.Printf("removed %s; repository now %d VMIs, %d packages, %.2f GB\n",
-			*remove, rs.VMIs, rs.Packages, rs.TotalGB)
+		fmt.Printf("removed %s\n", *remove)
+		printRepoStats(sys, "repository now")
 	}
 
 	if *assemble != "" {
@@ -152,6 +156,22 @@ func main() {
 		}
 	}
 
+	if *compact {
+		if !sys.Persistent() {
+			// The local CLI runs memory-backed (Save/Load snapshots), where
+			// released blobs free immediately — nothing durable to compact.
+			fmt.Println("compact: repository is memory-backed, nothing on disk to reclaim (use -server against a disk-backed daemon)")
+		} else {
+			cst, err := sys.Compact()
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("compacted: %d blob segment(s) rewritten, %.3f GB reclaimed, %.3f GB dead remaining\n",
+				cst.SegmentsCompacted, gb(cst.BytesReclaimed), gb(cst.DeadBytes))
+			printRepoStats(sys, "repository now")
+		}
+	}
+
 	if *dotFile != "" {
 		dot, err := sys.MasterGraphDOT()
 		if err != nil {
@@ -164,6 +184,20 @@ func main() {
 	}
 
 	saveIfRequested(sys, *saveFile)
+}
+
+// printRepoStats reports the catalog plus its storage footprint, keeping
+// the live (deduplicated) size and the physical on-disk size apart: a
+// disk-backed repository can hold garbage awaiting compaction, and
+// conflating the two is exactly how dead bytes go unnoticed.
+func printRepoStats(sys *expelliarmus.System, label string) {
+	rs := sys.RepoStats()
+	line := fmt.Sprintf("%s: %d VMIs, %d base image(s), %d packages, %.2f GB live",
+		label, rs.VMIs, rs.BaseImages, rs.Packages, rs.TotalGB)
+	if rs.DiskGB > 0 {
+		line += fmt.Sprintf(" (%.2f GB on disk, %.2f GB dead)", rs.DiskGB, rs.DeadGB)
+	}
+	fmt.Println(line)
 }
 
 func saveIfRequested(sys *expelliarmus.System, file string) {

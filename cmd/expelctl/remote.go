@@ -26,6 +26,7 @@ type remoteArgs struct {
 	retrieve  string
 	assemble  string
 	remove    string
+	compact   bool
 	saveFile  string
 	loadFile  string
 	dotFile   string
@@ -119,6 +120,16 @@ func runRemote(a remoteArgs) {
 		}
 	}
 
+	if a.compact {
+		cst, err := cl.Compact(ctx)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("compacted: %d blob segment(s) rewritten, %.3f GB reclaimed, %.3f GB dead remaining\n",
+			cst.SegmentsCompacted, gb(cst.BytesReclaimed), gb(cst.DeadBytes))
+		printRemoteStats(ctx, cl, "repository now")
+	}
+
 	if a.dotFile != "" {
 		dot, err := cl.GraphDOT(ctx)
 		if err != nil {
@@ -146,11 +157,18 @@ func runRemote(a remoteArgs) {
 	}
 }
 
+// printRemoteStats mirrors the local printRepoStats split between live
+// and physical size: a disk-backed server reports its on-disk footprint
+// and dead (reclaimable) share alongside the deduplicated live bytes.
 func printRemoteStats(ctx context.Context, cl *client.Client, label string) {
 	st, err := cl.Stats(ctx)
 	if err != nil {
 		fail(err)
 	}
-	fmt.Printf("%s: %d VMIs, %d base image(s), %d packages, %.2f GB\n",
+	line := fmt.Sprintf("%s: %d VMIs, %d base image(s), %d packages, %.2f GB live",
 		label, st.VMIs, st.Bases, st.Packages, float64(catalog.Paper(st.TotalBytes))/1e9)
+	if st.DiskBytes > 0 {
+		line += fmt.Sprintf(" (%.2f GB on disk, %.2f GB dead)", gb(st.DiskBytes), gb(st.DeadBytes))
+	}
+	fmt.Println(line)
 }

@@ -8,7 +8,7 @@
 //
 //	expelserverd [-addr 127.0.0.1:9747] [-store DIR] [-cache BYTES]
 //	             [-parallelism N] [-wal-compact BYTES]
-//	             [-tls-cert FILE -tls-key FILE]
+//	             [-blob-compact-ratio R] [-tls-cert FILE -tls-key FILE]
 //
 // With -store the repository lives in append-only segment files plus a
 // metadata WAL under DIR and survives restarts; shutdown (SIGINT or
@@ -43,6 +43,7 @@ func main() {
 	cache := flag.Int64("cache", 0, "retrieval-cache bytes (0 disables)")
 	parallelism := flag.Int("parallelism", 0, "worker-goroutine bound per operation (<=1 sequential)")
 	walCompact := flag.Int64("wal-compact", 0, "metadata-WAL compaction threshold bytes (0 keeps the default)")
+	blobRatio := flag.Float64("blob-compact-ratio", 0, "dead-byte fraction at which sealed blob segments compact on sync (0 keeps the default, negative disables the automatic trigger)")
 	tlsCert := flag.String("tls-cert", "", "TLS certificate file (with -tls-key enables HTTPS)")
 	tlsKey := flag.String("tls-key", "", "TLS private key file")
 	flag.Parse()
@@ -58,7 +59,10 @@ func main() {
 		sys = core.NewSystem(dev, opts)
 		log.Printf("expelserverd: in-memory repository")
 	} else {
-		repo, err := vmirepo.OpenAtOpts(*store, dev, vmirepo.OpenOptions{WALCompactBytes: *walCompact})
+		repo, err := vmirepo.OpenAtOpts(*store, dev, vmirepo.OpenOptions{
+			WALCompactBytes:      *walCompact,
+			BlobCompactDeadRatio: *blobRatio,
+		})
 		if err != nil {
 			fail(err)
 		}

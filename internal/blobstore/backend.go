@@ -59,10 +59,11 @@ type Backend interface {
 	// faithfully (e.g. an on-disk record whose header no longer matches
 	// the catalog) reports an error wrapping ErrCorrupt — the two must
 	// never be conflated. An open reader stays readable after the blob is
-	// released — content-addressed bytes are immutable and append-only —
-	// but is valid only until the backend is closed. Close never fails and
-	// releases no shared resources; it exists so callers can treat blobs
-	// uniformly with file-backed streams.
+	// released — and, for backends that compact, after the blob's bytes
+	// are moved: the reader pins its underlying storage until closed — but
+	// is valid only until the backend is closed. Close never fails;
+	// callers must still call it, since a reader may hold a pin that
+	// defers space reclamation until released.
 	Open(id ID) (io.ReadCloser, int64, error)
 	// Size returns the length of the blob without copying it.
 	Size(id ID) (int64, bool)
@@ -107,6 +108,37 @@ type SyncStats struct {
 	SegmentBytes int64
 	// IndexBytes is the size of the index image committed by this sync.
 	IndexBytes int64
+	// SegmentsCompacted and BytesReclaimed report the segment compaction
+	// this sync triggered, if any: segments evacuated and their file bytes
+	// freed (a reclaimed file pinned by an open reader is freed when the
+	// reader closes, but counts here).
+	SegmentsCompacted int
+	BytesReclaimed    int64
+	// DeadBytes is the garbage remaining after this sync: record bytes in
+	// segment files that no live blob accounts for. Nonzero is normal —
+	// compaction runs only when a segment's dead ratio crosses the
+	// threshold.
+	DeadBytes int64
+}
+
+// CompactStats reports what one on-demand compaction reclaimed.
+type CompactStats struct {
+	// SegmentsCompacted counts segments evacuated and retired.
+	SegmentsCompacted int
+	// BytesReclaimed is the segment-file bytes those retirements freed
+	// (files pinned by open readers are freed at reader close, but count
+	// here).
+	BytesReclaimed int64
+	// BlobsMoved counts surviving records rewritten into fresh segments.
+	BlobsMoved int
+}
+
+// Compactor is implemented by backends that can reclaim the space of
+// released blobs on demand. Callers feature-test with a type assertion;
+// the in-memory store implements it as a no-op (it holds no garbage — a
+// release frees the bytes immediately).
+type Compactor interface {
+	Compact() (CompactStats, error)
 }
 
 // Durable is implemented by backends whose state lives outside process

@@ -36,6 +36,7 @@ func Run(t *testing.T, newBackend Factory) {
 	t.Run("ConcurrentDistinct", func(t *testing.T) { testConcurrentDistinct(t, newBackend(t)) })
 	t.Run("ConcurrentSameBlob", func(t *testing.T) { testConcurrentSame(t, newBackend(t)) })
 	t.Run("ConcurrentMixed", func(t *testing.T) { testConcurrentMixed(t, newBackend(t)) })
+	t.Run("ReleaseCompactGet", func(t *testing.T) { testReleaseCompactGet(t, newBackend(t)) })
 	runStreaming(t, newBackend)
 }
 

@@ -50,6 +50,7 @@ package diskstore
 import (
 	"bytes"
 	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"os"
@@ -66,6 +67,10 @@ import (
 // DefaultMaxSegmentBytes is the roll threshold when Options leave it zero.
 const DefaultMaxSegmentBytes = 8 << 20
 
+// DefaultCompactDeadRatio is the dead-byte fraction at which a sealed
+// segment becomes a compaction candidate when Options leave the ratio zero.
+const DefaultCompactDeadRatio = 0.5
+
 // Options configure a disk store.
 type Options struct {
 	// MaxSegmentBytes rolls the active segment to a new file once it
@@ -73,6 +78,13 @@ type Options struct {
 	// Zero means DefaultMaxSegmentBytes. Small values are useful in tests
 	// to force multi-segment layouts.
 	MaxSegmentBytes int64
+	// CompactDeadRatio is the dead-byte fraction (dead bytes over total
+	// record bytes) at which a sealed segment is scored a compaction
+	// candidate. Sync compacts candidates automatically after committing
+	// its index; Compact does the same on demand. Zero means
+	// DefaultCompactDeadRatio; a negative value disables the automatic
+	// trigger (Compact still works, using the default ratio).
+	CompactDeadRatio float64
 }
 
 // RecoveryReport describes what Open had to do beyond loading the index.
@@ -90,6 +102,17 @@ type RecoveryReport struct {
 	TornOffset int64
 	// DroppedBytes is how many trailing bytes the truncation discarded.
 	DroppedBytes int64
+	// DroppedReleases counts release records found at the log tail without
+	// a following commit marker — the remains of a Sync that died mid-batch
+	// — which recovery drops and truncates away so the batch applies
+	// all-or-nothing (the affected blobs resurrect as orphans, the safe
+	// direction).
+	DroppedReleases int
+	// SegmentsSwept counts segment files deleted at open because the
+	// committed index no longer references them and they lie wholly below
+	// the durability watermark — the remains of a compaction that crashed
+	// after switching the index but before retiring its source segments.
+	SegmentsSwept int
 }
 
 // Torn reports whether recovery found (and removed) a torn log tail.
@@ -97,34 +120,93 @@ func (r RecoveryReport) Torn() bool { return r.TornSegment != 0 }
 
 type entry struct {
 	seg  uint32
-	off  int64 // payload offset within the segment file
+	off  int64 // blob-byte offset within the segment file
 	size int64
 	refs int
+	kind byte // recPut or recMove: how the record framing around off reads
+}
+
+// footprint is the record's full on-disk size: header, the move prefix if
+// any, and the blob bytes. Per-segment live-byte accounting sums these.
+func (e *entry) footprint() int64 {
+	n := int64(recHeaderSize) + e.size
+	if e.kind == recMove {
+		n += recMoveRefsLen
+	}
+	return n
 }
 
 // Store is the disk-backed blob store. Construct with Open; the zero value
 // is not usable. A Store is safe for concurrent use.
 type Store struct {
-	dir    string
-	maxSeg int64
-	unlock func() error // releases the exclusive dir/lock flock
+	dir      string
+	maxSeg   int64
+	deadGate float64      // effective CompactDeadRatio (< 0: auto-compaction off)
+	unlock   func() error // releases the exclusive dir/lock flock
+
+	// Kill is the crash-injection hook for compaction: when non-nil it
+	// runs at each CompactKillPoint, and a returned error aborts the
+	// operation exactly as a crash at that point would. Tests set it, then
+	// Abandon and reopen; production leaves it nil. Set before any use.
+	Kill func(CompactKillPoint) error
 
 	mu    sync.RWMutex
 	blobs map[blobstore.ID]*entry
+	// limbo holds entries whose last reference was released but whose
+	// release records are still queued in pending. They are invisible to
+	// every read path (the blob is gone from the catalog's point of view)
+	// but their bytes are still live on disk: an index committed before
+	// the queued releases flush — a compaction switch does exactly that —
+	// must re-encode them (with their queued releases folded back into the
+	// reference count), or reopening from that index would make the
+	// releases durable before the caller's metadata commit. Compaction
+	// also moves them like any live record. A Put of the same content
+	// resurrects the entry instead of cancelling it destructively.
+	limbo map[blobstore.ID]*entry
 	bytes int64 // live payload bytes (garbage in released records excluded)
 	dirty bool  // catalog changed since the last committed index
 
 	segs      map[uint32]*os.File // open handles; active one is also the writer
 	lens      map[uint32]int64    // current byte length per segment
 	syncedLen map[uint32]int64    // durable (fsynced + index-covered) length per segment
-	active    uint32              // newest segment number (0 = none yet)
-	pending   []blobstore.ID      // releases applied in memory, logged at next Sync
+	liveSeg   map[uint32]int64    // live record footprint bytes per segment (blobs + limbo)
+	readers   map[uint32]*atomic.Int64
+	retiring  map[uint32]*retiredSeg // evacuated segments waiting for reader drain
+	active    uint32                 // newest segment number (0 = none yet)
+	pending   []blobstore.ID         // releases applied in memory, logged at next Sync
+
+	compacting bool // single-flight guard for the copy phase
 
 	failure  error // sticky first I/O error; mutations refuse once set
 	recovery RecoveryReport
 
+	// Replay-only state: release records buffered until their commit
+	// marker (see recCommit), with positions so an unmarked tail can be
+	// truncated away.
+	relBuf []bufferedRelease
+
 	puts atomic.Int64
 	hits atomic.Int64
+
+	segsCompacted  atomic.Int64 // cumulative segments retired since Open
+	bytesReclaimed atomic.Int64 // cumulative segment-file bytes freed since Open
+}
+
+// retiredSeg is a segment whose records were all rewritten elsewhere and
+// whose index references are gone, but which still has open readers
+// streaming from it. The last reader's Close deletes the file.
+type retiredSeg struct {
+	f    *os.File
+	path string
+	size int64
+}
+
+// bufferedRelease is a replayed release record waiting for its commit
+// marker, with enough position to truncate an unmarked tail.
+type bufferedRelease struct {
+	id  blobstore.ID
+	seg uint32
+	off int64
 }
 
 // Store implements the full durable backend contract.
@@ -147,17 +229,25 @@ func Open(dir string, opts Options) (*Store, error) {
 	s := &Store{
 		dir:       dir,
 		maxSeg:    opts.MaxSegmentBytes,
+		deadGate:  opts.CompactDeadRatio,
 		unlock:    unlock,
 		blobs:     make(map[blobstore.ID]*entry),
+		limbo:     make(map[blobstore.ID]*entry),
 		segs:      make(map[uint32]*os.File),
 		lens:      make(map[uint32]int64),
 		syncedLen: make(map[uint32]int64),
+		liveSeg:   make(map[uint32]int64),
+		readers:   make(map[uint32]*atomic.Int64),
+		retiring:  make(map[uint32]*retiredSeg),
 	}
 	if s.maxSeg <= 0 {
 		s.maxSeg = DefaultMaxSegmentBytes
 	}
+	if s.deadGate == 0 {
+		s.deadGate = DefaultCompactDeadRatio
+	}
 	if err := s.load(); err != nil {
-		s.closeFiles()
+		s.closeFiles(false)
 		return nil, err
 	}
 	return s, nil
@@ -186,10 +276,24 @@ func (s *Store) load() error {
 		s.recovery.IndexRebuilt = true
 		watermarkSeg, watermarkOff, entries = 0, 0, nil
 	}
+	if s.recovery.IndexRebuilt || watermarkSeg == 0 {
+		// Full replay reconstructs reference counts from the complete
+		// operation history — which only exists while every segment since
+		// the first is still present. Once compaction has retired or swept
+		// a segment, the addref/release history of blobs that were never
+		// moved is gone with it, and replaying the remainder would invent
+		// wrong counts. Refuse loudly instead.
+		for i, n := range segNums {
+			if n != uint32(i)+1 {
+				return fmt.Errorf("diskstore: cannot rebuild the catalog by replay: segment log starts at %d (compaction has retired earlier segments), and the index is unusable", segNums[0])
+			}
+		}
+	}
 	for _, e := range entries {
 		ec := e
-		s.blobs[e.id] = &entry{seg: ec.seg, off: ec.off, size: ec.size, refs: ec.refs}
+		s.blobs[e.id] = &entry{seg: ec.seg, off: ec.off, size: ec.size, refs: ec.refs, kind: ec.kind}
 		s.bytes += e.size
+		s.liveSeg[ec.seg] += s.blobs[e.id].footprint()
 	}
 	for _, n := range segNums {
 		// O_APPEND so later appends land at the end regardless of how far
@@ -205,6 +309,7 @@ func (s *Store) load() error {
 		}
 		s.segs[n] = f
 		s.lens[n] = fi.Size()
+		s.readers[n] = &atomic.Int64{}
 		if n > s.active {
 			s.active = n
 		}
@@ -244,6 +349,30 @@ func (s *Store) load() error {
 			s.syncedLen[n] = watermarkOff
 		}
 	}
+	// Sweep segments the committed index no longer references: wholly
+	// below the watermark (their records never replay) with zero live
+	// entries, they are the source files of a compaction that crashed
+	// after the index switch but before retiring them — or sealed segments
+	// whose every blob was released and flushed. Either way they are dead
+	// weight the crashed retire (or this open) reclaims. Only a trusted
+	// index may authorize this: after a rebuild nothing vouches that the
+	// files are garbage.
+	if !s.recovery.IndexRebuilt {
+		for _, n := range segNums {
+			if n >= watermarkSeg || s.liveSeg[n] != 0 || s.lens[n] <= int64(len(segmentMagic)) {
+				continue
+			}
+			s.segs[n].Close()
+			if err := os.Remove(filepath.Join(s.dir, segmentName(n))); err != nil {
+				return fmt.Errorf("diskstore: sweep unreferenced segment %d: %w", n, err)
+			}
+			delete(s.segs, n)
+			delete(s.lens, n)
+			delete(s.syncedLen, n)
+			delete(s.readers, n)
+			s.recovery.SegmentsSwept++
+		}
+	}
 	for i, n := range segNums {
 		if n < watermarkSeg {
 			continue
@@ -256,9 +385,48 @@ func (s *Store) load() error {
 			return err
 		}
 	}
+	// Release records still buffered when the log ends never got their
+	// commit marker: the Sync writing them died mid-batch. Drop them — the
+	// blobs resurrect as orphans, the safe direction — and truncate them
+	// off the log, because leaving half a batch in place would let a
+	// marker appended by a future Sync commit it.
+	if err := s.dropUnmarkedReleases(); err != nil {
+		return err
+	}
 	// Replayed records (and a rebuilt index) are state the on-disk index
 	// does not yet reflect; the next Sync must commit it.
-	s.dirty = s.recovery.ReplayedRecords > 0 || s.recovery.IndexRebuilt
+	s.dirty = s.recovery.ReplayedRecords > 0 || s.recovery.IndexRebuilt ||
+		s.recovery.DroppedReleases > 0 || s.recovery.SegmentsSwept > 0
+	return nil
+}
+
+// dropUnmarkedReleases truncates the trailing run of release records that
+// never received a commit marker. The records are whole and CRC-valid, but
+// they are the tail of a Sync that died between appending its batch and
+// appending the marker; a crashed batch must apply all-or-nothing.
+func (s *Store) dropUnmarkedReleases() error {
+	if len(s.relBuf) == 0 {
+		return nil
+	}
+	// The run is contiguous at the log tail, possibly spanning a roll:
+	// truncate each affected segment back to the run's first record in it.
+	cut := map[uint32]int64{}
+	for _, r := range s.relBuf {
+		if off, ok := cut[r.seg]; !ok || r.off < off {
+			cut[r.seg] = r.off
+		}
+	}
+	for n, keep := range cut {
+		if err := s.segs[n].Truncate(keep); err != nil {
+			return fmt.Errorf("diskstore: truncate unmarked release batch in segment %d: %w", n, err)
+		}
+		s.lens[n] = keep
+		if s.syncedLen[n] > keep {
+			s.syncedLen[n] = keep
+		}
+	}
+	s.recovery.DroppedReleases = len(s.relBuf)
+	s.relBuf = nil
 	return nil
 }
 
@@ -346,7 +514,11 @@ func (s *Store) replaySegment(n uint32, start int64, last bool) error {
 		if err := s.apply(kind, payload, n, off); err != nil {
 			return err
 		}
-		s.recovery.ReplayedRecords++
+		// Releases count when their batch commits (applyBufferedReleases);
+		// markers are batch framing, not operations.
+		if kind != recRelease && kind != recCommit {
+			s.recovery.ReplayedRecords++
+		}
 		buf = buf[recSize:]
 		off += int64(recSize)
 	}
@@ -373,8 +545,17 @@ func (s *Store) truncateSegment(n uint32, keep, dropped int64) error {
 	return nil
 }
 
-// apply replays one log record into the in-memory catalog.
+// apply replays one log record into the in-memory catalog. Releases are
+// buffered until their commit marker so a Sync batch replays atomically; a
+// non-release record while releases are buffered can only come from a log
+// written before commit markers existed, and applies the buffer first (the
+// log demonstrably continued past the batch, so it was complete).
 func (s *Store) apply(kind byte, payload []byte, seg uint32, recOff int64) error {
+	if kind != recRelease && kind != recCommit && len(s.relBuf) > 0 {
+		if err := s.applyBufferedReleases(); err != nil {
+			return err
+		}
+	}
 	switch kind {
 	case recPut:
 		id := sha256.Sum256(payload)
@@ -382,8 +563,10 @@ func (s *Store) apply(kind byte, payload []byte, seg uint32, recOff int64) error
 			e.refs++
 			return nil
 		}
-		s.blobs[id] = &entry{seg: seg, off: recOff + recHeaderSize, size: int64(len(payload)), refs: 1}
-		s.bytes += int64(len(payload))
+		e := &entry{seg: seg, off: recOff + recHeaderSize, size: int64(len(payload)), refs: 1, kind: recPut}
+		s.blobs[id] = e
+		s.bytes += e.size
+		s.liveSeg[seg] += e.footprint()
 		return nil
 	case recAddRef:
 		id, err := refPayload(payload)
@@ -401,19 +584,62 @@ func (s *Store) apply(kind byte, payload []byte, seg uint32, recOff int64) error
 		if err != nil {
 			return err
 		}
+		s.relBuf = append(s.relBuf, bufferedRelease{id: id, seg: seg, off: recOff})
+		return nil
+	case recCommit:
+		if len(payload) != 0 {
+			return fmt.Errorf("%w: commit marker carries %d payload bytes", errCorrupt, len(payload))
+		}
+		return s.applyBufferedReleases()
+	case recMove:
+		if len(payload) < recMoveRefsLen {
+			return fmt.Errorf("%w: move record payload is %d bytes, shorter than its refs prefix", errCorrupt, len(payload))
+		}
+		refs := int(binary.LittleEndian.Uint32(payload[:recMoveRefsLen]))
+		if refs == 0 {
+			return fmt.Errorf("%w: move record with zero refs", errCorrupt)
+		}
+		blob := payload[recMoveRefsLen:]
+		id := sha256.Sum256(blob)
 		e, ok := s.blobs[id]
 		if !ok {
-			return fmt.Errorf("diskstore: replayed release for unknown blob %s", id)
+			// Full replay after the source segment's put record was lost to
+			// a tear, or a moved blob whose index entry predates this move:
+			// the move carries everything needed to (re)create the entry.
+			e = &entry{}
+			s.blobs[id] = e
+			s.bytes += int64(len(blob))
+		} else {
+			s.liveSeg[e.seg] -= e.footprint()
 		}
-		e.refs--
-		if e.refs == 0 {
-			s.bytes -= e.size
-			delete(s.blobs, id)
-		}
+		// Absolute, not a delta: at append time the count was the blob's
+		// logged reference count at exactly this log position, and once the
+		// source segment retires, the history behind it is unreplayable.
+		e.seg, e.off, e.size, e.refs, e.kind = seg, recOff+recHeaderSize+recMoveRefsLen, int64(len(blob)), refs, recMove
+		s.liveSeg[seg] += e.footprint()
 		return nil
 	default:
 		return fmt.Errorf("diskstore: unknown record kind %d", kind)
 	}
+}
+
+// applyBufferedReleases applies a complete, marker-committed release batch.
+func (s *Store) applyBufferedReleases() error {
+	for _, r := range s.relBuf {
+		e, ok := s.blobs[r.id]
+		if !ok {
+			return fmt.Errorf("diskstore: replayed release for unknown blob %s", r.id)
+		}
+		e.refs--
+		if e.refs == 0 {
+			s.bytes -= e.size
+			s.liveSeg[e.seg] -= e.footprint()
+			delete(s.blobs, r.id)
+		}
+		s.recovery.ReplayedRecords++
+	}
+	s.relBuf = nil
+	return nil
 }
 
 // fail records the first I/O error; the store refuses further mutations
@@ -504,6 +730,7 @@ func (s *Store) rollLocked() error {
 	}
 	s.segs[n] = f
 	s.lens[n] = int64(len(segmentMagic))
+	s.readers[n] = &atomic.Int64{}
 	s.active = n
 	return nil
 }
@@ -611,11 +838,13 @@ func (s *Store) Refs(id blobstore.ID) int {
 }
 
 // Release drops one reference; at zero the blob leaves the catalog and its
-// bytes stop counting toward TotalBytes. The payload stays as garbage in
-// its segment until a future compaction (see ROADMAP) — segments are
-// append-only. The release record is queued and hits the log only at the
-// next Sync (see the package comment): a crash before then resurrects the
-// reference on reopen, which is the safe failure direction.
+// bytes stop counting toward TotalBytes. The record bytes become garbage
+// in their segment once the release flushes; compaction reclaims them when
+// the segment's dead ratio crosses the threshold. The release record is
+// queued and hits the log only at the next Sync (see the package comment):
+// a crash before then resurrects the reference on reopen, which is the
+// safe failure direction. Until that Sync the entry sits in limbo — dead
+// to every read path, but still live on disk (see the limbo field).
 func (s *Store) Release(id blobstore.ID) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -631,6 +860,7 @@ func (s *Store) Release(id blobstore.ID) error {
 	if e.refs == 0 {
 		s.bytes -= e.size
 		delete(s.blobs, id)
+		s.limbo[id] = e
 	}
 	s.dirty = true
 	return nil
@@ -737,14 +967,43 @@ func (s *Store) SyncData() (blobstore.SyncStats, error) {
 }
 
 // Sync makes all preceding operations durable: the queued release records
-// are appended to the log, every segment with bytes appended since the
-// previous sync is fsynced (only those — the store's save is incremental),
-// and a fresh index is committed via write-temp + rename. After a crash
-// anywhere inside Sync the store reopens to either the previous or the
-// next committed state: segments are fsynced before the index that
-// references them, and the log tail beyond the old watermark is replayed
-// regardless.
+// are appended to the log followed by one commit marker (so recovery
+// applies the batch all-or-nothing), every segment with bytes appended
+// since the previous sync is fsynced (only those — the store's save is
+// incremental), and a fresh index is committed via write-temp + rename.
+// After a crash anywhere inside Sync the store reopens to either the
+// previous or the next committed state: segments are fsynced before the
+// index that references them, and the log tail beyond the old watermark is
+// replayed regardless. When the committed catalog leaves a sealed segment
+// past the dead-ratio threshold, Sync then compacts it in the same call
+// (unless Options disabled the automatic trigger) and folds the
+// reclamation into its stats.
 func (s *Store) Sync() (blobstore.SyncStats, error) {
+	st, err := s.syncIndex()
+	if err != nil {
+		return st, err
+	}
+	s.mu.RLock()
+	auto := s.deadGate >= 0 && len(s.candidateSegsLocked(s.deadGate)) > 0
+	s.mu.RUnlock()
+	if auto {
+		cst, cerr := s.compact()
+		st.SegmentsCompacted += cst.SegmentsCompacted
+		st.BytesReclaimed += cst.BytesReclaimed
+		if cerr != nil {
+			return st, cerr
+		}
+	}
+	s.mu.RLock()
+	st.DeadBytes = s.deadBytesLocked()
+	s.mu.RUnlock()
+	return st, nil
+}
+
+// syncIndex is the flush-and-commit core of Sync, without the automatic
+// compaction trigger (Compact and Close call it directly — a close must
+// not grow into a surprise rewrite of half the store).
+func (s *Store) syncIndex() (blobstore.SyncStats, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.failure != nil {
@@ -764,13 +1023,27 @@ func (s *Store) Sync() (blobstore.SyncStats, error) {
 			return st, err
 		}
 	}
+	if len(s.pending) > 0 {
+		// The marker is what commits the batch: recovery drops (and
+		// truncates) any release run that ends without one.
+		if _, _, err := s.appendLocked(recCommit, nil); err != nil {
+			s.fail(err)
+			return st, err
+		}
+	}
 	s.pending = nil
+	// The queued releases are in the log now: limbo entries stop being
+	// live bytes, and their segments' dead ratios grow accordingly.
+	for _, e := range s.limbo {
+		s.liveSeg[e.seg] -= e.footprint()
+	}
+	s.limbo = make(map[blobstore.ID]*entry)
 	if err := s.syncSegmentsLocked(&st); err != nil {
 		return st, err
 	}
 	entries := make([]indexEntry, 0, len(s.blobs))
 	for id, e := range s.blobs {
-		entries = append(entries, indexEntry{id: id, seg: e.seg, off: e.off, size: e.size, refs: e.refs})
+		entries = append(entries, indexEntry{id: id, seg: e.seg, off: e.off, size: e.size, refs: e.refs, kind: e.kind})
 	}
 	img := encodeIndex(s.active, s.lens[s.active], entries)
 	if err := atomicfile.Write(filepath.Join(s.dir, "index"), img); err != nil {
@@ -781,6 +1054,18 @@ func (s *Store) Sync() (blobstore.SyncStats, error) {
 	st.IndexBytes = int64(len(img))
 	s.dirty = false
 	return st, nil
+}
+
+// deadBytesLocked sums record bytes no live entry accounts for across all
+// open segments. Caller holds mu (shared suffices).
+func (s *Store) deadBytesLocked() int64 {
+	var dead int64
+	for n, l := range s.lens {
+		if d := l - int64(len(segmentMagic)) - s.liveSeg[n]; d > 0 {
+			dead += d
+		}
+	}
+	return dead
 }
 
 // Err returns the store's sticky I/O failure, if any. Mutating methods
@@ -794,12 +1079,15 @@ func (s *Store) Err() error {
 }
 
 // Close syncs and releases all file handles and the directory lock. The
-// store is unusable after.
+// store is unusable after. Close commits the index but never triggers
+// compaction — shutdown must not grow into a rewrite of half the store —
+// and it removes any evacuated segments still waiting on reader drain
+// (their readers are dead with the store anyway).
 func (s *Store) Close() error {
-	_, err := s.Sync()
+	_, err := s.syncIndex()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if cerr := s.closeFiles(); err == nil {
+	if cerr := s.closeFiles(true); err == nil {
 		err = cerr
 	}
 	return err
@@ -808,20 +1096,33 @@ func (s *Store) Close() error {
 // Abandon releases all file handles and the directory lock WITHOUT
 // syncing anything — the store simply stops, exactly as a crashed process
 // would. It exists so crash-recovery tests can reopen the directory in
-// the same process; production code wants Close.
+// the same process; production code wants Close. Evacuated segments
+// pending reader drain are closed but left on disk, exactly as a crash
+// would leave them: the next Open's sweep reclaims them.
 func (s *Store) Abandon() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.closeFiles()
+	return s.closeFiles(false)
 }
 
-func (s *Store) closeFiles() error {
+func (s *Store) closeFiles(removeRetired bool) error {
 	var first error
 	for n, f := range s.segs {
 		if err := f.Close(); err != nil && first == nil {
 			first = err
 		}
 		delete(s.segs, n)
+	}
+	for n, r := range s.retiring {
+		if err := r.f.Close(); err != nil && first == nil {
+			first = err
+		}
+		if removeRetired {
+			if err := os.Remove(r.path); err != nil && first == nil {
+				first = err
+			}
+		}
+		delete(s.retiring, n)
 	}
 	if s.unlock != nil {
 		if err := s.unlock(); err != nil && first == nil {

@@ -10,42 +10,67 @@ import (
 )
 
 // The index is the committed catalog of live blobs: for every blob, where
-// its bytes live (segment, offset, length) and its reference count, plus
-// the durability watermark — how far into the newest segment the index's
-// view extends. Everything a segment holds at or beyond the watermark is
-// replayed on open; everything below it is covered by the index.
+// its bytes live (segment, offset, length), its reference count and its
+// record kind, plus the durability watermark — how far into the newest
+// segment the index's view extends. Everything a segment holds at or
+// beyond the watermark is replayed on open; everything below it is
+// covered by the index.
 //
-// Wire format:
+// Wire format (v2 — v1 lacked the per-entry kind and parses as an error,
+// which sends Open down the full-replay path):
 //
-//	offset 0: "EXPIDX1\n"
+//	offset 0: "EXPIDX2\n"
 //	body:     uvarint watermarkSeg   (0 = no segment written yet)
 //	          uvarint watermarkOff
 //	          256 shard sections, keyed by the blob ID's leading byte —
 //	          the same shard key the in-memory store stripes its locks on:
 //	            uvarint entryCount
 //	            entries sorted by ID:
-//	              id (32) | uvarint seg | uvarint off | uvarint len | uvarint refs
+//	              id (32) | uvarint seg | uvarint off | uvarint len |
+//	              uvarint refs | uvarint kind (0 = put record, 1 = move)
 //	trailer:  crc32c of body (4, LE)
+//
+// The kind is what makes per-segment live/dead byte ratios derivable from
+// the index alone: an entry's on-disk footprint is header + payload for a
+// put record but carries an extra reference-count prefix for a move, so
+// summing footprints per segment and subtracting from the file length
+// yields each segment's dead bytes — the compactor's scoring input —
+// without reading a single record.
 //
 // The file is only ever replaced atomically (write temp + rename), never
 // updated in place, so a reader sees either the previous or the next
 // committed image. The trailing checksum guards against a torn rename on
 // filesystems without atomic-rename guarantees; a mismatch makes Open fall
 // back to a full log replay rather than trusting a half-written catalog.
-var indexMagic = []byte("EXPIDX1\n")
+var indexMagic = []byte("EXPIDX2\n")
 
 // indexShards is the shard-section count: one per possible leading hash
 // byte. (The in-memory store folds this to 64 lock stripes; the file keeps
 // all 256 so the grouping is exact, not modular.)
 const indexShards = 256
 
-// indexEntry is one blob's committed location and reference count.
+// indexEntry is one blob's committed location, reference count and record
+// kind (recPut or recMove).
 type indexEntry struct {
 	id   blobstore.ID
 	seg  uint32
 	off  int64
 	size int64
 	refs int
+	kind byte
+}
+
+// Index encodings of the two record kinds an entry can point at.
+const (
+	idxKindPut  = 0
+	idxKindMove = 1
+)
+
+func encodeKind(kind byte) uint64 {
+	if kind == recMove {
+		return idxKindMove
+	}
+	return idxKindPut
 }
 
 // encodeIndex serialises the watermark and entries. Entries may be in any
@@ -71,6 +96,7 @@ func encodeIndex(watermarkSeg uint32, watermarkOff int64, entries []indexEntry) 
 			putU(uint64(e.off))
 			putU(uint64(e.size))
 			putU(uint64(e.refs))
+			putU(encodeKind(e.kind))
 		}
 	}
 	out := make([]byte, 0, len(indexMagic)+len(body)+4)
@@ -116,11 +142,11 @@ func parseIndex(b []byte) (watermarkSeg uint32, watermarkOff int64, entries []in
 		if err != nil {
 			return 0, 0, nil, err
 		}
-		// An entry is at least 32 id bytes + 4 one-byte varints; a count
+		// An entry is at least 32 id bytes + 5 one-byte varints; a count
 		// claiming more than the remaining bytes could hold is corruption,
 		// and bounding it here keeps hostile counts from forcing huge
 		// allocations (the decoders are fuzz targets).
-		if count > uint64(len(body)-pos)/36 {
+		if count > uint64(len(body)-pos)/37 {
 			return 0, 0, nil, fmt.Errorf("diskstore: index shard %d count %d exceeds remaining bytes", shard, count)
 		}
 		var prev blobstore.ID
@@ -159,6 +185,18 @@ func parseIndex(b []byte) (watermarkSeg uint32, watermarkOff int64, entries []in
 			}
 			if refs == 0 {
 				return 0, 0, nil, fmt.Errorf("diskstore: index entry %s has zero refs", e.id)
+			}
+			kind, err := getU()
+			if err != nil {
+				return 0, 0, nil, err
+			}
+			switch kind {
+			case idxKindPut:
+				e.kind = recPut
+			case idxKindMove:
+				e.kind = recMove
+			default:
+				return 0, 0, nil, fmt.Errorf("diskstore: index entry %s has unknown kind %d", e.id, kind)
 			}
 			e.seg, e.off, e.size, e.refs = uint32(seg), int64(off), int64(size), int(refs)
 			entries = append(entries, e)

@@ -26,7 +26,29 @@ const (
 	recPut     byte = 1 // payload: blob bytes (ID = SHA-256 of payload)
 	recAddRef  byte = 2 // payload: 32-byte blob ID
 	recRelease byte = 3 // payload: 32-byte blob ID
+	// recCommit marks the end of a release batch. Sync appends the queued
+	// releases and then one commit marker, so recovery can tell a complete
+	// batch from the tail of a Sync that died mid-append: replay buffers
+	// release records and applies them only when their marker arrives, and
+	// an unmarked trailing run is dropped (and physically truncated —
+	// leaving half a batch in the log would let a later marker commit it).
+	// Recovery therefore lands on operation boundaries: either every
+	// release of a batch applies or none does. Puts and addrefs are not
+	// gated — losing one loses data, so they stay self-committing.
+	recCommit byte = 4 // payload: empty
+	// recMove is a compaction rewrite of a surviving record into a fresh
+	// segment: u32 LE reference count, then the blob bytes. The count is
+	// the blob's logged reference count at append time, and replay applies
+	// it absolutely (not as a delta): once the source segment is retired,
+	// the addref/release history that produced the count is gone from the
+	// log, so the move record must carry the total itself.
+	recMove byte = 5 // payload: refs (4, LE) | blob bytes
 )
+
+// recMoveRefsLen is the length of recMove's reference-count prefix; a move
+// record's payload is the prefix plus the blob bytes, and the catalog's
+// payload offset points just past it.
+const recMoveRefsLen = 4
 
 // Local names for the shared framing, kept so the recovery code reads in
 // this package's vocabulary.

@@ -18,6 +18,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 
 	"expelliarmus/internal/blobstore"
 	"expelliarmus/internal/chunkpool"
@@ -178,6 +179,22 @@ func (s *Store) PutReader(r io.Reader) (blobstore.ID, int64, bool, error) {
 		s.dirty = true
 		return id, sp.size, false, nil
 	}
+	if e, ok := s.limbo[id]; ok {
+		// The blob's bytes are still on disk and its final release is still
+		// queued: cancel one queued release instead of logging anything. The
+		// log's reference count at this position stays exactly right — the
+		// cancelled release will never be appended, and the entry returns to
+		// the catalog with the one reference that release would have dropped.
+		// From the caller's view the content had been fully released, so
+		// this reports stored (the catalog regained a blob), not a dedup hit.
+		s.cancelPendingLocked(id)
+		delete(s.limbo, id)
+		e.refs = 1
+		s.blobs[id] = e
+		s.bytes += e.size
+		s.dirty = true
+		return id, sp.size, true, nil
+	}
 	payload, err := sp.payload()
 	if err != nil {
 		return id, sp.size, false, fmt.Errorf("diskstore: put stream: rewind spool: %w", err)
@@ -187,8 +204,10 @@ func (s *Store) PutReader(r io.Reader) (blobstore.ID, int64, bool, error) {
 		s.fail(err)
 		return id, sp.size, false, err
 	}
-	s.blobs[id] = &entry{seg: seg, off: off, size: sp.size, refs: 1}
+	e := &entry{seg: seg, off: off, size: sp.size, refs: 1, kind: recPut}
+	s.blobs[id] = e
 	s.bytes += sp.size
+	s.liveSeg[seg] += e.footprint()
 	s.dirty = true
 	return id, sp.size, true, nil
 }
@@ -232,14 +251,22 @@ func (s *Store) appendStreamLocked(kind byte, crc uint32, size int64, payload io
 // the stored record header and a mismatch turns the stream's end into an
 // error instead of a clean EOF. ReadAt serves random access without
 // touching the sequential cursor (spot-verified at open only).
+//
+// An open segReader pins its segment: compaction may evacuate the segment
+// and drop it from the catalog, but the file handle stays open — and the
+// file on disk — until the last pinned reader closes, so a reader taken
+// before the blob moved streams the old record to EOF undisturbed.
 type segReader struct {
-	sr   *io.SectionReader
-	seg  uint32
-	size int64
-	pos  int64
-	crc  uint32
-	want uint32
-	err  error // sticky checksum/short-read failure
+	store  *Store
+	rc     *atomic.Int64
+	closed bool
+	sr     *io.SectionReader
+	seg    uint32
+	size   int64
+	pos    int64
+	crc    uint32
+	want   uint32
+	err    error // sticky checksum/short-read failure
 }
 
 func (r *segReader) Read(p []byte) (int, error) {
@@ -268,49 +295,113 @@ func (r *segReader) ReadAt(p []byte, off int64) (int, error) {
 	return r.sr.ReadAt(p, off)
 }
 
-// Close is a no-op: the reader borrows the store's shared segment handle
-// and owns no resources. It exists for the Backend.Open contract.
-func (r *segReader) Close() error { return nil }
+// Close releases the reader's pin on its segment. If the segment was
+// evacuated by compaction while this reader held it open, the last pin to
+// drop deletes the file. Closing twice is safe.
+func (r *segReader) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	r.store.unpin(r.seg, r.rc)
+	return nil
+}
+
+// unpin drops one reader pin on seg and, when the segment is retiring and
+// this was the last pin, finishes the retirement: close the handle, delete
+// the file. New pins are impossible by then — a retiring segment has no
+// catalog entries pointing at it and is gone from segs — so the count can
+// only stay zero.
+func (s *Store) unpin(seg uint32, rc *atomic.Int64) {
+	if rc.Add(-1) != 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ret, ok := s.retiring[seg]
+	if !ok || rc.Load() != 0 {
+		return
+	}
+	ret.f.Close()
+	os.Remove(ret.path)
+	delete(s.retiring, seg)
+	delete(s.readers, seg)
+}
 
 // Open returns a streaming reader over the blob's payload, served directly
 // from its segment offset. The record header is spot-verified here (kind
 // and length must match the catalog; the stored CRC seeds the sequential
 // verification in segReader), but the payload itself is not read — opening
-// a gigabyte blob costs one 9-byte pread. A header that cannot be read or
-// no longer matches the catalog is real on-disk damage, reported as a
-// corruption error (never as not-found) and tripping the store's sticky
-// failure, matching Get's refusal to serve damaged bytes. The reader stays
-// readable after the blob is released (segments are append-only) and until
-// the store is closed. It also implements io.ReaderAt.
+// a gigabyte blob costs one header-sized pread. A header that cannot be
+// read or no longer matches the catalog is real on-disk damage, reported
+// as a corruption error (never as not-found) and tripping the store's
+// sticky failure, matching Get's refusal to serve damaged bytes. The
+// reader pins its segment against compaction's retirement (see segReader),
+// so it stays readable after the blob is released or moved — until its own
+// Close or the store's. It also implements io.ReaderAt.
 func (s *Store) Open(id blobstore.ID) (io.ReadCloser, int64, error) {
 	s.mu.RLock()
-	e, ok := s.blobs[id]
+	ep, ok := s.blobs[id]
+	var e entry
 	var f *os.File
+	var rc *atomic.Int64
 	if ok {
+		e = *ep
 		f, ok = s.segs[e.seg]
+		if ok {
+			// Pin while still under the lock: the moment it drops, a racing
+			// compaction could retire the segment and close the handle.
+			rc = s.readers[e.seg]
+			rc.Add(1)
+		}
 	}
 	s.mu.RUnlock()
 	if !ok {
 		return nil, 0, fmt.Errorf("diskstore: open %s: %w", id, blobstore.ErrNotFound)
 	}
-	var hdr [recHeaderSize]byte
-	if _, err := f.ReadAt(hdr[:], e.off-int64(recHeaderSize)); err != nil {
+	// A move record's payload carries a reference-count prefix between the
+	// framing header and the blob bytes; the header pread grabs both, and
+	// the prefix joins the CRC seed (the stored sum covers kind | refs |
+	// blob for moves, kind | blob for puts).
+	prefix := 0
+	if e.kind == recMove {
+		prefix = recMoveRefsLen
+	}
+	hdr := make([]byte, recHeaderSize+prefix)
+	if _, err := f.ReadAt(hdr, e.off-int64(len(hdr))); err != nil {
+		s.unpin(e.seg, rc)
 		cerr := fmt.Errorf("diskstore: segment %d: blob %s header unreadable (%v): %w", e.seg, id, err, blobstore.ErrCorrupt)
 		s.failSticky(cerr)
 		return nil, 0, cerr
 	}
-	if hdr[8] != recPut || int64(binary.LittleEndian.Uint32(hdr[4:8])) != e.size {
+	if hdr[8] != e.kind || int64(binary.LittleEndian.Uint32(hdr[4:8])) != e.size+int64(prefix) {
+		s.unpin(e.seg, rc)
 		cerr := fmt.Errorf("diskstore: segment %d: blob %s header mismatches catalog (kind %d, length %d, want %d): %w",
-			e.seg, id, hdr[8], binary.LittleEndian.Uint32(hdr[4:8]), e.size, blobstore.ErrCorrupt)
+			e.seg, id, hdr[8], binary.LittleEndian.Uint32(hdr[4:8]), e.size+int64(prefix), blobstore.ErrCorrupt)
 		s.failSticky(cerr)
 		return nil, 0, cerr
 	}
+	crc := crc32.Checksum(hdr[8:9], crcTable)
+	crc = crc32.Update(crc, crcTable, hdr[recHeaderSize:])
 	r := &segReader{
-		sr:   io.NewSectionReader(f, e.off, e.size),
-		seg:  e.seg,
-		size: e.size,
-		crc:  crc32.Checksum([]byte{recPut}, crcTable),
-		want: binary.LittleEndian.Uint32(hdr[0:4]),
+		store: s,
+		rc:    rc,
+		sr:    io.NewSectionReader(f, e.off, e.size),
+		seg:   e.seg,
+		size:  e.size,
+		crc:   crc,
+		want:  binary.LittleEndian.Uint32(hdr[0:4]),
 	}
 	return r, e.size, nil
+}
+
+// cancelPendingLocked removes the most recent queued release of id. Caller
+// holds mu and guarantees at least one is queued (id is in limbo).
+func (s *Store) cancelPendingLocked(id blobstore.ID) {
+	for i := len(s.pending) - 1; i >= 0; i-- {
+		if s.pending[i] == id {
+			s.pending = append(s.pending[:i], s.pending[i+1:]...)
+			return
+		}
+	}
 }

@@ -11,7 +11,9 @@ import (
 	"errors"
 	"io"
 	"os"
+	"path/filepath"
 	"testing"
+	"testing/iotest"
 
 	"expelliarmus/internal/blobstore"
 	"expelliarmus/internal/blobstore/blobstoretest"
@@ -154,5 +156,83 @@ func TestPostHocRotFailsStreamedCRC(t *testing.T) {
 	}
 	if _, ok := r.Get(id); ok {
 		t.Fatalf("Get returned rotten bytes")
+	}
+}
+
+// spoolFiles lists the put-*.tmp spill files a streaming put spools
+// oversized payloads into.
+func spoolFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	m, err := filepath.Glob(filepath.Join(dir, "put-*.tmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestFailedStreamedPutUnlinksSpoolImmediately is the regression for the
+// daemon spool leak: a streamed put whose source fails after crossing the
+// spill threshold must delete its put-*.tmp file on the error path itself
+// — on the live store, not at the next reopen's stray sweep. A daemon
+// never reopens, so anything less accumulates a temp file per failed
+// upload until the disk fills.
+func TestFailedStreamedPutUnlinksSpoolImmediately(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, diskstore.Options{})
+	defer s.Close()
+
+	boom := errors.New("source died mid-upload")
+	// Well past the 1 MiB spill threshold before the source fails, so the
+	// spool is certainly file-backed.
+	src := io.MultiReader(bytes.NewReader(bytes.Repeat([]byte("spilled-payload|"), 1<<17)), iotest.ErrReader(boom))
+	if _, _, _, err := s.PutReader(src); !errors.Is(err, boom) {
+		t.Fatalf("PutReader with failing source = %v, want the source's error", err)
+	}
+	if left := spoolFiles(t, dir); len(left) != 0 {
+		t.Fatalf("failed streamed put leaked spool files: %v", left)
+	}
+	if n := s.Len(); n != 0 {
+		t.Fatalf("failed put changed the store: %d blobs", n)
+	}
+
+	// The error path must not have wedged anything: the same payload
+	// streams in cleanly afterwards, and a successful spilled put cleans
+	// its spool too.
+	data := bytes.Repeat([]byte("spilled-payload|"), 1<<17)
+	id, n, stored, err := s.PutReader(bytes.NewReader(data))
+	if err != nil || !stored || n != int64(len(data)) {
+		t.Fatalf("PutReader after failed put = id %v, n %d, stored %v, err %v", id, n, stored, err)
+	}
+	if left := spoolFiles(t, dir); len(left) != 0 {
+		t.Fatalf("successful streamed put left spool files behind: %v", left)
+	}
+	rc, size, err := s.Open(id)
+	if err != nil || size != int64(len(data)) {
+		t.Fatalf("Open after recovery from failed put: %v, %d", err, size)
+	}
+	defer rc.Close()
+	if got, err := io.ReadAll(rc); err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("streamed read differs after failed-put recovery (err=%v)", err)
+	}
+}
+
+// TestFailedSmallStreamedPutLeavesNoTrace is the in-memory-spool sibling:
+// a source failing under the spill threshold must leave neither spool
+// files nor any store mutation behind.
+func TestFailedSmallStreamedPutLeavesNoTrace(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, diskstore.Options{})
+	defer s.Close()
+
+	boom := errors.New("tiny source died")
+	src := io.MultiReader(bytes.NewReader([]byte("just a few bytes")), iotest.ErrReader(boom))
+	if _, _, _, err := s.PutReader(src); !errors.Is(err, boom) {
+		t.Fatalf("PutReader with failing source = %v, want the source's error", err)
+	}
+	if left := spoolFiles(t, dir); len(left) != 0 {
+		t.Fatalf("failed in-memory put leaked spool files: %v", left)
+	}
+	if n := s.Len(); n != 0 {
+		t.Fatalf("failed put changed the store: %d blobs", n)
 	}
 }

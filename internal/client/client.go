@@ -12,7 +12,11 @@
 // Error mapping. A 404 with error kind "not-found" unwraps to
 // vmirepo.ErrNotFound and a kind "corrupt" reply to blobstore.ErrCorrupt,
 // so code written against the in-process API routes remote absence and
-// remote corruption identically.
+// remote corruption identically. A stream the server aborted mid-body —
+// or ended without its integrity trailers — unwraps to ErrTruncated,
+// never a bare EOF, so callers can tell "the image is incomplete" from
+// "the image failed verification"; a truncated stream that delivered no
+// bytes to the caller's sink is retried like any transport failure.
 package client
 
 import (
@@ -86,6 +90,13 @@ func (c *Client) ctx(parent context.Context) (context.Context, context.CancelFun
 	return context.WithTimeout(parent, c.timeout)
 }
 
+// ErrTruncated reports that an image stream ended before its integrity
+// trailers arrived: the server (or the connection) aborted mid-body.
+// The bytes already delivered are an incomplete prefix, not a damaged
+// whole — callers distinguishing "retry the download" from "the image
+// failed verification" should test for this sentinel with errors.Is.
+var ErrTruncated = errors.New("image stream truncated before trailers")
+
 // apiError reconstructs the operation error from a non-2xx reply,
 // resurfacing the server's absence/corruption distinction as the same
 // sentinels the in-process API uses.
@@ -105,11 +116,13 @@ func apiError(resp *http.Response) error {
 }
 
 // doIdempotent issues req-building attempts until one succeeds, retrying
-// transport-level failures up to c.retries times. The builder is called
-// afresh per attempt (a consumed request body cannot be replayed);
-// attempt must report via wrote whether any response bytes already
-// reached the caller — once they have, retrying would corrupt the
-// caller's sink, so the error is final.
+// transport-level failures (and streams truncated before any byte
+// reached the caller) up to c.retries times. The builder is called
+// afresh per attempt — each one constructs a brand-new request, so a
+// response body partially consumed by the previous attempt can never
+// leak into the next. attempt must report via wrote whether any
+// response bytes already reached the caller's sink — once they have,
+// retrying would corrupt it, so the error is final.
 func (c *Client) doIdempotent(attempt func() (wrote bool, err error)) error {
 	var err error
 	for try := 0; ; try++ {
@@ -119,8 +132,8 @@ func (c *Client) doIdempotent(attempt func() (wrote bool, err error)) error {
 			return nil
 		}
 		var uerr *url.Error
-		transport := errors.As(err, &uerr)
-		if !transport || wrote || try >= c.retries {
+		retryable := errors.As(err, &uerr) || errors.Is(err, ErrTruncated)
+		if !retryable || wrote || try >= c.retries {
 			return err
 		}
 	}
@@ -160,19 +173,21 @@ func (c *Client) streamGet(parent context.Context, u string, w io.Writer) (int64
 }
 
 // verifyStream drains a streamed image body into w and checks it against
-// the trailers. A server abort mid-stream surfaces as a body read error
-// before the trailers are ever consulted.
+// the trailers. A server abort mid-stream surfaces as ErrTruncated —
+// whether it manifests as a body read error (chunked framing cut off)
+// or as a body that ended cleanly but never delivered its trailers —
+// so callers are never handed a generic EOF for an incomplete image.
 func verifyStream(resp *http.Response, w io.Writer) (int64, *wire.RetrieveResult, error) {
 	h := sha256.New()
 	n, err := io.Copy(io.MultiWriter(w, h), resp.Body)
 	if err != nil {
-		return n, nil, fmt.Errorf("client: image stream: %w", err)
+		return n, nil, fmt.Errorf("client: image stream aborted after %d bytes (%v): %w", n, err, ErrTruncated)
 	}
 	wantSha := resp.Trailer.Get(server.HeaderSha256)
 	wantBytes := resp.Trailer.Get(server.HeaderBytes)
 	resJSON := resp.Trailer.Get(server.HeaderResult)
 	if wantSha == "" || wantBytes == "" || resJSON == "" {
-		return n, nil, fmt.Errorf("client: stream ended without integrity trailers")
+		return n, nil, fmt.Errorf("client: stream ended without integrity trailers: %w", ErrTruncated)
 	}
 	if want, err := strconv.ParseInt(wantBytes, 10, 64); err != nil || want != n {
 		return n, nil, fmt.Errorf("client: streamed %d bytes, server reported %q", n, wantBytes)
@@ -281,9 +296,23 @@ func (c *Client) Stats(parent context.Context) (*wire.Stats, error) {
 
 // Sync forces a durable save on a disk-backed server.
 func (c *Client) Sync(parent context.Context) (*wire.SyncStats, error) {
+	return c.postSyncStats(parent, "/v1/sync")
+}
+
+// Compact forces compaction of the server's stores — metadata WAL
+// snapshot rewrite plus blob segment reclamation — and returns the same
+// durable-save breakdown a sync does. Compaction mutates on-disk layout,
+// so like Sync it is never retried.
+func (c *Client) Compact(parent context.Context) (*wire.SyncStats, error) {
+	return c.postSyncStats(parent, "/v1/compact")
+}
+
+// postSyncStats POSTs one maintenance endpoint and decodes its
+// wire.SyncStats reply.
+func (c *Client) postSyncStats(parent context.Context, path string) (*wire.SyncStats, error) {
 	ctx, cancel := c.ctx(parent)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/sync", nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -297,7 +326,7 @@ func (c *Client) Sync(parent context.Context) (*wire.SyncStats, error) {
 	}
 	var out wire.SyncStats
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return nil, fmt.Errorf("client: decode sync stats: %w", err)
+		return nil, fmt.Errorf("client: decode %s stats: %w", path, err)
 	}
 	return &out, nil
 }

@@ -72,6 +72,7 @@ func New(sys *core.System) *Server {
 	s.mux.HandleFunc("POST /v1/assemble", s.handleAssemble)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v1/sync", s.handleSync)
+	s.mux.HandleFunc("POST /v1/compact", s.handleCompact)
 	s.mux.HandleFunc("GET /v1/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("GET /v1/graphs/dot", s.handleDOT)
 	return s
@@ -203,6 +204,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Bases:      st.Bases,
 		VMIs:       st.VMIs,
 		TotalBytes: st.TotalBytes,
+		DiskBytes:  st.BlobDiskBytes,
+		DeadBytes:  st.BlobDeadBytes,
 	}
 	if cs, ok := s.sys.CacheStats(); ok {
 		out.CacheEnabled = true
@@ -220,6 +223,22 @@ func (s *Server) handleSync(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	writeSyncStats(w, st)
+}
+
+// handleCompact forces compaction of both stores (metadata WAL snapshot
+// rewrite, blob segment reclamation) and replies with the same durable-
+// save breakdown a sync does.
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	st, err := s.sys.Compact()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeSyncStats(w, st)
+}
+
+func writeSyncStats(w http.ResponseWriter, st vmirepo.SyncStats) {
 	writeJSON(w, wire.SyncStats{
 		Segments:          st.Blobs.Segments,
 		SegmentBytes:      st.Blobs.SegmentBytes,
@@ -228,6 +247,9 @@ func (s *Server) handleSync(w http.ResponseWriter, r *http.Request) {
 		MetaOps:           st.MetaOps,
 		Compacted:         st.Compacted,
 		MetaSnapshotBytes: st.MetaSnapshotBytes,
+		SegmentsCompacted: st.Blobs.SegmentsCompacted,
+		BytesReclaimed:    st.Blobs.BytesReclaimed,
+		DeadBytes:         st.Blobs.DeadBytes,
 	})
 }
 

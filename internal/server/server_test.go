@@ -403,6 +403,83 @@ func TestRemoteCorruptIsNotNotFound(t *testing.T) {
 	// handles to the process exit — this repository is damage evidence.
 }
 
+// TestRemoteCompactReclaims exercises the compaction verb end to end on
+// a disk-backed server: remove a bulky VMI, observe dead bytes in the
+// stats, POST /v1/compact, and watch the physical footprint shrink while
+// a surviving image still retrieves byte-identically. Auto-compaction is
+// disabled so the reclamation is attributable to the verb under test.
+func TestRemoteCompactReclaims(t *testing.T) {
+	dir := t.TempDir()
+	repo, err := vmirepo.OpenAtOpts(dir, testDevice(), vmirepo.OpenOptions{BlobCompactDeadRatio: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := core.NewSystemWithRepo(repo, testDevice(), core.Options{})
+	addr, _ := startServer(t, sys)
+	cl := client.New(addr, client.Options{Timeout: 2 * time.Minute})
+	defer cl.Close()
+	ctx := context.Background()
+
+	// Publish and remove a victim on its own, syncing so its releases
+	// commit and its whole base goes dead on disk; then publish the
+	// keeper, whose fresh base lands on top of the garbage and straddles
+	// the segment roll — compaction must rewrite those live records out
+	// of the mostly-dead sealed segment.
+	victim := buildTestImage(t, "victim", false, 4<<20)
+	if _, err := cl.Publish(ctx, func(w io.Writer) error { return wire.WriteImage(w, victim) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Remove(ctx, "victim"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	keeper := buildTestImage(t, "keeper", true, 1<<20)
+	if _, err := cl.Publish(ctx, func(w io.Writer) error { return wire.WriteImage(w, keeper) }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ref := newShaCounter()
+	if _, _, err := cl.Retrieve(ctx, "keeper", ref); err != nil {
+		t.Fatal(err)
+	}
+	before, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.DeadBytes == 0 {
+		t.Fatalf("removal left no visible garbage: %+v", before)
+	}
+
+	cst, err := cl.Compact(ctx)
+	if err != nil {
+		t.Fatalf("remote compact: %v", err)
+	}
+	if cst.SegmentsCompacted == 0 || cst.BytesReclaimed == 0 {
+		t.Fatalf("compact reclaimed nothing: %+v", cst)
+	}
+	after, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.DiskBytes >= before.DiskBytes {
+		t.Fatalf("disk footprint did not shrink: %d -> %d", before.DiskBytes, after.DiskBytes)
+	}
+	if after.TotalBytes != before.TotalBytes {
+		t.Fatalf("compaction changed the live size: %d -> %d", before.TotalBytes, after.TotalBytes)
+	}
+	sink := newShaCounter()
+	if _, _, err := cl.Retrieve(ctx, "keeper", sink); err != nil {
+		t.Fatalf("retrieve after compact: %v", err)
+	}
+	if sink.n != ref.n || sink.sum() != ref.sum() {
+		t.Fatalf("keeper changed across compaction")
+	}
+}
+
 // TestRemoteRemoveAndSnapshot covers the remaining verbs end to end.
 func TestRemoteRemoveAndSnapshot(t *testing.T) {
 	sys := core.NewSystem(testDevice(), core.Options{})

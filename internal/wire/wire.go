@@ -182,10 +182,17 @@ func phaseMap(m *simio.Meter) map[string]float64 {
 
 // Stats is the server's repository and cache statistics reply.
 type Stats struct {
-	Packages   int
-	Bases      int
-	VMIs       int
+	Packages int
+	Bases    int
+	VMIs     int
+	// TotalBytes is the live (deduplicated) repository size. On a
+	// disk-backed server DiskBytes is the physical blob footprint —
+	// including the garbage released images leave until compaction — and
+	// DeadBytes the reclaimable part of it; both are zero for a
+	// memory-backed server.
 	TotalBytes int64
+	DiskBytes  int64
+	DeadBytes  int64
 
 	CacheEnabled bool
 	CacheHits    int64
@@ -194,9 +201,9 @@ type Stats struct {
 	CacheBytes   int64
 }
 
-// SyncStats is the server's reply to a sync: the durable-save breakdown
-// of a disk-backed repository (see the facade's SyncStats for field
-// semantics).
+// SyncStats is the server's reply to a sync or compact: the durable-save
+// breakdown of a disk-backed repository (see the facade's SyncStats for
+// field semantics).
 type SyncStats struct {
 	Segments          int
 	SegmentBytes      int64
@@ -205,6 +212,9 @@ type SyncStats struct {
 	MetaOps           int
 	Compacted         bool
 	MetaSnapshotBytes int64
+	SegmentsCompacted int
+	BytesReclaimed    int64
+	DeadBytes         int64
 }
 
 // AssembleRequest asks the server to build a VMI from stored packages

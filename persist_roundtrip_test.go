@@ -85,8 +85,13 @@ func TestRoundTripDiskMatchesMemory(t *testing.T) {
 	if dskSnap := mustSave(t, dsk); !bytes.Equal(dskSnap, memSnap) {
 		t.Fatalf("disk Save() differs from memory Save(): %d vs %d bytes", len(dskSnap), len(memSnap))
 	}
-	if st := dsk.RepoStats(); st != memStats {
-		t.Fatalf("repo stats differ: disk %+v, memory %+v", st, memStats)
+	// Logical catalog only: DiskGB/DeadGB describe the disk backend's
+	// physical footprint, which the memory reference rightly lacks.
+	dskStats, refStats := dsk.RepoStats(), memStats
+	dskStats.DiskGB, dskStats.DeadGB = 0, 0
+	refStats.DiskGB, refStats.DeadGB = 0, 0
+	if dskStats != refStats {
+		t.Fatalf("repo stats differ: disk %+v, memory %+v", dskStats, refStats)
 	}
 	if dskRet := retrieveCatalog(t, dsk); dskRet != memRet {
 		t.Fatalf("retrieval reports differ between backends:\nmemory:\n%s\ndisk:\n%s", memRet, dskRet)
@@ -106,8 +111,10 @@ func TestRoundTripDiskMatchesMemory(t *testing.T) {
 	if reSnap := mustSave(t, re); !bytes.Equal(reSnap, memSnap) {
 		t.Fatalf("reopened Save() differs from memory Save(): %d vs %d bytes", len(reSnap), len(memSnap))
 	}
-	if st := re.RepoStats(); st != memStats {
-		t.Fatalf("reopened repo stats differ: %+v vs %+v", st, memStats)
+	reStats := re.RepoStats()
+	reStats.DiskGB, reStats.DeadGB = 0, 0
+	if reStats != refStats {
+		t.Fatalf("reopened repo stats differ: %+v vs %+v", reStats, refStats)
 	}
 	if reRet := retrieveCatalog(t, re); reRet != memRet {
 		t.Fatalf("retrieval reports differ after reopen:\nmemory:\n%s\nreopened:\n%s", memRet, reRet)
