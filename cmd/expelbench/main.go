@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	expelbench [-exp all|table2,fig3a,fig3b,fig3c,fig4a,fig4b,fig5a,fig5b,abl1,abl2,abl3,abl4,conc,persist,cachehit,storm,sync,stream,remote,churn] [-ide-builds 40] [-clients 8] [-backend memory|disk] [-store-root DIR] [-cache BYTES] [-wal-compact BYTES] [-warm-iters 3] [-storm-publishes 120] [-storm-bursts 3] [-storm-burst-clients 32] [-sync-deltas 5] [-stream-bulk MIB] [-remote-clients 16] [-remote-bulk MIB] [-churn-rounds 6]
+//	expelbench [-exp all|table2,fig3a,fig3b,fig3c,fig4a,fig4b,fig5a,fig5b,abl1,abl2,abl3,abl4,conc,persist,cachehit,storm,sync,stream,remote,churn,replica] [-ide-builds 40] [-clients 8] [-backend memory|disk] [-store-root DIR] [-cache BYTES] [-wal-compact BYTES] [-warm-iters 3] [-storm-publishes 120] [-storm-bursts 3] [-storm-burst-clients 32] [-sync-deltas 5] [-stream-bulk MIB] [-remote-clients 16] [-remote-bulk MIB] [-churn-rounds 6] [-replica-rounds 4]
 //
 // Every experiment runs against the blob backend named by -backend: the
 // in-memory sharded store (the default) or the durable on-disk segment
@@ -41,7 +41,16 @@
 // blob compaction enabled vs disabled — and errors unless the enabled
 // one keeps steady-state disk usage within 2x the live bytes while the
 // disabled one demonstrably grows past it, with every surviving image
-// byte-identical across the two.
+// byte-identical across the two. The replica experiment (writer always on
+// the disk backend — replication ships the metadata WAL) serves a writer
+// daemon over loopback HTTP while an in-process follower tails its
+// snapshot + WAL endpoints across -replica-rounds publish rounds
+// (compacting on alternate rounds so the follower crosses epoch
+// switches); it errors unless the follower's metadata matches the writer
+// byte-for-byte after every catch-up, every image streams from the
+// follower byte-identical to the writer's own retrieval, a warm second
+// pass causes zero read-through blob fetches, and the follower rejects
+// mutation.
 package main
 
 import (
@@ -71,11 +80,12 @@ func main() {
 	remoteClients := flag.Int("remote-clients", 16, "concurrent network clients in the remote experiment")
 	remoteBulk := flag.Int64("remote-bulk", 64, "largest bulk payload in MiB for the remote experiment (scales 1x/10x/100x up to this)")
 	churnRounds := flag.Int("churn-rounds", 6, "publish/remove rounds in the churn experiment")
+	replicaRounds := flag.Int("replica-rounds", 4, "publish/catch-up rounds in the replica experiment (capped at the 19-image catalog)")
 	flag.Parse()
 
 	selected := map[string]bool{}
 	if *exps == "all" {
-		for _, e := range []string{"table2", "fig3a", "fig3b", "fig3c", "fig4a", "fig4b", "fig5a", "fig5b", "abl1", "abl2", "abl3", "abl4", "conc", "persist", "cachehit", "storm", "sync", "stream", "remote", "churn"} {
+		for _, e := range []string{"table2", "fig3a", "fig3b", "fig3c", "fig4a", "fig4b", "fig5a", "fig5b", "abl1", "abl2", "abl3", "abl4", "conc", "persist", "cachehit", "storm", "sync", "stream", "remote", "churn", "replica"} {
 			selected[e] = true
 		}
 	} else {
@@ -132,6 +142,7 @@ func main() {
 	run("stream", func() (fmt.Stringer, error) { return r.StreamFlatRSS(*streamBulk << 20) })
 	run("remote", func() (fmt.Stringer, error) { return r.RemoteFlatRSS(*remoteBulk<<20, *remoteClients) })
 	run("churn", func() (fmt.Stringer, error) { return r.Churn(*churnRounds) })
+	run("replica", func() (fmt.Stringer, error) { return r.ReplicaConvergence(*replicaRounds) })
 
 	// Closing disk-backed systems is where a sticky store failure (e.g. a
 	// full filesystem mid-run) surfaces; results printed above would

@@ -38,6 +38,7 @@ func main() {
 	noDedup := flag.Bool("no-dedup", false, "disable semantic dedup (the paper's 'Semantic' variant)")
 	noBaseSel := flag.Bool("no-base-selection", false, "disable base image selection (Algorithm 2)")
 	remove := flag.String("remove", "", "VMI name to remove (with garbage collection)")
+	syncFlag := flag.Bool("sync", false, "sync the repository after the other operations, making published state durable (and visible to follower daemons)")
 	compact := flag.Bool("compact", false, "force compaction (blob segments + metadata WAL) after the other operations and report what was reclaimed")
 	saveFile := flag.String("save", "", "write the repository snapshot to this file when done")
 	loadFile := flag.String("load", "", "restore the repository from this snapshot file first")
@@ -53,6 +54,7 @@ func main() {
 			retrieve: *retrieve,
 			assemble: *assemble,
 			remove:   *remove,
+			sync:     *syncFlag,
 			compact:  *compact,
 			saveFile: *saveFile,
 			loadFile: *loadFile,
@@ -153,6 +155,18 @@ func main() {
 			img.Name(), primaries, ret.Seconds, len(ret.Imported))
 		if *verbose {
 			printPhases(ret.Phases)
+		}
+	}
+
+	if *syncFlag {
+		if !sys.Persistent() {
+			fmt.Println("sync: repository is memory-backed, nothing durable to sync (use -server against a disk-backed daemon)")
+		} else {
+			st, err := sys.Sync()
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("synced: %d metadata ops committed (%d metadata bytes, %d segment bytes)\n", st.MetaOps, st.MetaBytes, st.SegmentBytes)
 		}
 	}
 

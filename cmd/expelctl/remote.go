@@ -26,6 +26,7 @@ type remoteArgs struct {
 	retrieve  string
 	assemble  string
 	remove    string
+	sync      bool
 	compact   bool
 	saveFile  string
 	loadFile  string
@@ -120,6 +121,14 @@ func runRemote(a remoteArgs) {
 		}
 	}
 
+	if a.sync {
+		st, err := cl.Sync(ctx)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("synced: %d metadata ops committed (%d metadata bytes, %d segment bytes)\n", st.MetaOps, st.MetaBytes, st.SegmentBytes)
+	}
+
 	if a.compact {
 		cst, err := cl.Compact(ctx)
 		if err != nil {
@@ -171,4 +180,13 @@ func printRemoteStats(ctx context.Context, cl *client.Client, label string) {
 		line += fmt.Sprintf(" (%.2f GB on disk, %.2f GB dead)", gb(st.DiskBytes), gb(st.DeadBytes))
 	}
 	fmt.Println(line)
+	if r := st.Repl; r != nil {
+		switch r.Role {
+		case "follower":
+			fmt.Printf("replication: follower of %s, epoch %d, applied %d bytes, lag %d bytes (%d batches / %d ops applied)\n",
+				r.WriterURL, r.Epoch, r.AppliedBytes, r.LagBytes, r.Batches, r.Ops)
+		default:
+			fmt.Printf("replication: writer, epoch %d, %d durable WAL bytes\n", r.Epoch, r.DurableBytes)
+		}
+	}
 }

@@ -8,13 +8,26 @@
 //
 //	expelserverd [-addr 127.0.0.1:9747] [-store DIR] [-cache BYTES]
 //	             [-parallelism N] [-wal-compact BYTES]
-//	             [-blob-compact-ratio R] [-tls-cert FILE -tls-key FILE]
+//	             [-blob-compact-ratio R] [-sync-interval D]
+//	             [-tls-cert FILE -tls-key FILE]
+//	             [-follow URL [-follow-poll D]]
 //
 // With -store the repository lives in append-only segment files plus a
 // metadata WAL under DIR and survives restarts; shutdown (SIGINT or
 // SIGTERM) drains in-flight requests, then syncs and closes the store.
+// -sync-interval makes published state durable (and visible to
+// followers) within that bound by syncing in the background; the WAL
+// group commit coalesces these with client-driven syncs, so a quiet
+// interval costs one small append and an idle one costs nothing.
 // With -tls-cert/-tls-key the server speaks HTTPS (and HTTP/2, which the
 // standard library enables over TLS automatically).
+//
+// With -follow the daemon is a read-only replica of the writer daemon at
+// URL: it tails the writer's snapshot + WAL shipping endpoints, serves
+// retrieve/assemble/stats from the replicated metadata (pulling blobs it
+// has not yet cached from the writer on first use), and answers mutating
+// requests with 403 and error kind "read-only". -store then names the
+// replica's local blob cache directory (in-memory when omitted).
 package main
 
 import (
@@ -30,8 +43,11 @@ import (
 	"syscall"
 	"time"
 
+	"expelliarmus/internal/blobstore"
+	"expelliarmus/internal/blobstore/diskstore"
 	"expelliarmus/internal/catalog"
 	"expelliarmus/internal/core"
+	"expelliarmus/internal/replica"
 	"expelliarmus/internal/server"
 	"expelliarmus/internal/simio"
 	"expelliarmus/internal/vmirepo"
@@ -44,8 +60,11 @@ func main() {
 	parallelism := flag.Int("parallelism", 0, "worker-goroutine bound per operation (<=1 sequential)")
 	walCompact := flag.Int64("wal-compact", 0, "metadata-WAL compaction threshold bytes (0 keeps the default)")
 	blobRatio := flag.Float64("blob-compact-ratio", 0, "dead-byte fraction at which sealed blob segments compact on sync (0 keeps the default, negative disables the automatic trigger)")
+	syncInterval := flag.Duration("sync-interval", 0, "background sync period for a disk-backed repository: published state becomes durable (and visible to followers) within this bound (0 syncs only on shutdown or explicit request)")
 	tlsCert := flag.String("tls-cert", "", "TLS certificate file (with -tls-key enables HTTPS)")
 	tlsKey := flag.String("tls-key", "", "TLS private key file")
+	follow := flag.String("follow", "", "writer daemon URL to follow as a read-only replica")
+	followPoll := flag.Duration("follow-poll", 500*time.Millisecond, "replica commit-poll interval")
 	flag.Parse()
 
 	if (*tlsCert == "") != (*tlsKey == "") {
@@ -55,10 +74,27 @@ func main() {
 	dev := simio.NewDevice(simio.PaperProfile().Scaled(catalog.ByteScale, catalog.FileScale))
 	opts := core.Options{Parallelism: *parallelism, CacheBytes: *cache}
 	var sys *core.System
-	if *store == "" {
+	var rep *replica.Replica
+	bgCtx, stopBg := context.WithCancel(context.Background())
+	defer stopBg()
+	switch {
+	case *follow != "":
+		var local blobstore.Backend = blobstore.New()
+		if *store != "" {
+			ds, err := diskstore.Open(*store, diskstore.Options{})
+			if err != nil {
+				fail(err)
+			}
+			local = ds
+		}
+		rep = replica.New(*follow, local, dev, replica.Options{Poll: *followPoll, Logf: log.Printf})
+		sys = core.NewSystemWithRepo(rep.Repo(), dev, opts)
+		go rep.Run(bgCtx)
+		log.Printf("expelserverd: following %s (blob cache: %s)", *follow, storeDesc(*store))
+	case *store == "":
 		sys = core.NewSystem(dev, opts)
 		log.Printf("expelserverd: in-memory repository")
-	} else {
+	default:
 		repo, err := vmirepo.OpenAtOpts(*store, dev, vmirepo.OpenOptions{
 			WALCompactBytes:      *walCompact,
 			BlobCompactDeadRatio: *blobRatio,
@@ -70,11 +106,32 @@ func main() {
 		log.Printf("expelserverd: disk repository at %s", *store)
 	}
 
+	if *syncInterval > 0 && *follow == "" && *store != "" {
+		go func() {
+			tick := time.NewTicker(*syncInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-bgCtx.Done():
+					return
+				case <-tick.C:
+					if _, err := sys.Sync(); err != nil {
+						log.Printf("expelserverd: background sync: %v", err)
+					}
+				}
+			}
+		}()
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fail(err)
 	}
-	srv := &http.Server{Handler: server.New(sys)}
+	h := server.New(sys)
+	if rep != nil {
+		h.SetReplica(rep)
+	}
+	srv := &http.Server{Handler: h}
 	serveErr := make(chan error, 1)
 	go func() {
 		if *tlsCert != "" {
@@ -102,11 +159,22 @@ func main() {
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("expelserverd: serve: %v", err)
 	}
+	stopBg() // replica loop and background sync, before the repository closes
+	if rep != nil {
+		rep.Close()
+	}
 	// Close is where a disk store's sticky failure surfaces; exit nonzero
 	// so an operator (or CI) cannot miss it.
 	if err := sys.Close(); err != nil {
 		fail(fmt.Errorf("closing repository: %w", err))
 	}
+}
+
+func storeDesc(dir string) string {
+	if dir == "" {
+		return "in-memory"
+	}
+	return dir
 }
 
 func fail(err error) {

@@ -1,0 +1,212 @@
+package bench
+
+import (
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"expelliarmus/internal/blobstore"
+	"expelliarmus/internal/catalog"
+	"expelliarmus/internal/client"
+	"expelliarmus/internal/core"
+	"expelliarmus/internal/replica"
+	"expelliarmus/internal/server"
+	"expelliarmus/internal/vmirepo"
+)
+
+// ReplicaRound is one round of the replica experiment: the writer
+// publishes one more image (compacting on alternate rounds to force
+// epoch switches), the follower catches up, and every image published so
+// far is retrieved from the follower and compared byte-for-byte against
+// the writer's own stream.
+type ReplicaRound struct {
+	Image      string
+	ImageBytes int64
+	Epoch      uint64 // follower epoch after catch-up
+	Applied    int64  // follower applied-WAL bytes after catch-up
+	FetchBlobs int64  // cumulative read-through blob fetches
+	FetchBytes int64  // cumulative read-through bytes
+	CatchUp    time.Duration
+	Verify     time.Duration // all follower retrievals this round
+}
+
+// ReplicaResult reports the replica experiment.
+type ReplicaResult struct {
+	Rounds    []ReplicaRound
+	Epochs    uint64 // final epoch (>1 proves the follower crossed compactions)
+	Retrieved int    // follower retrievals byte-verified against the writer
+	WarmMiss  int64  // read-through fetches during the warm re-retrieval pass (gated at 0)
+}
+
+// String renders the experiment as a table.
+func (r *ReplicaResult) String() string {
+	tbl := &Table{
+		Title: fmt.Sprintf("Replica convergence: %d rounds, final epoch %d, %d byte-verified follower retrievals, %d warm misses",
+			len(r.Rounds), r.Epochs, r.Retrieved, r.WarmMiss),
+		Columns: []string{"image", "image[MiB]", "epoch", "applied[B]", "fetched", "fetched[MiB]", "catchup[s]", "verify[s]"},
+	}
+	for _, rd := range r.Rounds {
+		tbl.AddRow(
+			rd.Image,
+			fmt.Sprintf("%.1f", float64(rd.ImageBytes)/(1<<20)),
+			fmt.Sprintf("%d", rd.Epoch),
+			fmt.Sprintf("%d", rd.Applied),
+			fmt.Sprintf("%d", rd.FetchBlobs),
+			fmt.Sprintf("%.2f", float64(rd.FetchBytes)/(1<<20)),
+			fmt.Sprintf("%.3f", rd.CatchUp.Seconds()),
+			fmt.Sprintf("%.3f", rd.Verify.Seconds()))
+	}
+	return tbl.String()
+}
+
+// ReplicaConvergence runs the replication gate: a disk-backed writer
+// (the WAL is what gets shipped, so the writer is on disk regardless of
+// EXPELBENCH_BACKEND) serves the replication endpoints over a loopback
+// listener while an in-process follower tails it. Per round the writer
+// publishes the next Table II catalog image and syncs — compacting
+// instead on alternate rounds, so the follower must cross epoch switches
+// — then the follower catches up. Catalog images (not bulk images) on
+// purpose: their package sets differ, so each round decomposes to fresh
+// base blobs instead of semantically deduplicating onto the first
+// round's, and the read-through cache has real traffic to carry. Four
+// gates:
+//
+//  1. after every catch-up the follower's metadata snapshot is
+//     byte-identical to the writer's (MetaSnapshot comparison);
+//  2. every image published so far streams from the follower
+//     byte-identical (SHA-256 and length) to the writer's own
+//     in-process retrieval, with missing blobs pulled through the
+//     read-through cache on demand;
+//  3. the final epoch exceeds 1 — the follower really crossed at least
+//     one compaction-driven epoch switch;
+//  4. a second retrieval pass over every image causes zero further
+//     read-through fetches — the blob cache is warm, so steady-state
+//     replica reads never touch the writer.
+func (r *Runner) ReplicaConvergence(rounds int) (*ReplicaResult, error) {
+	tpls := catalog.Paper19()
+	if rounds <= 0 {
+		rounds = 4
+	}
+	if rounds > len(tpls) {
+		rounds = len(tpls)
+	}
+	ctx := context.Background()
+
+	// Writer: always disk-backed — replication ships the metadata WAL.
+	_, wrepo, err := r.NewDiskRepo("expelbench-replica-")
+	if err != nil {
+		return nil, err
+	}
+	wsys := core.NewSystemWithRepo(wrepo, r.Dev, core.Options{CacheBytes: -1})
+	r.mu.Lock()
+	r.opened = append(r.opened, wsys)
+	r.mu.Unlock()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: server.New(wsys)}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	rep := replica.New("http://"+ln.Addr().String(), blobstore.New(), r.Dev,
+		replica.Options{Client: client.Options{Timeout: 10 * time.Minute, Retries: 1}})
+	defer rep.Close()
+	fsys := core.NewSystemWithRepo(rep.Repo(), r.Dev, core.Options{CacheBytes: -1})
+
+	res := &ReplicaResult{}
+	var names []string
+	refSums := map[string]string{}
+	refLens := map[string]int64{}
+	for i := 0; i < rounds; i++ {
+		name := tpls[i].Name
+		img, err := r.WL.Image(tpls[i])
+		if err != nil {
+			return nil, err
+		}
+		if _, err := wsys.Publish(img); err != nil {
+			return nil, fmt.Errorf("bench: replica publish %s: %w", name, err)
+		}
+		if i%2 == 1 {
+			if _, err := wsys.Compact(); err != nil {
+				return nil, fmt.Errorf("bench: replica compact: %w", err)
+			}
+		} else if _, err := wsys.Sync(); err != nil {
+			return nil, fmt.Errorf("bench: replica sync: %w", err)
+		}
+		names = append(names, name)
+
+		ref := &shaCountWriter{h: sha256.New()}
+		if _, _, err := wsys.RetrieveTo(ref, name); err != nil {
+			return nil, fmt.Errorf("bench: replica reference retrieve %s: %w", name, err)
+		}
+		refSums[name] = fmt.Sprintf("%x", ref.h.Sum(nil))
+		refLens[name] = ref.n
+
+		rd := ReplicaRound{Image: name, ImageBytes: ref.n}
+		start := time.Now()
+		if err := rep.CatchUp(ctx); err != nil {
+			return nil, fmt.Errorf("bench: replica catch-up round %d: %w", i, err)
+		}
+		rd.CatchUp = time.Since(start)
+		if w, f := string(wrepo.MetaSnapshot()), string(rep.Repo().MetaSnapshot()); w != f {
+			return nil, fmt.Errorf("bench: replica round %d: follower metadata differs from writer after catch-up", i)
+		}
+		rd.Epoch, rd.Applied = rep.Repo().Follower().Position()
+
+		start = time.Now()
+		for _, n := range names {
+			if err := verifyFollowerStream(fsys, n, refLens[n], refSums[n]); err != nil {
+				return nil, fmt.Errorf("bench: replica round %d: %w", i, err)
+			}
+			res.Retrieved++
+		}
+		rd.Verify = time.Since(start)
+		rd.FetchBlobs, rd.FetchBytes = rep.Fetches()
+		res.Rounds = append(res.Rounds, rd)
+	}
+
+	// Gate 3: the rounds above compacted at least once, and the follower
+	// must have followed the writer across that epoch switch.
+	res.Epochs, _ = rep.Repo().Follower().Position()
+	if rounds >= 2 && res.Epochs <= 1 {
+		return nil, fmt.Errorf("bench: replica finished on epoch %d; the follower never crossed a compaction", res.Epochs)
+	}
+
+	// Gate 4: a warm second pass fetches nothing — every blob a retrieval
+	// needed is cached locally now.
+	before, _ := rep.Fetches()
+	for _, n := range names {
+		if err := verifyFollowerStream(fsys, n, refLens[n], refSums[n]); err != nil {
+			return nil, fmt.Errorf("bench: replica warm pass: %w", err)
+		}
+	}
+	after, _ := rep.Fetches()
+	res.WarmMiss = after - before
+	if res.WarmMiss != 0 {
+		return nil, fmt.Errorf("bench: replica warm pass fetched %d blobs from the writer; the cache should have been warm", res.WarmMiss)
+	}
+
+	// The follower is read-only end to end.
+	if _, err := fsys.Sync(); err == nil {
+		return nil, fmt.Errorf("bench: follower system accepted Sync; want %v", vmirepo.ErrReadOnly)
+	}
+	return res, nil
+}
+
+// verifyFollowerStream retrieves name from the follower system and
+// checks the stream against the writer's reference length and SHA-256.
+func verifyFollowerStream(fsys *core.System, name string, wantLen int64, wantSum string) error {
+	sink := &shaCountWriter{h: sha256.New()}
+	if _, _, err := fsys.RetrieveTo(sink, name); err != nil {
+		return fmt.Errorf("follower retrieve %s: %w", name, err)
+	}
+	if sink.n != wantLen || fmt.Sprintf("%x", sink.h.Sum(nil)) != wantSum {
+		return fmt.Errorf("follower stream of %s differs from writer (%d vs %d bytes)", name, sink.n, wantLen)
+	}
+	return nil
+}

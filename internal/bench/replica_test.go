@@ -1,0 +1,39 @@
+package bench
+
+import "testing"
+
+// TestReplicaExperiment runs the replica gate at test scale. The
+// experiment is self-enforcing — it errors on metadata divergence, on a
+// non-identical follower stream, on a warm-pass read-through fetch, or
+// if the follower accepts mutation — so the test mostly asserts it ran
+// to the expected shape.
+func TestReplicaExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replica experiment skipped in -short mode")
+	}
+	r := NewRunner()
+	res, err := r.ReplicaConvergence(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := r.CloseAll(); err != nil {
+			t.Errorf("CloseAll: %v", err)
+		}
+	}()
+	if len(res.Rounds) != 4 {
+		t.Fatalf("got %d rounds, want 4\n%s", len(res.Rounds), res)
+	}
+	if res.Epochs <= 1 {
+		t.Fatalf("final epoch %d; the alternating compactions should have switched epochs\n%s", res.Epochs, res)
+	}
+	if res.WarmMiss != 0 {
+		t.Fatalf("warm pass fetched %d blobs\n%s", res.WarmMiss, res)
+	}
+	last := res.Rounds[len(res.Rounds)-1]
+	if last.FetchBlobs < int64(len(res.Rounds)) {
+		t.Fatalf("only %d blobs fetched across %d distinct images — read-through never exercised\n%s",
+			last.FetchBlobs, len(res.Rounds), res)
+	}
+	t.Logf("\n%s", res)
+}

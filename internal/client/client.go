@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"expelliarmus/internal/blobstore"
+	"expelliarmus/internal/metawal"
 	"expelliarmus/internal/server"
 	"expelliarmus/internal/vmirepo"
 	"expelliarmus/internal/wire"
@@ -111,6 +112,10 @@ func apiError(resp *http.Response) error {
 		return fmt.Errorf("client: %s: %w", text, vmirepo.ErrNotFound)
 	case server.KindCorrupt:
 		return fmt.Errorf("client: %s: %w", text, blobstore.ErrCorrupt)
+	case server.KindReadOnly:
+		return fmt.Errorf("client: %s: %w", text, vmirepo.ErrReadOnly)
+	case server.KindEpochGone:
+		return fmt.Errorf("client: %s: %w", text, metawal.ErrEpochGone)
 	}
 	return fmt.Errorf("client: server returned %s: %s", resp.Status, text)
 }

@@ -1,0 +1,144 @@
+// Replication client: the follower side of snapshot + WAL shipping.
+// Every shipped byte stream is verified against the server's
+// X-Expel-Sha256/X-Expel-Bytes trailers before it is trusted — a
+// truncated or damaged snapshot or WAL tail surfaces as an error, never
+// as silently wrong metadata. A WAL request whose epoch the writer has
+// compacted away unwraps to metawal.ErrEpochGone, the follower's signal
+// to restart from the current snapshot.
+package client
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"expelliarmus/internal/server"
+	"expelliarmus/internal/wire"
+)
+
+// ReplCommit returns the writer's current durable position: the epoch of
+// its live snapshot/WAL pair and the commit-marker-covered WAL length.
+func (c *Client) ReplCommit(parent context.Context) (wire.ReplCommit, error) {
+	var out wire.ReplCommit
+	err := c.doIdempotent(func() (bool, error) {
+		return false, c.getJSON(parent, c.base+"/v1/repl/commit", &out)
+	})
+	return out, err
+}
+
+// ReplSnapshot fetches the writer's full metadata snapshot, returning
+// its epoch and verified bytes. Snapshots are metadata-sized (not image-
+// sized), so buffering one is the natural unit — it is handed whole to
+// the follower's ResetToSnapshot.
+func (c *Client) ReplSnapshot(parent context.Context) (uint64, []byte, error) {
+	var epoch uint64
+	var data []byte
+	err := c.doIdempotent(func() (bool, error) {
+		var err error
+		epoch, data, err = c.replFetch(parent, c.base+"/v1/repl/snapshot")
+		return false, err
+	})
+	return epoch, data, err
+}
+
+// ReplWAL fetches the writer's durable WAL tail [from, durable) of the
+// given epoch. An empty slice means the follower is caught up. A stale
+// epoch unwraps to metawal.ErrEpochGone.
+func (c *Client) ReplWAL(parent context.Context, epoch uint64, from int64) ([]byte, error) {
+	u := fmt.Sprintf("%s/v1/repl/wal?epoch=%d&from=%d", c.base, epoch, from)
+	var data []byte
+	err := c.doIdempotent(func() (bool, error) {
+		gotEpoch, b, err := c.replFetch(parent, u)
+		if err != nil {
+			return false, err
+		}
+		if gotEpoch != epoch {
+			return false, fmt.Errorf("client: WAL reply epoch %d, requested %d", gotEpoch, epoch)
+		}
+		data = b
+		return false, nil
+	})
+	return data, err
+}
+
+// ReplBlob streams one raw blob by content ID into w, verifying the
+// digest/length trailers. The caller (the read-through cache) re-derives
+// the content address as it stores the bytes, so a blob that passed the
+// transport check but hashes to the wrong ID is still caught.
+func (c *Client) ReplBlob(parent context.Context, id string, w io.Writer) (int64, error) {
+	var n int64
+	err := c.doIdempotent(func() (bool, error) {
+		ctx, cancel := c.ctx(parent)
+		defer cancel()
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/repl/blob/"+id, nil)
+		if err != nil {
+			return false, err
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return false, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return false, apiError(resp)
+		}
+		n, err = verifyRaw(resp, w)
+		return n > 0, err
+	})
+	return n, err
+}
+
+// replFetch GETs one replication byte stream, returning the epoch header
+// and the verified body.
+func (c *Client) replFetch(parent context.Context, u string) (uint64, []byte, error) {
+	ctx, cancel := c.ctx(parent)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, nil, apiError(resp)
+	}
+	epoch, err := strconv.ParseUint(resp.Header.Get(server.HeaderEpoch), 10, 64)
+	if err != nil {
+		return 0, nil, fmt.Errorf("client: bad %s header: %v", server.HeaderEpoch, err)
+	}
+	var buf bytes.Buffer
+	if _, err := verifyRaw(resp, &buf); err != nil {
+		return 0, nil, err
+	}
+	return epoch, buf.Bytes(), nil
+}
+
+// verifyRaw drains a trailer-verified byte stream (no result trailer —
+// the replication framing) into w.
+func verifyRaw(resp *http.Response, w io.Writer) (int64, error) {
+	h := sha256.New()
+	n, err := io.Copy(io.MultiWriter(w, h), resp.Body)
+	if err != nil {
+		return n, fmt.Errorf("client: stream aborted after %d bytes (%v): %w", n, err, ErrTruncated)
+	}
+	wantSha := resp.Trailer.Get(server.HeaderSha256)
+	wantBytes := resp.Trailer.Get(server.HeaderBytes)
+	if wantSha == "" || wantBytes == "" {
+		return n, fmt.Errorf("client: stream ended without integrity trailers: %w", ErrTruncated)
+	}
+	if want, err := strconv.ParseInt(wantBytes, 10, 64); err != nil || want != n {
+		return n, fmt.Errorf("client: streamed %d bytes, server reported %q", n, wantBytes)
+	}
+	if got := hex.EncodeToString(h.Sum(nil)); got != wantSha {
+		return n, fmt.Errorf("client: stream digest %s does not match server's %s", got, wantSha)
+	}
+	return n, nil
+}

@@ -234,6 +234,12 @@ func (s *System) Publish(img *vmi.Image) (*PublishReport, error) {
 // loop. Batch operations pass 1 so Options.Parallelism bounds the total
 // goroutines across the batch rather than compounding per image.
 func (s *System) publish(img *vmi.Image, workers int) (*PublishReport, error) {
+	// Refuse up front on followers: publishing does expensive semantic
+	// analysis before its first repository write, and failing at the
+	// commit tail would waste all of it.
+	if s.repo.ReadOnly() {
+		return nil, fmt.Errorf("core: publish %s: %w", img.Name, vmirepo.ErrReadOnly)
+	}
 	rep := &PublishReport{Image: img.Name, Meter: &simio.Meter{}}
 
 	// Step 2 (Fig. 2): guestfs access and semantic analysis.
@@ -442,20 +448,28 @@ func (s *System) publish(img *vmi.Image, workers int) (*PublishReport, error) {
 		if err := s.repo.RemoveBase(b, rep.Meter); err != nil {
 			return nil, err
 		}
-		s.repo.RemoveMaster(b, rep.Meter)
+		if err := s.repo.RemoveMaster(b, rep.Meter); err != nil {
+			return nil, err
+		}
 		// VMIs clustered on the replaced base are now served by the
 		// selected one (their packages were merged into its master).
-		s.repo.RewireVMIs(b, selected, rep.Meter)
+		if err := s.repo.RewireVMIs(b, selected, rep.Meter); err != nil {
+			return nil, err
+		}
 		rep.ReplacedBases = append(rep.ReplacedBases, b)
 	}
 	// Line 29: update the master graph.
-	s.repo.PutMaster(mg, rep.Meter)
+	if err := s.repo.PutMaster(mg, rep.Meter); err != nil {
+		return nil, err
+	}
 
-	s.repo.PutVMI(vmirepo.VMIRecord{
+	if err := s.repo.PutVMI(vmirepo.VMIRecord{
 		Name:      img.Name,
 		BaseID:    selected,
 		Primaries: append([]string(nil), img.Primaries...),
-	}, rep.Meter)
+	}, rep.Meter); err != nil {
+		return nil, err
+	}
 	h.Close()
 	return rep, nil
 }

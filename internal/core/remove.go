@@ -54,6 +54,12 @@ func (s *System) vmiPackageRefs(rec vmirepo.VMIRecord) (map[string]bool, error) 
 // staying consistent with every committed VMI. Packages pinned by
 // in-flight publishes are never collected (see removePackageUnlessPinned).
 func (s *System) Remove(name string) error {
+	// Refuse up front on followers — a removal that failed midway through
+	// its garbage-collection survey would still have been read-only safe
+	// (every mutator is gated), but the early error keeps the route cheap.
+	if s.repo.ReadOnly() {
+		return fmt.Errorf("core: remove %s: %w", name, vmirepo.ErrReadOnly)
+	}
 	defer s.lockAllCommits()()
 	rec, err := s.repo.GetVMI(name, nil)
 	if err != nil {
@@ -109,14 +115,15 @@ func (s *System) Remove(name string) error {
 	if err := s.repo.RemoveUserData(name, nil); err != nil {
 		return err
 	}
-	s.repo.RemoveVMI(name, nil)
+	if err := s.repo.RemoveVMI(name, nil); err != nil {
+		return err
+	}
 
 	if !baseInUse {
 		if err := s.repo.RemoveBase(rec.BaseID, nil); err != nil {
 			return err
 		}
-		s.repo.RemoveMaster(rec.BaseID, nil)
-		return nil
+		return s.repo.RemoveMaster(rec.BaseID, nil)
 	}
 
 	// Rebuild the surviving master from the remaining VMIs' subgraphs so
@@ -137,6 +144,5 @@ func (s *System) Remove(name string) error {
 			}
 		}
 	}
-	s.repo.PutMaster(rebuilt, nil)
-	return nil
+	return s.repo.PutMaster(rebuilt, nil)
 }

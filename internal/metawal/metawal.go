@@ -41,7 +41,9 @@
 package metawal
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -50,6 +52,12 @@ import (
 	"expelliarmus/internal/atomicfile"
 	"expelliarmus/internal/metadb"
 )
+
+// ErrEpochGone reports that a requested WAL epoch is no longer the
+// current one — a compaction switched the log to a fresh snapshot at a
+// higher epoch, and the old pair is gone. A follower tailing the log must
+// restart from the new epoch's snapshot.
+var ErrEpochGone = errors.New("metawal: epoch no longer current")
 
 // DefaultCompactBytes is the compaction trigger when Options leave it
 // zero: a Sync that would grow the WAL beyond this rewrites the snapshot
@@ -712,6 +720,72 @@ func (l *Log) writeCommit(epoch uint64, walLen int64) error {
 	}
 	return nil
 }
+
+// CommitState returns the current epoch and its durable watermark as one
+// consistent pair — the writer-side coordinates a follower polls to
+// decide whether to fetch more WAL tail or restart from a new snapshot.
+func (l *Log) CommitState() (epoch uint64, durable int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.epoch, l.durable
+}
+
+// SnapshotReader opens the current epoch's snapshot for streaming and
+// returns the epoch it belongs to alongside the exact byte size. Snapshot
+// files are written once at their epoch's birth and never modified, so
+// the stream stays valid after the lock is released — even across a
+// concurrent compaction, which unlinks the file but cannot disturb an
+// open handle. The caller must Close the reader.
+func (l *Log) SnapshotReader() (epoch uint64, rc io.ReadCloser, size int64, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	f, err := os.Open(filepath.Join(l.dir, snapName(l.epoch)))
+	if err != nil {
+		return 0, nil, 0, fmt.Errorf("metawal: open snapshot %s: %w", snapName(l.epoch), err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return 0, nil, 0, fmt.Errorf("metawal: stat %s: %w", snapName(l.epoch), err)
+	}
+	return l.epoch, f, fi.Size(), nil
+}
+
+// WALReader opens the durable WAL tail [from, DurableBytes) of the given
+// epoch for streaming, returning the reader and the byte count it will
+// deliver. The range is stable after the lock is released: within an
+// epoch the WAL is append-only past open-time recovery, nothing at or
+// below the durable watermark is ever rewritten, and a compaction that
+// retires the epoch unlinks the file without disturbing the open handle.
+// Requesting an epoch the log has compacted away returns ErrEpochGone
+// (restart from SnapshotReader); an offset outside [header, durable] is
+// the caller's bug. The caller must Close the reader.
+func (l *Log) WALReader(epoch uint64, from int64) (io.ReadCloser, int64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if epoch != l.epoch {
+		return nil, 0, fmt.Errorf("%w: epoch %d requested, current is %d", ErrEpochGone, epoch, l.epoch)
+	}
+	if from < walHeaderLen || from > l.durable {
+		return nil, 0, fmt.Errorf("metawal: WAL offset %d outside the durable range [%d, %d]", from, walHeaderLen, l.durable)
+	}
+	f, err := os.Open(filepath.Join(l.dir, walName(epoch)))
+	if err != nil {
+		return nil, 0, fmt.Errorf("metawal: open %s: %w", walName(epoch), err)
+	}
+	n := l.durable - from
+	return &sectionReadCloser{r: io.NewSectionReader(f, from, n), f: f}, n, nil
+}
+
+// sectionReadCloser couples a SectionReader over the durable WAL range
+// with the file handle backing it.
+type sectionReadCloser struct {
+	r *io.SectionReader
+	f *os.File
+}
+
+func (s *sectionReadCloser) Read(p []byte) (int, error) { return s.r.Read(p) }
+func (s *sectionReadCloser) Close() error               { return s.f.Close() }
 
 // Close commits any pending ops (a no-op when the caller already synced)
 // and releases the WAL file handle. The log is unusable after.

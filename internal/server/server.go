@@ -37,6 +37,7 @@ import (
 
 	"expelliarmus/internal/blobstore"
 	"expelliarmus/internal/core"
+	"expelliarmus/internal/metawal"
 	"expelliarmus/internal/vmirepo"
 	"expelliarmus/internal/wire"
 )
@@ -47,21 +48,41 @@ const (
 	HeaderBytes     = "X-Expel-Bytes"
 	HeaderResult    = "X-Expel-Result"
 	HeaderErrorKind = "X-Expel-Error-Kind"
+	// HeaderEpoch carries the snapshot/WAL epoch of a replication stream.
+	HeaderEpoch = "X-Expel-Epoch"
 )
 
 // Error kinds carried in HeaderErrorKind.
 const (
 	KindNotFound = "not-found"
 	KindCorrupt  = "corrupt"
+	// KindReadOnly marks a mutating request refused by a follower daemon.
+	KindReadOnly = "read-only"
+	// KindEpochGone marks a WAL tail request for an epoch the writer's
+	// compaction has retired — the follower must restart from the current
+	// snapshot.
+	KindEpochGone = "epoch-gone"
 )
 
 // Server is an http.Handler serving one shared Expelliarmus system.
 // Concurrency is delegated to the system itself, which is safe for any
 // mix of publishes, retrievals and removals.
 type Server struct {
-	sys *core.System
-	mux *http.ServeMux
+	sys  *core.System
+	mux  *http.ServeMux
+	repl ReplStatser
 }
+
+// ReplStatser reports replication state for the stats endpoint — the
+// replica catch-up loop implements it on follower daemons (the server
+// cannot import internal/replica directly: client → server → core).
+type ReplStatser interface {
+	ReplicationStats() wire.ReplicationStats
+}
+
+// SetReplica attaches a follower's replication loop so /v1/stats reports
+// applied epoch/offset and lag. Call before serving requests.
+func (s *Server) SetReplica(rs ReplStatser) { s.repl = rs }
 
 // New returns a server over sys.
 func New(sys *core.System) *Server {
@@ -75,6 +96,10 @@ func New(sys *core.System) *Server {
 	s.mux.HandleFunc("POST /v1/compact", s.handleCompact)
 	s.mux.HandleFunc("GET /v1/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("GET /v1/graphs/dot", s.handleDOT)
+	s.mux.HandleFunc("GET /v1/repl/commit", s.handleReplCommit)
+	s.mux.HandleFunc("GET /v1/repl/snapshot", s.handleReplSnapshot)
+	s.mux.HandleFunc("GET /v1/repl/wal", s.handleReplWAL)
+	s.mux.HandleFunc("GET /v1/repl/blob/{id}", s.handleReplBlob)
 	return s
 }
 
@@ -85,11 +110,17 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	switch {
-	case errors.Is(err, vmirepo.ErrNotFound):
+	case errors.Is(err, vmirepo.ErrNotFound), errors.Is(err, blobstore.ErrNotFound):
 		w.Header().Set(HeaderErrorKind, KindNotFound)
 		status = http.StatusNotFound
 	case errors.Is(err, blobstore.ErrCorrupt):
 		w.Header().Set(HeaderErrorKind, KindCorrupt)
+	case errors.Is(err, vmirepo.ErrReadOnly):
+		w.Header().Set(HeaderErrorKind, KindReadOnly)
+		status = http.StatusForbidden
+	case errors.Is(err, metawal.ErrEpochGone):
+		w.Header().Set(HeaderErrorKind, KindEpochGone)
+		status = http.StatusGone
 	}
 	http.Error(w, err.Error(), status)
 }
@@ -213,6 +244,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		out.CacheMisses = cs.Misses
 		out.CacheEntries = cs.Entries
 		out.CacheBytes = cs.Bytes
+	}
+	switch {
+	case s.repl != nil:
+		rs := s.repl.ReplicationStats()
+		out.Repl = &rs
+	default:
+		if wal := s.sys.Repo().WAL(); wal != nil {
+			epoch, durable := wal.CommitState()
+			out.Repl = &wire.ReplicationStats{Role: "writer", Epoch: epoch, DurableBytes: durable}
+		}
 	}
 	writeJSON(w, out)
 }

@@ -25,7 +25,7 @@ import (
 // backends guarantee it) and stays readable until the repository is
 // closed — releasing the base does not invalidate it.
 func (r *Repo) OpenBase(id string, ph simio.Phase, m *simio.Meter) (io.ReadCloser, int64, error) {
-	val, ok := r.db.Bucket(bucketBases).Get([]byte(id))
+	val, ok := r.meta().Bucket(bucketBases).Get([]byte(id))
 	r.chargeDB(m, 0)
 	if !ok {
 		return nil, 0, fmt.Errorf("vmirepo: base %s %w", id, ErrNotFound)
@@ -47,7 +47,7 @@ func (r *Repo) OpenBase(id string, ph simio.Phase, m *simio.Meter) (io.ReadClose
 // OpenPackage returns a package's metadata plus a streaming reader over
 // its payload blob and the payload size.
 func (r *Repo) OpenPackage(ref string, ph simio.Phase, m *simio.Meter) (pkgmeta.Package, io.ReadCloser, int64, error) {
-	val, ok := r.db.Bucket(bucketPackages).Get([]byte(ref))
+	val, ok := r.meta().Bucket(bucketPackages).Get([]byte(ref))
 	r.chargeDB(m, 0)
 	if !ok {
 		return pkgmeta.Package{}, nil, 0, fmt.Errorf("vmirepo: package %s %w", ref, ErrNotFound)
@@ -73,7 +73,7 @@ func (r *Repo) OpenPackage(ref string, ph simio.Phase, m *simio.Meter) (pkgmeta.
 // not a failure, and dereferencing the nil reader is the classic bug here
 // (pinned by the no-user-data wire regression test in internal/server).
 func (r *Repo) OpenUserData(name string, ph simio.Phase, m *simio.Meter) (io.ReadCloser, int64, error) {
-	val, ok := r.db.Bucket(bucketUserData).Get([]byte(name))
+	val, ok := r.meta().Bucket(bucketUserData).Get([]byte(name))
 	r.chargeDB(m, 0)
 	if !ok {
 		return nil, 0, nil

@@ -51,14 +51,24 @@ const (
 // that hit it can re-read the record and retry (see core.Retrieve).
 var ErrNotFound = errors.New("not found")
 
+// ErrReadOnly marks mutating calls on a follower repository (OpenFollower):
+// a follower's metadata advances only by applying the writer's shipped
+// snapshot + WAL batches, never by local mutation. Callers that need to
+// write must talk to the writer.
+var ErrReadOnly = errors.New("repository is read-only (follower)")
+
 // Repo is the Expelliarmus repository. Its blob layer is pluggable: New
 // gives the in-memory sharded backend, OpenAt the durable on-disk one;
 // everything above the blobstore.Backend interface is identical, which the
 // round-trip tests pin down to byte-identical snapshots.
 type Repo struct {
 	blobs blobstore.Backend
-	db    *metadb.DB
-	dev   *simio.Device
+	// db is the metadata database, held through an atomic pointer and read
+	// via meta(): a follower repository replaces the whole database on an
+	// epoch switch (ResetToSnapshot) while readers are in flight. Writer
+	// repositories store it once at construction and never again.
+	db  atomic.Pointer[metadb.DB]
+	dev *simio.Device
 	// dir is the on-disk root for disk-backed repositories ("" when the
 	// blob backend is in-memory); metadata commits land in the dir's
 	// metadata WAL (see internal/metawal).
@@ -78,6 +88,16 @@ type Repo struct {
 	// udMu serialises user-data replacement, whose release-old/store-new
 	// pair must be atomic to keep blob reference counts exact.
 	udMu sync.Mutex
+	// readOnly marks a follower repository (OpenFollower): every mutating
+	// entry point returns ErrReadOnly, and the metadata advances only
+	// through ResetToSnapshot/ApplyWAL.
+	readOnly bool
+	// fol is the WAL apply machinery of a follower repository (nil on
+	// writers).
+	fol *metawal.Follower
+	// sg coalesces concurrent Sync callers into shared physical commits
+	// (group commit) — see Sync.
+	sg syncGroup
 	// gens are the striped repository generations: GenStripes counters,
 	// each bumped around every mutating operation that touches its stripe
 	// (see mutate), read by the retrieval cache to key and invalidate
@@ -205,16 +225,22 @@ func New(dev *simio.Device) *Repo {
 // NewWithBackend returns an empty repository over an explicit blob
 // backend.
 func NewWithBackend(dev *simio.Device, blobs blobstore.Backend) *Repo {
-	r := &Repo{blobs: blobs, db: metadb.New(), dev: dev}
+	r := &Repo{blobs: blobs, dev: dev}
+	r.db.Store(metadb.New())
 	r.createBuckets()
 	return r
 }
+
+// meta returns the current metadata database. Writer repositories set it
+// once; follower repositories swap it on every epoch switch, so callers
+// must not cache the pointer across operations.
+func (r *Repo) meta() *metadb.DB { return r.db.Load() }
 
 // createBuckets ensures the repository's metadata buckets exist
 // (CreateBucket is idempotent, so this is safe on a loaded database too).
 func (r *Repo) createBuckets() {
 	for _, b := range []string{bucketPackages, bucketBases, bucketMasters, bucketVMIs, bucketUserData} {
-		r.db.CreateBucket(b)
+		r.meta().CreateBucket(b)
 	}
 }
 
@@ -267,7 +293,8 @@ func OpenAtOpts(dir string, dev *simio.Device, o OpenOptions) (*Repo, error) {
 		blobs.Close()
 		return nil, fmt.Errorf("vmirepo: %w", err)
 	}
-	r := &Repo{blobs: blobs, db: db, dev: dev, dir: dir, wal: wal}
+	r := &Repo{blobs: blobs, dev: dev, dir: dir, wal: wal}
+	r.db.Store(db)
 	// Bucket creation precedes the journal hookup: the five fixed buckets
 	// are (re)created by every open on both the live and the replay path,
 	// so journaling their creation would only append noise to the WAL.
@@ -354,8 +381,69 @@ type SyncStats struct {
 // resurrected as orphans — never committed records pointing at missing
 // blobs. Sync on an in-memory repository returns an error; use Snapshot
 // instead.
+//
+// Concurrent Sync callers group-commit: each caller needs one physical
+// sync that STARTS after its call does (so its completed operations are
+// covered), but a burst of N callers shares physical passes instead of
+// queueing N fsync+watermark rounds — one pass for everyone who arrived
+// while the previous one ran. A caller observes at most two passes
+// (the in-flight one it cannot join, then the shared one it can).
 func (r *Repo) Sync() (SyncStats, error) {
-	return r.syncOrCompact(false)
+	g := &r.sg
+	g.mu.Lock()
+	if g.cond == nil {
+		g.cond = sync.NewCond(&g.mu)
+	}
+	g.calls++
+	// The pass this caller needs: the next one to start — or, when one is
+	// already running, the one after it (the running pass's WAL batch was
+	// sealed before this call arrived, so it may not cover it).
+	target := g.completed + 1
+	if g.running {
+		target++
+	}
+	for {
+		if g.completed >= target {
+			st, err := g.lastSt, g.lastErr
+			g.mu.Unlock()
+			return st, err
+		}
+		if !g.running {
+			g.running = true
+			g.mu.Unlock()
+			st, err := r.syncOrCompact(false)
+			g.mu.Lock()
+			g.running = false
+			g.completed++
+			g.lastSt, g.lastErr = st, err
+			g.cond.Broadcast()
+			g.mu.Unlock()
+			return st, err
+		}
+		g.cond.Wait()
+	}
+}
+
+// syncGroup is Sync's group-commit state: a generation counter of
+// physical passes plus the last pass's result, shared with the callers
+// that coalesced into it.
+type syncGroup struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	running   bool
+	completed uint64 // physical passes finished
+	calls     uint64 // Sync calls arrived (observability)
+	lastSt    SyncStats
+	lastErr   error
+}
+
+// SyncCounters reports how many Sync calls arrived and how many physical
+// sync passes actually ran — the group-commit coalescing ratio. Both only
+// count Sync; Compact always runs its own pass.
+func (r *Repo) SyncCounters() (calls, physical uint64) {
+	r.sg.mu.Lock()
+	defer r.sg.mu.Unlock()
+	return r.sg.calls, r.sg.completed
 }
 
 // Compact is Sync with forced compaction of both stores: the metadata
@@ -364,12 +452,17 @@ func (r *Repo) Sync() (SyncStats, error) {
 // (evacuating and retiring segments past the dead-ratio gate). The size-
 // and ratio-triggered compactions run the same code from inside Sync;
 // this entry point exists for operators (and stress tests) that want to
-// bound reopen cost and disk usage at a moment of their choosing.
+// bound reopen cost and disk usage at a moment of their choosing. Compact
+// never coalesces with grouped Syncs — the operator asked for this exact
+// pass.
 func (r *Repo) Compact() (SyncStats, error) {
 	return r.syncOrCompact(true)
 }
 
 func (r *Repo) syncOrCompact(forceCompact bool) (SyncStats, error) {
+	if r.readOnly {
+		return SyncStats{}, fmt.Errorf("vmirepo: sync: %w", ErrReadOnly)
+	}
 	if r.dir == "" {
 		return SyncStats{}, fmt.Errorf("vmirepo: repository is in-memory; Sync requires OpenAt")
 	}
@@ -462,7 +555,7 @@ func (r *Repo) Close() error {
 // SizeBytes is the repository footprint: unique blob bytes plus the
 // metadata database file — the quantity plotted in Fig. 3.
 func (r *Repo) SizeBytes() int64 {
-	return r.blobs.TotalBytes() + r.db.SizeBytes()
+	return r.blobs.TotalBytes() + r.meta().SizeBytes()
 }
 
 func (r *Repo) chargeDB(m *simio.Meter, bytes int64) {
@@ -514,7 +607,7 @@ func decodePackageRecord(data []byte) (PackageRecord, error) {
 // index lookup charges one metadata access.
 func (r *Repo) HasPackage(ref string, m *simio.Meter) bool {
 	r.chargeDB(m, 0)
-	_, ok := r.db.Bucket(bucketPackages).Get([]byte(ref))
+	_, ok := r.meta().Bucket(bucketPackages).Get([]byte(ref))
 	return ok
 }
 
@@ -549,6 +642,9 @@ func (r *Repo) PutPackage(p pkgmeta.Package, blob []byte, m *simio.Meter) error 
 // warm entries on the data-plane phase of every concurrent publish for
 // nothing.
 func (r *Repo) EnsurePackage(p pkgmeta.Package, blob []byte, m *simio.Meter) (bool, error) {
+	if r.readOnly {
+		return false, fmt.Errorf("vmirepo: store package %s: %w", p.Ref(), ErrReadOnly)
+	}
 	r.opMu.RLock()
 	defer r.opMu.RUnlock()
 	key := []byte(p.Ref())
@@ -558,7 +654,7 @@ func (r *Repo) EnsurePackage(p pkgmeta.Package, blob []byte, m *simio.Meter) (bo
 	}
 	rec := PackageRecord{Pkg: p, BlobID: id, BlobSize: int64(len(blob))}
 	val := encodePackageRecord(rec)
-	if !r.db.Bucket(bucketPackages).PutIfAbsent(key, val) {
+	if !r.meta().Bucket(bucketPackages).PutIfAbsent(key, val) {
 		if err := r.blobs.Release(id); err != nil {
 			return false, err
 		}
@@ -575,7 +671,7 @@ func (r *Repo) EnsurePackage(p pkgmeta.Package, blob []byte, m *simio.Meter) (bo
 // GetPackage returns the stored package metadata and blob, charging the
 // blob read to the given phase.
 func (r *Repo) GetPackage(ref string, ph simio.Phase, m *simio.Meter) (pkgmeta.Package, []byte, error) {
-	val, ok := r.db.Bucket(bucketPackages).Get([]byte(ref))
+	val, ok := r.meta().Bucket(bucketPackages).Get([]byte(ref))
 	r.chargeDB(m, 0)
 	if !ok {
 		return pkgmeta.Package{}, nil, fmt.Errorf("vmirepo: package %s %w", ref, ErrNotFound)
@@ -602,7 +698,7 @@ func (r *Repo) GetPackage(ref string, ph simio.Phase, m *simio.Meter) (pkgmeta.P
 func (r *Repo) Packages() ([]PackageRecord, error) {
 	var out []PackageRecord
 	var err error
-	r.db.Bucket(bucketPackages).ForEach(func(k, v []byte) bool {
+	r.meta().Bucket(bucketPackages).ForEach(func(k, v []byte) bool {
 		var rec PackageRecord
 		rec, err = decodePackageRecord(v)
 		if err != nil {
@@ -652,7 +748,7 @@ func decodeBaseRecord(id string, data []byte) (BaseRecord, error) {
 // HasBase reports whether the base image is stored.
 func (r *Repo) HasBase(id string, m *simio.Meter) bool {
 	r.chargeDB(m, 0)
-	_, ok := r.db.Bucket(bucketBases).Get([]byte(id))
+	_, ok := r.meta().Bucket(bucketBases).Get([]byte(id))
 	return ok
 }
 
@@ -671,10 +767,13 @@ func (r *Repo) PutBase(id string, attrs pkgmeta.BaseAttrs, image []byte, m *simi
 // match releases the stored blob and errors, because a base record whose
 // length disagrees with its blob would poison every later retrieval.
 func (r *Repo) PutBaseReader(id string, attrs pkgmeta.BaseAttrs, src io.Reader, size int64, m *simio.Meter) error {
+	if r.readOnly {
+		return fmt.Errorf("vmirepo: store base %s: %w", id, ErrReadOnly)
+	}
 	r.opMu.RLock()
 	defer r.opMu.RUnlock()
 	defer r.mutate(id)()
-	b := r.db.Bucket(bucketBases)
+	b := r.meta().Bucket(bucketBases)
 	if _, exists := b.Get([]byte(id)); exists {
 		return fmt.Errorf("vmirepo: base %s already stored", id)
 	}
@@ -703,7 +802,7 @@ func (r *Repo) PutBaseReader(id string, attrs pkgmeta.BaseAttrs, src io.Reader, 
 // GetBase returns the serialized base image, charging the read to the
 // given phase (PhaseCopy during retrieval).
 func (r *Repo) GetBase(id string, ph simio.Phase, m *simio.Meter) ([]byte, error) {
-	val, ok := r.db.Bucket(bucketBases).Get([]byte(id))
+	val, ok := r.meta().Bucket(bucketBases).Get([]byte(id))
 	r.chargeDB(m, 0)
 	if !ok {
 		return nil, fmt.Errorf("vmirepo: base %s %w", id, ErrNotFound)
@@ -725,10 +824,13 @@ func (r *Repo) GetBase(id string, ph simio.Phase, m *simio.Meter) ([]byte, error
 // RemoveBase deletes a stored base image, reclaiming its blob (Algorithm 1
 // line 27, remove(b, repo)).
 func (r *Repo) RemoveBase(id string, m *simio.Meter) error {
+	if r.readOnly {
+		return fmt.Errorf("vmirepo: remove base %s: %w", id, ErrReadOnly)
+	}
 	r.opMu.RLock()
 	defer r.opMu.RUnlock()
 	defer r.mutate(id)()
-	b := r.db.Bucket(bucketBases)
+	b := r.meta().Bucket(bucketBases)
 	val, ok := b.Get([]byte(id))
 	r.chargeDB(m, 0)
 	if !ok {
@@ -749,7 +851,7 @@ func (r *Repo) RemoveBase(id string, m *simio.Meter) error {
 func (r *Repo) Bases() ([]BaseRecord, error) {
 	var out []BaseRecord
 	var err error
-	r.db.Bucket(bucketBases).ForEach(func(k, v []byte) bool {
+	r.meta().Bucket(bucketBases).ForEach(func(k, v []byte) bool {
 		var rec BaseRecord
 		rec, err = decodeBaseRecord(string(k), v)
 		if err != nil {
@@ -770,23 +872,27 @@ func (r *Repo) Bases() ([]BaseRecord, error) {
 // must not push a full copy of it into the metadata WAL. The modeled DB
 // charge is unchanged either way (the cost model accounts the logical
 // operation; the elision is an I/O-layer optimisation).
-func (r *Repo) PutMaster(mg *master.Graph, m *simio.Meter) {
+func (r *Repo) PutMaster(mg *master.Graph, m *simio.Meter) error {
+	if r.readOnly {
+		return fmt.Errorf("vmirepo: store master for %s: %w", mg.BaseID, ErrReadOnly)
+	}
 	r.opMu.RLock()
 	defer r.opMu.RUnlock()
 	defer r.mutate(mg.BaseID)()
 	data := mg.Marshal()
-	r.db.Bucket(bucketMasters).Update([]byte(mg.BaseID), func(old []byte, ok bool) ([]byte, bool) {
+	r.meta().Bucket(bucketMasters).Update([]byte(mg.BaseID), func(old []byte, ok bool) ([]byte, bool) {
 		if ok && bytes.Equal(old, data) {
 			return nil, false
 		}
 		return data, true
 	})
 	r.chargeDB(m, int64(len(data)))
+	return nil
 }
 
 // GetMaster loads the master graph of a base image.
 func (r *Repo) GetMaster(baseID string, m *simio.Meter) (*master.Graph, error) {
-	val, ok := r.db.Bucket(bucketMasters).Get([]byte(baseID))
+	val, ok := r.meta().Bucket(bucketMasters).Get([]byte(baseID))
 	r.chargeDB(m, int64(len(val)))
 	if !ok {
 		return nil, fmt.Errorf("vmirepo: master graph for %s %w", baseID, ErrNotFound)
@@ -795,19 +901,23 @@ func (r *Repo) GetMaster(baseID string, m *simio.Meter) (*master.Graph, error) {
 }
 
 // RemoveMaster deletes a master graph.
-func (r *Repo) RemoveMaster(baseID string, m *simio.Meter) {
+func (r *Repo) RemoveMaster(baseID string, m *simio.Meter) error {
+	if r.readOnly {
+		return fmt.Errorf("vmirepo: remove master for %s: %w", baseID, ErrReadOnly)
+	}
 	r.opMu.RLock()
 	defer r.opMu.RUnlock()
 	defer r.mutate(baseID)()
-	r.db.Bucket(bucketMasters).Delete([]byte(baseID))
+	r.meta().Bucket(bucketMasters).Delete([]byte(baseID))
 	r.chargeDB(m, 0)
+	return nil
 }
 
 // Masters returns all master graphs sorted by base ID.
 func (r *Repo) Masters() ([]*master.Graph, error) {
 	var out []*master.Graph
 	var err error
-	r.db.Bucket(bucketMasters).ForEach(func(k, v []byte) bool {
+	r.meta().Bucket(bucketMasters).ForEach(func(k, v []byte) bool {
 		var mg *master.Graph
 		mg, err = master.Unmarshal(v)
 		if err != nil {
@@ -831,23 +941,27 @@ type VMIRecord struct {
 // PutVMI stores a VMI record. Like PutMaster, a rewrite that would not
 // change the stored bytes is elided from the write path (and so from the
 // metadata WAL) while charging the same modeled cost.
-func (r *Repo) PutVMI(rec VMIRecord, m *simio.Meter) {
+func (r *Repo) PutVMI(rec VMIRecord, m *simio.Meter) error {
+	if r.readOnly {
+		return fmt.Errorf("vmirepo: store VMI %q: %w", rec.Name, ErrReadOnly)
+	}
 	r.opMu.RLock()
 	defer r.opMu.RUnlock()
 	defer r.mutate(rec.BaseID, rec.Name)()
 	val := []byte(rec.BaseID + "\n" + strings.Join(rec.Primaries, ","))
-	r.db.Bucket(bucketVMIs).Update([]byte(rec.Name), func(old []byte, ok bool) ([]byte, bool) {
+	r.meta().Bucket(bucketVMIs).Update([]byte(rec.Name), func(old []byte, ok bool) ([]byte, bool) {
 		if ok && bytes.Equal(old, val) {
 			return nil, false
 		}
 		return val, true
 	})
 	r.chargeDB(m, int64(len(val)))
+	return nil
 }
 
 // GetVMI loads a VMI record by name.
 func (r *Repo) GetVMI(name string, m *simio.Meter) (VMIRecord, error) {
-	val, ok := r.db.Bucket(bucketVMIs).Get([]byte(name))
+	val, ok := r.meta().Bucket(bucketVMIs).Get([]byte(name))
 	r.chargeDB(m, 0)
 	if !ok {
 		return VMIRecord{}, fmt.Errorf("vmirepo: VMI %q %w", name, ErrNotFound)
@@ -874,11 +988,14 @@ func (r *Repo) GetVMI(name string, m *simio.Meter) (VMIRecord, error) {
 // blindly repointing would splice that publish's primaries onto this
 // class's base. A record that moved since the scan is simply left to its
 // new owner.
-func (r *Repo) RewireVMIs(oldBase, newBase string, m *simio.Meter) {
+func (r *Repo) RewireVMIs(oldBase, newBase string, m *simio.Meter) error {
+	if r.readOnly {
+		return fmt.Errorf("vmirepo: rewire VMIs %s -> %s: %w", oldBase, newBase, ErrReadOnly)
+	}
 	r.opMu.RLock()
 	defer r.opMu.RUnlock()
 	defer r.mutate(oldBase, newBase)()
-	b := r.db.Bucket(bucketVMIs)
+	b := r.meta().Bucket(bucketVMIs)
 	var names []string
 	b.ForEach(func(k, v []byte) bool {
 		parts := strings.SplitN(string(v), "\n", 2)
@@ -897,12 +1014,13 @@ func (r *Repo) RewireVMIs(oldBase, newBase string, m *simio.Meter) {
 			return []byte(newBase + "\n" + parts[1]), true
 		})
 	}
+	return nil
 }
 
 // VMIs lists stored VMI names.
 func (r *Repo) VMIs() []string {
 	var out []string
-	r.db.Bucket(bucketVMIs).ForEach(func(k, v []byte) bool {
+	r.meta().Bucket(bucketVMIs).ForEach(func(k, v []byte) bool {
 		out = append(out, string(k))
 		return true
 	})
@@ -917,12 +1035,15 @@ func (r *Repo) VMIs() []string {
 // not leak store space; a release failure surfaces the store
 // inconsistency it indicates.
 func (r *Repo) PutUserData(name string, archive []byte, m *simio.Meter) error {
+	if r.readOnly {
+		return fmt.Errorf("vmirepo: store user data %q: %w", name, ErrReadOnly)
+	}
 	r.opMu.RLock()
 	defer r.opMu.RUnlock()
 	r.udMu.Lock()
 	defer r.udMu.Unlock()
 	defer r.mutate(name)()
-	b := r.db.Bucket(bucketUserData)
+	b := r.meta().Bucket(bucketUserData)
 	sum := blobstore.Sum(archive)
 	if old, ok := b.Get([]byte(name)); ok && bytes.Equal(old, sum[:]) {
 		// Identical archive for the same name: the stored blob, its single
@@ -965,7 +1086,7 @@ func (r *Repo) PutUserData(name string, archive []byte, m *simio.Meter) error {
 
 // GetUserData returns the archive, or nil when the VMI stored none.
 func (r *Repo) GetUserData(name string, ph simio.Phase, m *simio.Meter) ([]byte, error) {
-	val, ok := r.db.Bucket(bucketUserData).Get([]byte(name))
+	val, ok := r.meta().Bucket(bucketUserData).Get([]byte(name))
 	r.chargeDB(m, 0)
 	if !ok {
 		return nil, nil
@@ -984,10 +1105,13 @@ func (r *Repo) GetUserData(name string, ph simio.Phase, m *simio.Meter) ([]byte,
 
 // RemovePackage deletes a stored package record and releases its blob.
 func (r *Repo) RemovePackage(ref string, m *simio.Meter) error {
+	if r.readOnly {
+		return fmt.Errorf("vmirepo: remove package %s: %w", ref, ErrReadOnly)
+	}
 	r.opMu.RLock()
 	defer r.opMu.RUnlock()
 	defer r.mutate()()
-	b := r.db.Bucket(bucketPackages)
+	b := r.meta().Bucket(bucketPackages)
 	val, ok := b.Get([]byte(ref))
 	r.chargeDB(m, 0)
 	if !ok {
@@ -1006,12 +1130,15 @@ func (r *Repo) RemovePackage(ref string, m *simio.Meter) error {
 
 // RemoveUserData deletes a VMI's user-data archive if present.
 func (r *Repo) RemoveUserData(name string, m *simio.Meter) error {
+	if r.readOnly {
+		return fmt.Errorf("vmirepo: remove user data %q: %w", name, ErrReadOnly)
+	}
 	r.opMu.RLock()
 	defer r.opMu.RUnlock()
 	r.udMu.Lock()
 	defer r.udMu.Unlock()
 	defer r.mutate(name)()
-	b := r.db.Bucket(bucketUserData)
+	b := r.meta().Bucket(bucketUserData)
 	val, ok := b.Get([]byte(name))
 	r.chargeDB(m, 0)
 	if !ok {
@@ -1027,12 +1154,16 @@ func (r *Repo) RemoveUserData(name string, m *simio.Meter) error {
 }
 
 // RemoveVMI deletes a VMI record.
-func (r *Repo) RemoveVMI(name string, m *simio.Meter) {
+func (r *Repo) RemoveVMI(name string, m *simio.Meter) error {
+	if r.readOnly {
+		return fmt.Errorf("vmirepo: remove VMI %q: %w", name, ErrReadOnly)
+	}
 	r.opMu.RLock()
 	defer r.opMu.RUnlock()
 	defer r.mutate(name)()
-	r.db.Bucket(bucketVMIs).Delete([]byte(name))
+	r.meta().Bucket(bucketVMIs).Delete([]byte(name))
 	r.chargeDB(m, 0)
+	return nil
 }
 
 var repoSnapshotMagic = []byte("EXPREPO1")
@@ -1051,7 +1182,7 @@ func (r *Repo) Snapshot() ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("vmirepo: snapshot blobs: %w", err)
 	}
-	db := r.db.Snapshot()
+	db := r.meta().Snapshot()
 	out := make([]byte, 0, len(repoSnapshotMagic)+16+len(blobs)+len(db))
 	out = append(out, repoSnapshotMagic...)
 	var lenBuf [8]byte
@@ -1092,10 +1223,9 @@ func Load(image []byte, dev *simio.Device) (*Repo, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := &Repo{blobs: blobs, db: db, dev: dev}
-	for _, b := range []string{bucketPackages, bucketBases, bucketMasters, bucketVMIs, bucketUserData} {
-		r.db.CreateBucket(b)
-	}
+	r := &Repo{blobs: blobs, dev: dev}
+	r.db.Store(db)
+	r.createBuckets()
 	return r, nil
 }
 
@@ -1122,17 +1252,27 @@ type Stats struct {
 // Stats returns current repository statistics.
 func (r *Repo) Stats() Stats {
 	st := Stats{
-		Packages:   r.db.Bucket(bucketPackages).Len(),
-		Bases:      r.db.Bucket(bucketBases).Len(),
-		VMIs:       r.db.Bucket(bucketVMIs).Len(),
+		Packages:   r.meta().Bucket(bucketPackages).Len(),
+		Bases:      r.meta().Bucket(bucketBases).Len(),
+		VMIs:       r.meta().Bucket(bucketVMIs).Len(),
 		BlobBytes:  r.blobs.TotalBytes(),
-		DBBytes:    r.db.SizeBytes(),
+		DBBytes:    r.meta().SizeBytes(),
 		TotalBytes: r.SizeBytes(),
 	}
-	if ds, ok := r.blobs.(*diskstore.Store); ok {
-		d := ds.DiskStats()
-		st.BlobDiskBytes = d.DiskBytes
-		st.BlobDeadBytes = d.DeadBytes
+	// Walk through wrapping backends (a follower's read-through cache) to
+	// the disk store underneath, if any — physical bytes live there.
+	for bl := r.blobs; bl != nil; {
+		if ds, ok := bl.(*diskstore.Store); ok {
+			d := ds.DiskStats()
+			st.BlobDiskBytes = d.DiskBytes
+			st.BlobDeadBytes = d.DeadBytes
+			break
+		}
+		u, ok := bl.(interface{ Unwrap() blobstore.Backend })
+		if !ok {
+			break
+		}
+		bl = u.Unwrap()
 	}
 	return st
 }

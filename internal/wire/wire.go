@@ -199,6 +199,46 @@ type Stats struct {
 	CacheMisses  int64
 	CacheEntries int
 	CacheBytes   int64
+
+	// Repl carries replication state when the server participates in
+	// snapshot + WAL shipping: as the writer (source of truth) or as a
+	// follower serving the replicated read path. Nil on servers that do
+	// neither (memory-backed daemons have no WAL to ship).
+	Repl *ReplicationStats
+}
+
+// ReplCommit is the writer's current durable metadata position — the
+// reply to GET /v1/repl/commit and the watermark a follower tails to.
+// Epoch identifies the snapshot + WAL pair (it advances when the writer
+// compacts); DurableBytes is the fsynced, commit-marker-covered WAL
+// length within that epoch.
+type ReplCommit struct {
+	Epoch        uint64
+	DurableBytes int64
+}
+
+// ReplicationStats is the replication section of a stats reply.
+type ReplicationStats struct {
+	// Role is "writer" or "follower".
+	Role string
+	// Epoch is the current snapshot/WAL epoch: the writer's own, or the
+	// epoch the follower has applied up to.
+	Epoch uint64
+	// DurableBytes is the writer's durable WAL length. On a follower it
+	// is the writer's position as of the last poll — the catch-up target.
+	DurableBytes int64
+	// AppliedBytes is how far into the epoch's WAL a follower has
+	// applied (zero on writers).
+	AppliedBytes int64
+	// LagBytes is DurableBytes - AppliedBytes as of the follower's last
+	// poll of the writer; zero on writers and on caught-up followers.
+	LagBytes int64
+	// Batches and Ops count what the follower has applied since it
+	// started (zero on writers).
+	Batches int64
+	Ops     int64
+	// WriterURL is the upstream a follower tails (empty on writers).
+	WriterURL string
 }
 
 // SyncStats is the server's reply to a sync or compact: the durable-save
