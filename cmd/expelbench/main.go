@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	expelbench [-exp all|table2,fig3a,fig3b,fig3c,fig4a,fig4b,fig5a,fig5b,abl1,abl2,abl3,abl4,conc,persist,cachehit,storm,sync,stream,remote,churn,replica] [-ide-builds 40] [-clients 8] [-backend memory|disk] [-store-root DIR] [-cache BYTES] [-wal-compact BYTES] [-warm-iters 3] [-storm-publishes 120] [-storm-bursts 3] [-storm-burst-clients 32] [-sync-deltas 5] [-stream-bulk MIB] [-remote-clients 16] [-remote-bulk MIB] [-churn-rounds 6] [-replica-rounds 4]
+//	expelbench [-exp all|table2,fig3a,fig3b,fig3c,fig4a,fig4b,fig5a,fig5b,abl1,abl2,abl3,abl4,conc,persist,cachehit,storm,sync,stream,remote,churn,replica,lifecycle] [-ide-builds 40] [-clients 8] [-backend memory|disk] [-store-root DIR] [-cache BYTES] [-wal-compact BYTES] [-warm-iters 3] [-storm-publishes 120] [-storm-bursts 3] [-storm-burst-clients 32] [-sync-deltas 5] [-stream-bulk MIB] [-remote-clients 16] [-remote-bulk MIB] [-churn-rounds 6] [-replica-rounds 4] [-lifecycle-tenants 3]
 //
 // Every experiment runs against the blob backend named by -backend: the
 // in-memory sharded store (the default) or the durable on-disk segment
@@ -49,8 +49,16 @@
 // switches); it errors unless the follower's metadata matches the writer
 // byte-for-byte after every catch-up, every image streams from the
 // follower byte-identical to the writer's own retrieval, a warm second
-// pass causes zero read-through blob fetches, and the follower rejects
-// mutation.
+// pass causes zero read-through blob fetches, the follower rejects
+// mutation, and a brand-new follower's snapshot bootstrap stays within
+// the streaming allocation bound. The lifecycle experiment publishes one
+// keeper and two TTL'd images per tenant (-lifecycle-tenants), runs the
+// TTL sweep and a vacuum, and errors unless expired images answer
+// not-found, per-tenant accounting returns exactly to its keeper-only
+// value, the disk backend's footprint lands within 1.1x the surviving
+// live bytes, keepers stream byte-identically to their pre-expiry
+// reference, a second vacuum reclaims nothing, and a loopback quota leg
+// rejects an over-quota publish with the typed quota-exceeded error.
 package main
 
 import (
@@ -81,11 +89,12 @@ func main() {
 	remoteBulk := flag.Int64("remote-bulk", 64, "largest bulk payload in MiB for the remote experiment (scales 1x/10x/100x up to this)")
 	churnRounds := flag.Int("churn-rounds", 6, "publish/remove rounds in the churn experiment")
 	replicaRounds := flag.Int("replica-rounds", 4, "publish/catch-up rounds in the replica experiment (capped at the 19-image catalog)")
+	lifecycleTenants := flag.Int("lifecycle-tenants", 3, "tenants in the lifecycle experiment (each publishes one keeper and two TTL'd images)")
 	flag.Parse()
 
 	selected := map[string]bool{}
 	if *exps == "all" {
-		for _, e := range []string{"table2", "fig3a", "fig3b", "fig3c", "fig4a", "fig4b", "fig5a", "fig5b", "abl1", "abl2", "abl3", "abl4", "conc", "persist", "cachehit", "storm", "sync", "stream", "remote", "churn", "replica"} {
+		for _, e := range []string{"table2", "fig3a", "fig3b", "fig3c", "fig4a", "fig4b", "fig5a", "fig5b", "abl1", "abl2", "abl3", "abl4", "conc", "persist", "cachehit", "storm", "sync", "stream", "remote", "churn", "replica", "lifecycle"} {
 			selected[e] = true
 		}
 	} else {
@@ -143,6 +152,7 @@ func main() {
 	run("remote", func() (fmt.Stringer, error) { return r.RemoteFlatRSS(*remoteBulk<<20, *remoteClients) })
 	run("churn", func() (fmt.Stringer, error) { return r.Churn(*churnRounds) })
 	run("replica", func() (fmt.Stringer, error) { return r.ReplicaConvergence(*replicaRounds) })
+	run("lifecycle", func() (fmt.Stringer, error) { return r.Lifecycle(*lifecycleTenants) })
 
 	// Closing disk-backed systems is where a sticky store failure (e.g. a
 	// full filesystem mid-run) surfaces; results printed above would

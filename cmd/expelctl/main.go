@@ -22,6 +22,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"expelliarmus"
 	"expelliarmus/internal/catalog"
@@ -38,6 +39,10 @@ func main() {
 	noDedup := flag.Bool("no-dedup", false, "disable semantic dedup (the paper's 'Semantic' variant)")
 	noBaseSel := flag.Bool("no-base-selection", false, "disable base image selection (Algorithm 2)")
 	remove := flag.String("remove", "", "VMI name to remove (with garbage collection)")
+	tenant := flag.String("tenant", "", "tenant account to charge published bytes to (visible in stats, enforced against server quotas)")
+	ttl := flag.Duration("ttl", 0, "publish with this time-to-live: images expire (become removable by the expiry sweep) this long from now")
+	expiresAt := flag.String("expires-at", "", "publish with an absolute expiry timestamp (RFC 3339, e.g. 2026-08-08T12:00:00Z); mutually exclusive with -ttl")
+	vacuum := flag.Bool("vacuum", false, "reclaim dangling repository state (unreferenced packages, orphaned archives, blob orphans) after the other operations")
 	syncFlag := flag.Bool("sync", false, "sync the repository after the other operations, making published state durable (and visible to follower daemons)")
 	compact := flag.Bool("compact", false, "force compaction (blob segments + metadata WAL) after the other operations and report what was reclaimed")
 	saveFile := flag.String("save", "", "write the repository snapshot to this file when done")
@@ -46,6 +51,12 @@ func main() {
 	serverAddr := flag.String("server", "", "run against a live expelserverd at this address instead of in-process")
 	verbose := flag.Bool("v", false, "verbose per-operation phase breakdowns")
 	flag.Parse()
+
+	expiry, err := resolveExpiry(*ttl, *expiresAt)
+	if err != nil {
+		fail(err)
+	}
+	pubOpts := expelliarmus.PublishOptions{Tenant: *tenant, ExpiresAt: expiry}
 
 	if *serverAddr != "" {
 		runRemote(remoteArgs{
@@ -56,12 +67,14 @@ func main() {
 			remove:   *remove,
 			sync:     *syncFlag,
 			compact:  *compact,
+			vacuum:   *vacuum,
 			saveFile: *saveFile,
 			loadFile: *loadFile,
 			dotFile:   *dotFile,
 			noDedup:   *noDedup,
 			noBaseSel: *noBaseSel,
 			verbose:   *verbose,
+			pubOpts:   pubOpts,
 		})
 		return
 	}
@@ -108,7 +121,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		pub, err := sys.Publish(img)
+		pub, err := sys.PublishWith(img, pubOpts)
 		if err != nil {
 			fail(err)
 		}
@@ -186,6 +199,16 @@ func main() {
 		}
 	}
 
+	if *vacuum {
+		vst, err := sys.Vacuum()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("vacuumed: %d package(s), %d user-data archive(s), %d lifecycle record(s), %d orphan blob(s) removed, %.3f GB reclaimed\n",
+			vst.PackagesRemoved, vst.UserDataRemoved, vst.MetaRemoved, vst.BlobsReleased, gb(vst.BytesReclaimed))
+		printRepoStats(sys, "repository now")
+	}
+
 	if *dotFile != "" {
 		dot, err := sys.MasterGraphDOT()
 		if err != nil {
@@ -212,6 +235,42 @@ func printRepoStats(sys *expelliarmus.System, label string) {
 		line += fmt.Sprintf(" (%.2f GB on disk, %.2f GB dead)", rs.DiskGB, rs.DeadGB)
 	}
 	fmt.Println(line)
+	printTenants(sys.TenantStats())
+}
+
+// printTenants lists per-tenant charged bytes, sorted by name.
+func printTenants(ts map[string]int64) {
+	if len(ts) == 0 {
+		return
+	}
+	tenants := make([]string, 0, len(ts))
+	for t := range ts {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	for _, t := range tenants {
+		fmt.Printf("    tenant %-14s %.3f GB charged\n", t, gb(ts[t]))
+	}
+}
+
+// resolveExpiry turns the mutually-exclusive -ttl / -expires-at flags
+// into one Unix-seconds timestamp (zero: never expires).
+func resolveExpiry(ttl time.Duration, expiresAt string) (int64, error) {
+	switch {
+	case ttl != 0 && expiresAt != "":
+		return 0, fmt.Errorf("-ttl and -expires-at are mutually exclusive")
+	case ttl < 0:
+		return 0, fmt.Errorf("-ttl must be positive, got %v", ttl)
+	case ttl > 0:
+		return time.Now().Add(ttl).Unix(), nil
+	case expiresAt != "":
+		t, err := time.Parse(time.RFC3339, expiresAt)
+		if err != nil {
+			return 0, fmt.Errorf("bad -expires-at: %w", err)
+		}
+		return t.Unix(), nil
+	}
+	return 0, nil
 }
 
 func saveIfRequested(sys *expelliarmus.System, file string) {

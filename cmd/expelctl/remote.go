@@ -28,12 +28,14 @@ type remoteArgs struct {
 	remove    string
 	sync      bool
 	compact   bool
+	vacuum    bool
 	saveFile  string
 	loadFile  string
 	dotFile   string
 	noDedup   bool
 	noBaseSel bool
 	verbose   bool
+	pubOpts   expelliarmus.PublishOptions
 }
 
 func runRemote(a remoteArgs) {
@@ -71,7 +73,7 @@ func runRemote(a remoteArgs) {
 		if err != nil {
 			fail(err)
 		}
-		pub, err := cl.Publish(ctx, img.EncodeWire)
+		pub, err := cl.Publish(ctx, img.EncodeWireWith(a.pubOpts))
 		if err != nil {
 			fail(err)
 		}
@@ -139,6 +141,16 @@ func runRemote(a remoteArgs) {
 		printRemoteStats(ctx, cl, "repository now")
 	}
 
+	if a.vacuum {
+		vst, err := cl.Vacuum(ctx)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("vacuumed: %d package(s), %d user-data archive(s), %d lifecycle record(s), %d orphan blob(s) removed, %.3f GB reclaimed\n",
+			vst.PackagesRemoved, vst.UserDataRemoved, vst.MetaRemoved, vst.BlobsReleased, gb(vst.BytesReclaimed))
+		printRemoteStats(ctx, cl, "repository now")
+	}
+
 	if a.dotFile != "" {
 		dot, err := cl.GraphDOT(ctx)
 		if err != nil {
@@ -180,6 +192,7 @@ func printRemoteStats(ctx context.Context, cl *client.Client, label string) {
 		line += fmt.Sprintf(" (%.2f GB on disk, %.2f GB dead)", gb(st.DiskBytes), gb(st.DeadBytes))
 	}
 	fmt.Println(line)
+	printTenants(st.Tenants)
 	if r := st.Repl; r != nil {
 		switch r.Role {
 		case "follower":

@@ -9,6 +9,7 @@
 //	expelserverd [-addr 127.0.0.1:9747] [-store DIR] [-cache BYTES]
 //	             [-parallelism N] [-wal-compact BYTES]
 //	             [-blob-compact-ratio R] [-sync-interval D]
+//	             [-expire-interval D] [-quota tenant=bytes,...]
 //	             [-tls-cert FILE -tls-key FILE]
 //	             [-follow URL [-follow-poll D]]
 //
@@ -21,6 +22,15 @@
 // interval costs one small append and an idle one costs nothing.
 // With -tls-cert/-tls-key the server speaks HTTPS (and HTTP/2, which the
 // standard library enables over TLS automatically).
+//
+// -expire-interval runs the TTL sweep in the background: images
+// published with an expiry timestamp (expelctl -ttl / -expires-at) are
+// removed — with full garbage collection — within that bound of
+// expiring. -quota caps tenants' live bytes ("alice=100000000,bob=5e9"
+// style decimal byte counts): a publish charged to a capped tenant that
+// would exceed its cap is rejected with 413 and error kind
+// "quota-exceeded". Both are writer-side options; followers replicate
+// the writer's expiries like any other removal.
 //
 // With -follow the daemon is a read-only replica of the writer daemon at
 // URL: it tails the writer's snapshot + WAL shipping endpoints, serves
@@ -40,6 +50,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -61,6 +73,8 @@ func main() {
 	walCompact := flag.Int64("wal-compact", 0, "metadata-WAL compaction threshold bytes (0 keeps the default)")
 	blobRatio := flag.Float64("blob-compact-ratio", 0, "dead-byte fraction at which sealed blob segments compact on sync (0 keeps the default, negative disables the automatic trigger)")
 	syncInterval := flag.Duration("sync-interval", 0, "background sync period for a disk-backed repository: published state becomes durable (and visible to followers) within this bound (0 syncs only on shutdown or explicit request)")
+	expireInterval := flag.Duration("expire-interval", 0, "background TTL-sweep period: images published with an expiry timestamp are removed within this bound of expiring (0 disables the sweep)")
+	quotas := flag.String("quota", "", "per-tenant live-byte caps as tenant=bytes[,tenant=bytes...]; publishes that would exceed a cap are rejected")
 	tlsCert := flag.String("tls-cert", "", "TLS certificate file (with -tls-key enables HTTPS)")
 	tlsKey := flag.String("tls-key", "", "TLS private key file")
 	follow := flag.String("follow", "", "writer daemon URL to follow as a read-only replica")
@@ -71,8 +85,13 @@ func main() {
 		fail(fmt.Errorf("-tls-cert and -tls-key must be given together"))
 	}
 
+	tenantQuotas, err := parseQuotas(*quotas)
+	if err != nil {
+		fail(err)
+	}
+
 	dev := simio.NewDevice(simio.PaperProfile().Scaled(catalog.ByteScale, catalog.FileScale))
-	opts := core.Options{Parallelism: *parallelism, CacheBytes: *cache}
+	opts := core.Options{Parallelism: *parallelism, CacheBytes: *cache, TenantQuotas: tenantQuotas}
 	var sys *core.System
 	var rep *replica.Replica
 	bgCtx, stopBg := context.WithCancel(context.Background())
@@ -117,6 +136,29 @@ func main() {
 				case <-tick.C:
 					if _, err := sys.Sync(); err != nil {
 						log.Printf("expelserverd: background sync: %v", err)
+					}
+				}
+			}
+		}()
+	}
+
+	// TTL sweep — writer only; followers see the writer's expiries as
+	// replicated removals.
+	if *expireInterval > 0 && *follow == "" {
+		go func() {
+			tick := time.NewTicker(*expireInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-bgCtx.Done():
+					return
+				case <-tick.C:
+					removed, err := sys.ExpireAt(time.Now().Unix())
+					if err != nil {
+						log.Printf("expelserverd: expiry sweep: %v", err)
+					}
+					if len(removed) > 0 {
+						log.Printf("expelserverd: expired %d image(s): %v", len(removed), removed)
 					}
 				}
 			}
@@ -168,6 +210,27 @@ func main() {
 	if err := sys.Close(); err != nil {
 		fail(fmt.Errorf("closing repository: %w", err))
 	}
+}
+
+// parseQuotas parses "tenant=bytes[,tenant=bytes...]" into the per-tenant
+// cap map ("" for no caps).
+func parseQuotas(spec string) (map[string]int64, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	out := map[string]int64{}
+	for _, part := range strings.Split(spec, ",") {
+		tenant, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || tenant == "" {
+			return nil, fmt.Errorf("bad -quota entry %q, want tenant=bytes", part)
+		}
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -quota bytes for tenant %q: %q", tenant, val)
+		}
+		out[tenant] = n
+	}
+	return out, nil
 }
 
 func storeDesc(dir string) string {

@@ -85,6 +85,13 @@ type Options struct {
 	// reclamation to explicit Compact calls. Memory-backed Systems ignore
 	// it (they hold no garbage).
 	BlobCompactDeadRatio float64
+	// TenantQuotas caps each tenant's live repository bytes. A publish
+	// charged to a capped tenant (PublishOptions.Tenant) is rejected with
+	// ErrQuotaExceeded before any repository graph mutation when it would
+	// push the tenant's recorded usage past its cap. Tenants absent from
+	// the map (or mapped to zero) are unlimited; publishes without a
+	// tenant are never capped. See TenantStats for current usage.
+	TenantQuotas map[string]int64
 }
 
 // System is an Expelliarmus VMI management system over an in-memory
@@ -118,8 +125,15 @@ func coreOptions(o Options) core.Options {
 		NoBaseSelection: o.NoBaseSelection,
 		Parallelism:     o.Parallelism,
 		CacheBytes:      o.CacheBytes,
+		TenantQuotas:    o.TenantQuotas,
 	}
 }
+
+// ErrQuotaExceeded reports a publish rejected because it would push its
+// tenant past the cap configured in Options.TenantQuotas. The repository
+// graph is untouched by the rejected publish; any package or user-data
+// blobs it stored ahead of the check are garbage a Vacuum reclaims.
+var ErrQuotaExceeded = vmirepo.ErrQuotaExceeded
 
 // NewWithOptions creates a System with explicit options.
 func NewWithOptions(o Options) *System {
@@ -343,6 +357,19 @@ func (im *Image) EncodeWire(w io.Writer) error {
 	return wire.WriteImage(w, im.inner)
 }
 
+// EncodeWireWith returns an EncodeWire-shaped encoder that carries
+// lifecycle options (tenant account, expiry timestamp) in the envelope
+// header — the form to hand a network client's Publish when uploading
+// with a TTL or against a quota.
+func (im *Image) EncodeWireWith(opts PublishOptions) func(io.Writer) error {
+	return func(w io.Writer) error {
+		return wire.WriteImageMeta(w, im.inner, wire.PublishMeta{
+			Tenant:    opts.Tenant,
+			ExpiresAt: opts.ExpiresAt,
+		})
+	}
+}
+
 // Templates lists the names of the paper's 19 evaluation images in the
 // Table II upload order.
 func Templates() []string {
@@ -399,7 +426,29 @@ type PublishResult struct {
 // Publish decomposes and stores an image. The caller's Image remains
 // usable (publishing operates on an internal clone).
 func (s *System) Publish(img *Image) (*PublishResult, error) {
-	rep, err := s.sys.Publish(img.inner.Clone())
+	return s.PublishWith(img, PublishOptions{})
+}
+
+// PublishOptions carry a publish's lifecycle metadata.
+type PublishOptions struct {
+	// Tenant names the account charged for the bytes this publish stores.
+	// Charged usage is visible in TenantStats and enforced against
+	// Options.TenantQuotas; empty means unaccounted.
+	Tenant string
+	// ExpiresAt is a Unix-seconds timestamp after which the image is
+	// eligible for removal by ExpireAt (the repository's TTL sweep). Zero
+	// means the image never expires.
+	ExpiresAt int64
+}
+
+// PublishWith is Publish with lifecycle options: the tenant to charge
+// and an optional expiry timestamp, both recorded durably with the image
+// (and replicated to followers like every other mutation).
+func (s *System) PublishWith(img *Image, opts PublishOptions) (*PublishResult, error) {
+	rep, err := s.sys.PublishWith(img.inner.Clone(), core.PublishOpts{
+		Tenant:    opts.Tenant,
+		ExpiresAt: opts.ExpiresAt,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -573,6 +622,56 @@ func (s *System) MasterGraphDOT() (string, error) { return s.sys.MasterDOT() }
 // Remove deletes a published VMI, garbage-collecting packages, user data
 // and base images no remaining VMI references.
 func (s *System) Remove(name string) error { return s.sys.Remove(name) }
+
+// ExpireAt removes every published VMI whose PublishOptions.ExpiresAt
+// timestamp is at or before now (Unix seconds), returning the names
+// removed. Each expiry runs the ordinary Remove transaction — packages,
+// user data, base images and quota charges are reclaimed exactly as an
+// operator removal would. Callers typically drive this from a ticker
+// (see cmd/expelserverd's -expire-interval).
+func (s *System) ExpireAt(now int64) ([]string, error) { return s.sys.ExpireAt(now) }
+
+// VacuumStats reports what one Vacuum pass reclaimed.
+type VacuumStats struct {
+	// PackagesRemoved counts package records no VMI referenced.
+	PackagesRemoved int
+	// UserDataRemoved counts user-data archives whose VMI is gone.
+	UserDataRemoved int
+	// MetaRemoved counts lifecycle records whose VMI is gone.
+	MetaRemoved int
+	// BlobsReleased counts blobs no metadata record referenced (crash
+	// orphans and the leftovers of abandoned or quota-rejected publishes).
+	BlobsReleased int
+	// BytesReclaimed is the payload bytes of the removed packages and
+	// released blobs.
+	BytesReclaimed int64
+}
+
+// Vacuum reclaims everything dangling in the repository: packages no VMI
+// references, user-data archives and lifecycle records of VMIs that no
+// longer exist, stale tenant accounting, and blobs no metadata record
+// references — the orphans crash recovery deliberately resurrects and
+// the leftovers of abandoned publishes. On a disk-backed System it then
+// compacts both stores so the reclaimed bytes leave the disk. Safe under
+// concurrent traffic (it runs as one repository transaction).
+func (s *System) Vacuum() (VacuumStats, error) {
+	st, err := s.sys.Vacuum()
+	if err != nil {
+		return VacuumStats{}, err
+	}
+	return VacuumStats{
+		PackagesRemoved: st.PackagesRemoved,
+		UserDataRemoved: st.UserDataRemoved,
+		MetaRemoved:     st.MetaRemoved,
+		BlobsReleased:   st.BlobsReleased,
+		BytesReclaimed:  st.BytesReclaimed,
+	}, nil
+}
+
+// TenantStats returns each tenant's recorded live bytes — what publishes
+// charged (stored package, base and user-data bytes) minus what removals
+// and expiries credited back. Tenants with zero usage are absent.
+func (s *System) TenantStats() map[string]int64 { return s.sys.TenantStats() }
 
 // Save serialises the repository (blobs and metadata) for durable storage.
 // Save may be called while other operations are in flight: it waits out

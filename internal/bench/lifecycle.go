@@ -1,0 +1,338 @@
+package bench
+
+import (
+	"context"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"time"
+
+	"expelliarmus/internal/catalog"
+	"expelliarmus/internal/client"
+	"expelliarmus/internal/core"
+	"expelliarmus/internal/server"
+	"expelliarmus/internal/vmirepo"
+	"expelliarmus/internal/wire"
+)
+
+// LifecycleDiskBound is the reclamation gate: after the TTL sweep and the
+// vacuum, the repository's physical blob bytes must be within this
+// multiple of the surviving live bytes — expiry plus vacuum really gave
+// the dead images' bytes back to the disk, not just hid their names.
+const LifecycleDiskBound = 1.1
+
+// LifecycleTenant is one tenant's row of the lifecycle experiment.
+type LifecycleTenant struct {
+	Tenant  string
+	Keeper  string // the image that never expires
+	Expired int    // TTL'd images this tenant published and lost to the sweep
+	// ChargeBefore/ChargeAfter are the tenant's accounted live bytes right
+	// after its keeper publish and after expiry+vacuum; the gate requires
+	// them equal — expiry credited back exactly what the TTL'd images cost.
+	ChargeBefore, ChargeAfter int64
+}
+
+// LifecycleResult reports the lifecycle experiment.
+type LifecycleResult struct {
+	Backend  string
+	Tenants  []LifecycleTenant
+	Expired  int
+	Vacuum   core.VacuumStats
+	Vacuum2  core.VacuumStats // second pass; all-zero proves convergence
+	LiveGB   float64
+	DiskGB   float64 // 0 on the memory backend
+	Ratio    float64 // DiskBytes / LiveBytes (disk backend only)
+	Wall     time.Duration
+	Verified bool // keepers byte-identical before and after expiry+vacuum
+	// WireQuota confirms the quota-exceeded rejection survived a real
+	// network round trip as the typed error, after an in-quota publish to
+	// the same tenant succeeded.
+	WireQuota bool
+}
+
+// String renders the experiment as a table.
+func (r *LifecycleResult) String() string {
+	backend := r.Backend
+	if backend == "" {
+		backend = "memory"
+	}
+	tbl := &Table{
+		Title: fmt.Sprintf("Lifecycle: %d tenants, %d images expired, vacuum reclaimed %d pkgs + %d blobs (%s backend)",
+			len(r.Tenants), r.Expired, r.Vacuum.PackagesRemoved, r.Vacuum.BlobsReleased, backend),
+		Columns: []string{"tenant", "keeper", "expired", "charge-before[GB]", "charge-after[GB]"},
+	}
+	for _, t := range r.Tenants {
+		tbl.AddRow(t.Tenant, t.Keeper, fmt.Sprintf("%d", t.Expired),
+			fmt.Sprintf("%.3f", paperGB(t.ChargeBefore)),
+			fmt.Sprintf("%.3f", paperGB(t.ChargeAfter)))
+	}
+	verified := "keeper retrieval FAILED"
+	if r.Verified {
+		verified = "keepers byte-identical"
+	}
+	quota := "wire quota leg FAILED"
+	if r.WireQuota {
+		quota = "quota-exceeded over the wire"
+	}
+	foot := fmt.Sprintf("%.3f GB live", r.LiveGB)
+	if r.DiskGB > 0 {
+		foot = fmt.Sprintf("%.3f GB live, %.3f GB disk (%.2fx <= %.1fx)", r.LiveGB, r.DiskGB, r.Ratio, LifecycleDiskBound)
+	}
+	tbl.AddRow("gates", foot, fmt.Sprintf("%.1fs", r.Wall.Seconds()), verified, quota)
+	return tbl.String()
+}
+
+// Lifecycle runs the image-lifecycle gate: each of `tenants` tenants
+// publishes one keeper (no TTL) and two TTL'd images carrying unique
+// user data (real garbage the repository must later give back), the TTL
+// sweep expires every TTL'd image, and a vacuum reclaims the remains.
+// Gates, in order: expired images answer ErrNotFound (not corruption);
+// per-tenant accounting returns exactly to its keeper-only value; on the
+// disk backend the physical footprint lands within LifecycleDiskBound of
+// the surviving live bytes; every keeper retrieves byte-identically to
+// its pre-expiry stream; a second vacuum reclaims nothing; and a
+// loopback-HTTP quota leg rejects an over-quota publish with the typed
+// quota-exceeded error after an in-quota publish succeeded.
+func (r *Runner) Lifecycle(tenants int) (*LifecycleResult, error) {
+	if tenants <= 0 {
+		tenants = 3
+	}
+	tpls := catalog.Paper19()
+	if tenants > len(tpls)-1 {
+		tenants = len(tpls) - 1 // one template is reserved for the rejected publish
+	}
+	start := time.Now()
+
+	// Backend-selected system; on disk, small segments keep the
+	// footprint gate's granularity fine (as in the churn experiment).
+	// The one-byte quota for "blocked" guarantees the rejected-publish
+	// leg below strands real pre-commit garbage for the vacuum.
+	opts := core.Options{TenantQuotas: map[string]int64{"blocked": 1}}
+	var sys *core.System
+	if r.Backend == "disk" {
+		_, repo, err := r.NewDiskRepoOpts("expelbench-lifecycle-", vmirepo.OpenOptions{
+			WALCompactBytes:     r.WALCompactBytes,
+			BlobMaxSegmentBytes: 256 << 10,
+		})
+		if err != nil {
+			return nil, err
+		}
+		sys = core.NewSystemWithRepo(repo, r.Dev, opts)
+		r.mu.Lock()
+		r.opened = append(r.opened, sys)
+		r.mu.Unlock()
+	} else {
+		var err error
+		sys, err = r.NewCoreSystem(opts)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res := &LifecycleResult{Backend: r.Backend}
+	const clock = int64(1000)
+	const expPerTenant = 2
+
+	// Keepers first; their charges are the accounting baseline the sweep
+	// must return each tenant to.
+	for i := 0; i < tenants; i++ {
+		tenant := fmt.Sprintf("tenant-%02d", i+1)
+		img, err := r.WL.Image(tpls[i])
+		if err != nil {
+			return nil, err
+		}
+		if _, err := sys.PublishWith(img, core.PublishOpts{Tenant: tenant}); err != nil {
+			return nil, fmt.Errorf("bench: lifecycle publish keeper %s: %w", tpls[i].Name, err)
+		}
+		res.Tenants = append(res.Tenants, LifecycleTenant{
+			Tenant:       tenant,
+			Keeper:       tpls[i].Name,
+			ChargeBefore: sys.TenantStats()[tenant],
+		})
+	}
+
+	// TTL'd images: unique user data per image, so every expiry strands
+	// real bytes only the vacuum's sweep can account for reclaiming.
+	var doomed []string
+	for i := range res.Tenants {
+		for j := 0; j < expPerTenant; j++ {
+			t := catalog.Template{
+				Name:          fmt.Sprintf("ttl-%02d-%d", i+1, j+1),
+				UserDataBytes: 512 << 20, // paper scale; ~512 KiB generated
+				UserDataFiles: 256,
+				SeriesSeed:    0x11FE0100 + uint64(i*expPerTenant+j),
+				InstanceSeed:  0x11FE0200 + uint64(i*expPerTenant+j),
+			}
+			img, err := r.WL.Builder().Build(t)
+			if err != nil {
+				return nil, err
+			}
+			opts := core.PublishOpts{Tenant: res.Tenants[i].Tenant, ExpiresAt: clock + int64(j+1)}
+			if _, err := sys.PublishWith(img, opts); err != nil {
+				return nil, fmt.Errorf("bench: lifecycle publish %s: %w", t.Name, err)
+			}
+			doomed = append(doomed, t.Name)
+			res.Tenants[i].Expired++
+		}
+	}
+	if sys.Repo().Persistent() {
+		if _, err := sys.Sync(); err != nil {
+			return nil, fmt.Errorf("bench: lifecycle sync: %w", err)
+		}
+	}
+
+	// Reference streams of the keepers before anything is reclaimed.
+	refSums := map[string]string{}
+	for _, t := range res.Tenants {
+		sink := &shaCountWriter{h: sha256.New()}
+		if _, _, err := sys.RetrieveTo(sink, t.Keeper); err != nil {
+			return nil, fmt.Errorf("bench: lifecycle reference retrieve %s: %w", t.Keeper, err)
+		}
+		refSums[t.Keeper] = fmt.Sprintf("%x", sink.h.Sum(nil))
+	}
+
+	// An over-quota publish is rejected at commit time, after its
+	// packages and user data streamed in — stranding exactly the
+	// pre-commit garbage the vacuum exists to reclaim.
+	rej, err := r.WL.Image(tpls[tenants])
+	if err != nil {
+		return nil, err
+	}
+	if _, err := sys.PublishWith(rej, core.PublishOpts{Tenant: "blocked"}); !errors.Is(err, vmirepo.ErrQuotaExceeded) {
+		return nil, fmt.Errorf("bench: lifecycle over-quota publish answered %v, want %v", err, vmirepo.ErrQuotaExceeded)
+	}
+
+	// The sweep. Every TTL lands at or before clock+expPerTenant.
+	expired, err := sys.ExpireAt(clock + expPerTenant)
+	if err != nil {
+		return nil, fmt.Errorf("bench: lifecycle expire: %w", err)
+	}
+	sort.Strings(expired)
+	sort.Strings(doomed)
+	if fmt.Sprint(expired) != fmt.Sprint(doomed) {
+		return nil, fmt.Errorf("bench: lifecycle expired %v, want %v", expired, doomed)
+	}
+	res.Expired = len(expired)
+	for _, name := range expired {
+		if _, _, err := sys.Retrieve(name); !errors.Is(err, vmirepo.ErrNotFound) {
+			return nil, fmt.Errorf("bench: expired %s answered %v, want %v", name, err, vmirepo.ErrNotFound)
+		}
+	}
+
+	// Vacuum gives the bytes back; a second pass must find nothing.
+	res.Vacuum, err = sys.Vacuum()
+	if err != nil {
+		return nil, fmt.Errorf("bench: lifecycle vacuum: %w", err)
+	}
+	res.Vacuum2, err = sys.Vacuum()
+	if err != nil {
+		return nil, fmt.Errorf("bench: lifecycle second vacuum: %w", err)
+	}
+	if v := res.Vacuum2; v.PackagesRemoved != 0 || v.UserDataRemoved != 0 || v.MetaRemoved != 0 || v.BlobsReleased != 0 {
+		return nil, fmt.Errorf("bench: lifecycle vacuum did not converge: second pass reclaimed %+v", v)
+	}
+	if res.Vacuum.PackagesRemoved == 0 || res.Vacuum.BytesReclaimed <= 0 {
+		return nil, fmt.Errorf("bench: lifecycle vacuum reclaimed nothing from the rejected publish: %+v", res.Vacuum)
+	}
+
+	// Accounting gate: each tenant is back to exactly its keeper charge.
+	for i := range res.Tenants {
+		res.Tenants[i].ChargeAfter = sys.TenantStats()[res.Tenants[i].Tenant]
+		if res.Tenants[i].ChargeAfter != res.Tenants[i].ChargeBefore {
+			return res, fmt.Errorf("bench: lifecycle tenant %s charged %d after expiry, want keeper-only %d",
+				res.Tenants[i].Tenant, res.Tenants[i].ChargeAfter, res.Tenants[i].ChargeBefore)
+		}
+	}
+
+	// Footprint gate (disk backend): the survivors' bytes plus bounded
+	// slack is all the disk may still hold.
+	st := sys.Repo().Stats()
+	res.LiveGB = paperGB(st.TotalBytes)
+	if r.Backend == "disk" {
+		res.DiskGB = paperGB(st.BlobDiskBytes)
+		res.Ratio = ratio(st.BlobDiskBytes, st.TotalBytes)
+		if res.Ratio > LifecycleDiskBound {
+			return res, fmt.Errorf("bench: lifecycle disk %d bytes is %.2fx live %d bytes, bound %.1fx",
+				st.BlobDiskBytes, res.Ratio, st.TotalBytes, LifecycleDiskBound)
+		}
+	}
+
+	// Fidelity gate: keepers stream byte-identically to their pre-expiry
+	// reference.
+	for _, t := range res.Tenants {
+		sink := &shaCountWriter{h: sha256.New()}
+		if _, _, err := sys.RetrieveTo(sink, t.Keeper); err != nil {
+			return res, fmt.Errorf("bench: lifecycle final retrieve %s: %w", t.Keeper, err)
+		}
+		if got := fmt.Sprintf("%x", sink.h.Sum(nil)); got != refSums[t.Keeper] {
+			return res, fmt.Errorf("bench: keeper %s changed across expiry+vacuum", t.Keeper)
+		}
+	}
+	res.Verified = true
+
+	if err := r.lifecycleWireQuota(); err != nil {
+		return res, err
+	}
+	res.WireQuota = true
+	res.Wall = time.Since(start)
+	return res, nil
+}
+
+// lifecycleWireQuota is the network leg: against a loopback expelserverd
+// handler with a one-image quota for tenant "capped", the first publish
+// charged to it succeeds and the second is rejected with the typed
+// quota-exceeded error — the rejection must survive the HTTP round trip.
+func (r *Runner) lifecycleWireQuota() error {
+	// Measure one image's charge on a throwaway system, then cap the
+	// tenant at exactly that.
+	probe, err := r.WL.Image(catalog.Paper19()[0])
+	if err != nil {
+		return err
+	}
+	psys := core.NewSystem(r.Dev, core.Options{})
+	if _, err := psys.PublishWith(probe, core.PublishOpts{Tenant: "probe"}); err != nil {
+		return fmt.Errorf("bench: lifecycle quota probe: %w", err)
+	}
+	quota := psys.TenantStats()["probe"]
+	if quota <= 0 {
+		return fmt.Errorf("bench: lifecycle quota probe charged %d bytes", quota)
+	}
+
+	qsys := core.NewSystem(r.Dev, core.Options{TenantQuotas: map[string]int64{"capped": quota}})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: server.New(qsys)}
+	go srv.Serve(ln)
+	defer srv.Close()
+	cl := client.New("http://"+ln.Addr().String(), client.Options{Timeout: time.Minute})
+	defer cl.Close()
+	ctx := context.Background()
+
+	encode := func(i int) func(io.Writer) error {
+		return func(w io.Writer) error {
+			img, err := r.WL.Image(catalog.Paper19()[i])
+			if err != nil {
+				return err
+			}
+			return wire.WriteImageMeta(w, img, wire.PublishMeta{Tenant: "capped"})
+		}
+	}
+	if _, err := cl.Publish(ctx, encode(0)); err != nil {
+		return fmt.Errorf("bench: lifecycle in-quota publish over the wire: %w", err)
+	}
+	_, err = cl.Publish(ctx, encode(1))
+	if !errors.Is(err, vmirepo.ErrQuotaExceeded) {
+		return fmt.Errorf("bench: lifecycle over-quota publish answered %v, want %v", err, vmirepo.ErrQuotaExceeded)
+	}
+	// The rejected publish must not have changed the repository.
+	if got := qsys.TenantStats()["capped"]; got != quota {
+		return fmt.Errorf("bench: rejected publish changed capped tenant's charge: %d, want %d", got, quota)
+	}
+	return nil
+}

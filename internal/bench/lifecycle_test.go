@@ -1,0 +1,60 @@
+package bench
+
+import "testing"
+
+// TestLifecycleScenario runs the lifecycle gate on the environment's
+// backend (memory by default; CI's disk leg sets EXPELBENCH_BACKEND):
+// TTL expiry through the Remove path, vacuum convergence, per-tenant
+// accounting returning to keeper-only values, keeper byte-fidelity, and
+// the quota-exceeded rejection over a real loopback connection.
+func TestLifecycleScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("lifecycle scenario skipped in -short mode")
+	}
+	r := NewRunner()
+	r.StoreRoot = t.TempDir()
+	res, err := r.Lifecycle(2)
+	if err != nil {
+		t.Fatalf("Lifecycle: %v", err)
+	}
+	if err := r.CloseAll(); err != nil {
+		t.Fatalf("CloseAll: %v", err)
+	}
+	if !res.Verified || !res.WireQuota {
+		t.Fatalf("gates not green: %+v", res)
+	}
+	if res.Expired != 4 {
+		t.Fatalf("want 2 tenants x 2 TTL'd images expired, got %d", res.Expired)
+	}
+	for _, tn := range res.Tenants {
+		if tn.ChargeBefore <= 0 || tn.ChargeAfter != tn.ChargeBefore {
+			t.Fatalf("tenant accounting wrong: %+v", tn)
+		}
+	}
+	if s := res.String(); s == "" {
+		t.Fatalf("empty rendering")
+	}
+}
+
+// TestLifecycleScenarioDisk pins the physical reclamation bound
+// regardless of the environment: on the disk backend, expiry + vacuum
+// must land the footprint within LifecycleDiskBound of the surviving
+// live bytes.
+func TestLifecycleScenarioDisk(t *testing.T) {
+	if testing.Short() {
+		t.Skip("lifecycle disk scenario skipped in -short mode")
+	}
+	r := NewRunner()
+	r.Backend = "disk"
+	r.StoreRoot = t.TempDir()
+	res, err := r.Lifecycle(2)
+	if err != nil {
+		t.Fatalf("Lifecycle (disk): %v", err)
+	}
+	if err := r.CloseAll(); err != nil {
+		t.Fatalf("CloseAll: %v", err)
+	}
+	if res.DiskGB <= 0 || res.Ratio <= 0 || res.Ratio > LifecycleDiskBound {
+		t.Fatalf("disk footprint gate not exercised: disk %.3f GB, ratio %.2f", res.DiskGB, res.Ratio)
+	}
+}

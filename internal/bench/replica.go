@@ -39,13 +39,31 @@ type ReplicaResult struct {
 	Epochs    uint64 // final epoch (>1 proves the follower crossed compactions)
 	Retrieved int    // follower retrievals byte-verified against the writer
 	WarmMiss  int64  // read-through fetches during the warm re-retrieval pass (gated at 0)
+	// SnapshotBytes is the writer's metadata snapshot size at the end of
+	// the run; RestartAlloc is the bytes a brand-new follower allocated
+	// to bootstrap from it (snapshot stream + WAL tail + client
+	// machinery), gated against restartAllocBound(SnapshotBytes).
+	SnapshotBytes int64
+	RestartAlloc  int64
+}
+
+// restartAllocBound is the streaming-restart gate: bootstrapping a fresh
+// follower may allocate at most 2x the snapshot it loads (one exact-sized
+// buffer inside the follower, plus transport incidentals) and a fixed
+// slack for the HTTP client and catch-up machinery. The materializing
+// restart this gate pins against buffered the whole snapshot in the
+// client before handing a second copy to the follower — with growth
+// slack on top, landing well past 2x on any non-trivial snapshot.
+func restartAllocBound(snapshotBytes int64) int64 {
+	return 2*snapshotBytes + 8<<20
 }
 
 // String renders the experiment as a table.
 func (r *ReplicaResult) String() string {
 	tbl := &Table{
-		Title: fmt.Sprintf("Replica convergence: %d rounds, final epoch %d, %d byte-verified follower retrievals, %d warm misses",
-			len(r.Rounds), r.Epochs, r.Retrieved, r.WarmMiss),
+		Title: fmt.Sprintf("Replica convergence: %d rounds, final epoch %d, %d byte-verified follower retrievals, %d warm misses; fresh bootstrap allocated %.2f MiB for a %.2f MiB snapshot",
+			len(r.Rounds), r.Epochs, r.Retrieved, r.WarmMiss,
+			float64(r.RestartAlloc)/(1<<20), float64(r.SnapshotBytes)/(1<<20)),
 		Columns: []string{"image", "image[MiB]", "epoch", "applied[B]", "fetched", "fetched[MiB]", "catchup[s]", "verify[s]"},
 	}
 	for _, rd := range r.Rounds {
@@ -194,6 +212,25 @@ func (r *Runner) ReplicaConvergence(rounds int) (*ReplicaResult, error) {
 	// The follower is read-only end to end.
 	if _, err := fsys.Sync(); err == nil {
 		return nil, fmt.Errorf("bench: follower system accepted Sync; want %v", vmirepo.ErrReadOnly)
+	}
+
+	// Gate 5: bootstrapping a brand-new follower streams the snapshot —
+	// its allocation is bounded by restartAllocBound, not by how many
+	// copies of the snapshot a materializing path would hold.
+	res.SnapshotBytes = int64(len(wrepo.MetaSnapshot()))
+	rep2 := replica.New("http://"+ln.Addr().String(), blobstore.New(), r.Dev,
+		replica.Options{Client: client.Options{Timeout: 10 * time.Minute, Retries: 1}})
+	defer rep2.Close()
+	res.RestartAlloc, err = measureAlloc(func() error { return rep2.CatchUp(ctx) })
+	if err != nil {
+		return nil, fmt.Errorf("bench: replica fresh bootstrap: %w", err)
+	}
+	if bound := restartAllocBound(res.SnapshotBytes); res.RestartAlloc > bound {
+		return nil, fmt.Errorf("bench: fresh follower bootstrap allocated %d bytes for a %d-byte snapshot, bound %d",
+			res.RestartAlloc, res.SnapshotBytes, bound)
+	}
+	if w, f := string(wrepo.MetaSnapshot()), string(rep2.Repo().MetaSnapshot()); w != f {
+		return nil, fmt.Errorf("bench: freshly bootstrapped follower metadata differs from writer")
 	}
 	return res, nil
 }

@@ -116,6 +116,8 @@ func apiError(resp *http.Response) error {
 		return fmt.Errorf("client: %s: %w", text, vmirepo.ErrReadOnly)
 	case server.KindEpochGone:
 		return fmt.Errorf("client: %s: %w", text, metawal.ErrEpochGone)
+	case server.KindQuotaExceeded:
+		return fmt.Errorf("client: %s: %w", text, vmirepo.ErrQuotaExceeded)
 	}
 	return fmt.Errorf("client: server returned %s: %s", resp.Status, text)
 }
@@ -310,6 +312,32 @@ func (c *Client) Sync(parent context.Context) (*wire.SyncStats, error) {
 // so like Sync it is never retried.
 func (c *Client) Compact(parent context.Context) (*wire.SyncStats, error) {
 	return c.postSyncStats(parent, "/v1/compact")
+}
+
+// Vacuum reclaims dangling server-side state — unreferenced packages,
+// orphaned archives and lifecycle records, blob orphans — and compacts
+// the stores. Like Sync and Compact it mutates the repository, so it is
+// never retried.
+func (c *Client) Vacuum(parent context.Context) (*wire.VacuumStats, error) {
+	ctx, cancel := c.ctx(parent)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/vacuum", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	var out wire.VacuumStats
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("client: decode vacuum stats: %w", err)
+	}
+	return &out, nil
 }
 
 // postSyncStats POSTs one maintenance endpoint and decodes its

@@ -13,6 +13,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"hash"
 	"io"
 	"net/http"
 	"strconv"
@@ -44,6 +45,99 @@ func (c *Client) ReplSnapshot(parent context.Context) (uint64, []byte, error) {
 		return false, err
 	})
 	return epoch, data, err
+}
+
+// ReplSnapshotReader fetches the writer's full metadata snapshot as a
+// verified stream: the returned reader delivers exactly size bytes and
+// fails at EOF — never silently — if the body was truncated or does not
+// match the server's digest/length trailers. Unlike ReplSnapshot it
+// never buffers the snapshot client-side, so a follower restart holds
+// one copy of the metadata, not two. The caller must Close the reader;
+// establishment failures are not retried (the catch-up loop re-polls).
+func (c *Client) ReplSnapshotReader(parent context.Context) (uint64, io.ReadCloser, int64, error) {
+	ctx, cancel := c.ctx(parent)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/repl/snapshot", nil)
+	if err != nil {
+		cancel()
+		return 0, nil, 0, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		cancel()
+		return 0, nil, 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		err := apiError(resp)
+		resp.Body.Close()
+		cancel()
+		return 0, nil, 0, err
+	}
+	epoch, err := strconv.ParseUint(resp.Header.Get(server.HeaderEpoch), 10, 64)
+	if err != nil {
+		resp.Body.Close()
+		cancel()
+		return 0, nil, 0, fmt.Errorf("client: bad %s header: %v", server.HeaderEpoch, err)
+	}
+	size, err := strconv.ParseInt(resp.Header.Get(server.HeaderSize), 10, 64)
+	if err != nil || size < 0 {
+		resp.Body.Close()
+		cancel()
+		return 0, nil, 0, fmt.Errorf("client: bad %s header %q", server.HeaderSize, resp.Header.Get(server.HeaderSize))
+	}
+	return epoch, &verifiedReader{resp: resp, h: sha256.New(), cancel: cancel}, size, nil
+}
+
+// verifiedReader streams one replication body, hashing as it goes and
+// settling the digest/length trailers when the body ends. Its Read never
+// returns a clean io.EOF for a stream that failed verification.
+type verifiedReader struct {
+	resp   *http.Response
+	h      hash.Hash
+	n      int64
+	cancel context.CancelFunc
+	err    error
+}
+
+func (vr *verifiedReader) Read(p []byte) (int, error) {
+	if vr.err != nil {
+		return 0, vr.err
+	}
+	n, err := vr.resp.Body.Read(p)
+	vr.h.Write(p[:n])
+	vr.n += int64(n)
+	switch {
+	case err == io.EOF:
+		vr.err = vr.verify()
+		if vr.err != nil {
+			return n, vr.err
+		}
+		vr.err = io.EOF
+	case err != nil:
+		vr.err = fmt.Errorf("client: stream aborted after %d bytes (%v): %w", vr.n, err, ErrTruncated)
+	}
+	return n, vr.err
+}
+
+// verify settles the trailers once the body has ended cleanly.
+func (vr *verifiedReader) verify() error {
+	wantSha := vr.resp.Trailer.Get(server.HeaderSha256)
+	wantBytes := vr.resp.Trailer.Get(server.HeaderBytes)
+	if wantSha == "" || wantBytes == "" {
+		return fmt.Errorf("client: stream ended without integrity trailers: %w", ErrTruncated)
+	}
+	if want, err := strconv.ParseInt(wantBytes, 10, 64); err != nil || want != vr.n {
+		return fmt.Errorf("client: streamed %d bytes, server reported %q", vr.n, wantBytes)
+	}
+	if got := hex.EncodeToString(vr.h.Sum(nil)); got != wantSha {
+		return fmt.Errorf("client: stream digest %s does not match server's %s", got, wantSha)
+	}
+	return nil
+}
+
+func (vr *verifiedReader) Close() error {
+	err := vr.resp.Body.Close()
+	vr.cancel()
+	return err
 }
 
 // ReplWAL fetches the writer's durable WAL tail [from, durable) of the

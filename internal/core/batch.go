@@ -27,7 +27,7 @@ import (
 func (s *System) PublishAll(imgs []*vmi.Image) ([]*PublishReport, error) {
 	reps := make([]*PublishReport, len(imgs))
 	err := pool.Map(s.parallelism(), len(imgs), func(i int) error {
-		rep, err := s.publish(imgs[i], 1)
+		rep, err := s.publish(imgs[i], 1, PublishOpts{})
 		if err != nil {
 			return fmt.Errorf("core: publish all [%d] %s: %w", i, imgs[i].Name, err)
 		}

@@ -66,6 +66,12 @@ type Options struct {
 	// leave warm entries servable. Concurrent misses of one key coalesce
 	// behind a single assembly (miss singleflight).
 	CacheBytes int64
+	// TenantQuotas caps each tenant's live bytes (newly stored package,
+	// base and user-data bytes attributed to its publishes). A publish
+	// that would push its tenant past the cap is rejected with
+	// vmirepo.ErrQuotaExceeded before any master-graph mutation. Absent
+	// or zero entries mean unlimited; the empty tenant is never capped.
+	TenantQuotas map[string]int64
 }
 
 // System is the Expelliarmus VMI management system. One System may serve
@@ -105,9 +111,13 @@ type System struct {
 	commitMu [commitStripes]sync.Mutex
 
 	// pinMu guards pinned: package refs required by in-flight publishes
-	// whose VMI records have not committed yet, counted per publish.
-	pinMu  sync.Mutex
-	pinned map[string]int
+	// whose VMI records have not committed yet, counted per publish. It
+	// also guards udPinned: VMI names whose user-data archive an in-flight
+	// publish stored before taking its commit lock — Vacuum must not
+	// collect those archives as orphans.
+	pinMu    sync.Mutex
+	pinned   map[string]int
+	udPinned map[string]int
 }
 
 // commitStripes is the number of commit-lock stripes. Attribute classes
@@ -149,9 +159,67 @@ func (s *System) lockAllCommits() func() {
 	}
 }
 
+// lockStripes locks up to two commit stripes in index order (deadlock-free
+// against lockAllCommits and single-stripe holders) and returns the
+// unlock.
+func (s *System) lockStripes(a, b int) func() {
+	if a > b {
+		a, b = b, a
+	}
+	s.commitMu[a].Lock()
+	if b != a {
+		s.commitMu[b].Lock()
+	}
+	return func() {
+		if b != a {
+			s.commitMu[b].Unlock()
+		}
+		s.commitMu[a].Unlock()
+	}
+}
+
+// lockCommitForPublish locks the commit stripes a publish of name under
+// attrs needs: the publish's own class stripe plus, when a record of the
+// same name already exists, the stripe of that record's class — a
+// republish credits the old record's refcounts and tenant charge, which
+// must not race a removal of it. The record's class is resolved outside
+// the locks and re-validated under them; a record that moved between
+// classes retries, and one whose class cannot be resolved (its base
+// mid-replacement) falls back to every stripe.
+func (s *System) lockCommitForPublish(attrs pkgmeta.BaseAttrs, name string) func() {
+	newStripe := commitStripe(attrs)
+	stripeOf := func(baseID string) (int, bool) {
+		binfo, err := s.repo.BaseInfo(baseID)
+		if err != nil {
+			return 0, false
+		}
+		return commitStripe(binfo.Attrs), true
+	}
+	for attempt := 0; attempt < 4; attempt++ {
+		oldStripe := newStripe
+		if rec, err := s.repo.GetVMI(name, nil); err == nil {
+			st, ok := stripeOf(rec.BaseID)
+			if !ok {
+				break // unresolvable class: all-stripes fallback
+			}
+			oldStripe = st
+		}
+		unlock := s.lockStripes(newStripe, oldStripe)
+		rec, err := s.repo.GetVMI(name, nil)
+		if err != nil {
+			return unlock // no old record: surplus stripe is harmless
+		}
+		if st, ok := stripeOf(rec.BaseID); ok && (st == oldStripe || st == newStripe) {
+			return unlock
+		}
+		unlock()
+	}
+	return s.lockAllCommits()
+}
+
 // NewSystem creates a system over a fresh repository.
 func NewSystem(dev *simio.Device, opts Options) *System {
-	return &System{repo: vmirepo.New(dev), dev: dev, opts: opts, cache: newCache(opts), pinned: make(map[string]int)}
+	return &System{repo: vmirepo.New(dev), dev: dev, opts: opts, cache: newCache(opts), pinned: make(map[string]int), udPinned: make(map[string]int)}
 }
 
 // parallelism returns the effective worker bound (at least one).
@@ -180,17 +248,47 @@ func (s *System) unpinPackages(refs []string) {
 }
 
 // removePackageUnlessPinned garbage-collects a package unless an in-flight
-// publish holds it. The pin check and the removal are atomic under pinMu:
-// a publish pins before its existence check, so either the pin lands first
-// (the package survives) or the removal lands first (the publish observes
-// the package as absent and re-exports it).
-func (s *System) removePackageUnlessPinned(ref string) error {
+// publish holds it, reporting whether it was removed. The pin check and
+// the removal are atomic under pinMu: a publish pins before its existence
+// check, so either the pin lands first (the package survives) or the
+// removal lands first (the publish observes the package as absent and
+// re-exports it).
+func (s *System) removePackageUnlessPinned(ref string) (bool, error) {
 	s.pinMu.Lock()
 	defer s.pinMu.Unlock()
 	if s.pinned[ref] > 0 {
-		return nil
+		return false, nil
 	}
-	return s.repo.RemovePackage(ref, nil)
+	if err := s.repo.RemovePackage(ref, nil); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// pinUserData marks name's user-data archive as owned by an in-flight
+// publish (stored before the commit lock), so Vacuum cannot collect it
+// as an orphan; unpinUserData drops the pin after the commit (or on
+// failure).
+func (s *System) pinUserData(name string) {
+	s.pinMu.Lock()
+	s.udPinned[name]++
+	s.pinMu.Unlock()
+}
+
+func (s *System) unpinUserData(name string) {
+	s.pinMu.Lock()
+	if s.udPinned[name] <= 1 {
+		delete(s.udPinned, name)
+	} else {
+		s.udPinned[name]--
+	}
+	s.pinMu.Unlock()
+}
+
+func (s *System) userDataPinned(name string) bool {
+	s.pinMu.Lock()
+	defer s.pinMu.Unlock()
+	return s.udPinned[name] > 0
 }
 
 // Repo exposes the underlying repository.
@@ -222,18 +320,34 @@ type PublishReport struct {
 // Seconds returns the total modeled publish time.
 func (r *PublishReport) Seconds() float64 { return r.Meter.Seconds() }
 
+// PublishOpts carry a publish's lifecycle attributes.
+type PublishOpts struct {
+	// Tenant is the owning namespace charged for the publish's newly
+	// stored bytes; "" publishes unaccounted.
+	Tenant string
+	// ExpiresAt is the Unix-seconds timestamp past which the VMI is
+	// removed by the expiry scanner; 0 means never.
+	ExpiresAt int64
+}
+
 // Publish runs the semantic analyzer and the decomposer on the image
 // (Algorithm 1). Publishing consumes the image: its primary packages,
 // unused dependencies and user data are removed in place. Callers that
 // need the image afterwards must Clone it first.
 func (s *System) Publish(img *vmi.Image) (*PublishReport, error) {
-	return s.publish(img, s.parallelism())
+	return s.publish(img, s.parallelism(), PublishOpts{})
+}
+
+// PublishWith is Publish with explicit lifecycle attributes (tenant and
+// expiry).
+func (s *System) PublishWith(img *vmi.Image, opts PublishOpts) (*PublishReport, error) {
+	return s.publish(img, s.parallelism(), opts)
 }
 
 // publish is Publish with an explicit worker bound for the package export
 // loop. Batch operations pass 1 so Options.Parallelism bounds the total
 // goroutines across the batch rather than compounding per image.
-func (s *System) publish(img *vmi.Image, workers int) (*PublishReport, error) {
+func (s *System) publish(img *vmi.Image, workers int, popts PublishOpts) (*PublishReport, error) {
 	// Refuse up front on followers: publishing does expensive semantic
 	// analysis before its first repository write, and failing at the
 	// commit tail would waste all of it.
@@ -276,6 +390,9 @@ func (s *System) publish(img *vmi.Image, workers int) (*PublishReport, error) {
 		skipped  bool
 		name     string
 		size     int64
+		// blobBytes is the stored blob's length when this call stored it —
+		// the package share of the tenant charge.
+		blobBytes int64
 	}
 	outcomes := make([]outcome, len(verts))
 	var (
@@ -319,12 +436,15 @@ func (s *System) publish(img *vmi.Image, workers int) (*PublishReport, error) {
 			outcomes[i].skipped = true
 			return nil
 		}
-		outcomes[i] = outcome{exported: true, name: v.Pkg.Name, size: v.Pkg.InstalledSize}
+		outcomes[i] = outcome{exported: true, name: v.Pkg.Name, size: v.Pkg.InstalledSize, blobBytes: int64(len(blob))}
 		return nil
 	})
 	if exportErr != nil {
 		return nil, exportErr
 	}
+	// storedBytes accumulates what this publish newly stored — the tenant
+	// charge recorded in the VMI's lifecycle record at commit.
+	var storedBytes int64
 	for _, o := range outcomes {
 		if o.skipped {
 			rep.Skipped++
@@ -332,14 +452,19 @@ func (s *System) publish(img *vmi.Image, workers int) (*PublishReport, error) {
 		if o.exported {
 			rep.Exported = append(rep.Exported, o.name)
 			rep.ExportedBytes += o.size
+			storedBytes += o.blobBytes
 		}
 	}
 
-	// Line 6: store the user data.
+	// Line 6: store the user data. The archive lands before the commit
+	// lock, so it is pinned until the VMI record commits — a concurrent
+	// Vacuum must not collect it as an orphan in between.
 	userFiles, err := collectUserData(fs)
 	if err != nil {
 		return nil, err
 	}
+	s.pinUserData(img.Name)
+	defer s.unpinUserData(img.Name)
 	if len(userFiles) > 0 {
 		archive, err := pkgfmt.PackTar(userFiles)
 		if err != nil {
@@ -349,6 +474,7 @@ func (s *System) publish(img *vmi.Image, workers int) (*PublishReport, error) {
 		if err := s.repo.PutUserData(img.Name, archive, rep.Meter); err != nil {
 			return nil, err
 		}
+		storedBytes += int64(len(archive))
 	}
 
 	// Lines 7–11: remove primaries, unused dependencies and user data,
@@ -384,9 +510,42 @@ func (s *System) publish(img *vmi.Image, workers int) (*PublishReport, error) {
 	// repository state of this base-attribute class and the master-graph
 	// update is a read-modify-write, so the whole transaction is
 	// serialized against other commits of the same class (and against
-	// Remove and Snapshot, which take every stripe). Commits on unrelated
-	// attribute classes proceed in parallel.
-	defer s.lockCommit(img.Base)()
+	// Remove's same-class removals and Snapshot/Sync, which take every
+	// stripe). Commits on unrelated attribute classes proceed in parallel.
+	// A republish additionally holds the stripe of the class the old
+	// record belongs to, so crediting that record's refcounts and tenant
+	// charge cannot race a removal processing the same record.
+	defer s.lockCommitForPublish(img.Base, img.Name)()
+
+	// Capture what the record this publish replaces (if any) contributed,
+	// before any graph mutation invalidates the master it was clustered
+	// on: its package refs, its attribute class, and its tenant charge.
+	var (
+		hadOld   bool
+		oldClass string
+		oldRefs  []string
+		oldMeta  vmirepo.VMIMeta
+		hadMeta  bool
+	)
+	if oldRec, err := s.repo.GetVMI(img.Name, nil); err == nil {
+		hadOld = true
+		binfo, err := s.repo.BaseInfo(oldRec.BaseID)
+		if err != nil {
+			return nil, fmt.Errorf("core: publish %s: resolve replaced record: %w", img.Name, err)
+		}
+		oldClass = binfo.Attrs.String()
+		refs, err := s.vmiPackageRefs(oldRec)
+		if err != nil {
+			return nil, fmt.Errorf("core: publish %s: survey replaced record: %w", img.Name, err)
+		}
+		for ref := range refs {
+			oldRefs = append(oldRefs, ref)
+		}
+		sort.Strings(oldRefs)
+		if oldMeta, hadMeta, err = s.repo.GetVMIMeta(img.Name, rep.Meter); err != nil {
+			return nil, err
+		}
+	}
 
 	// Line 14: base image selection (Algorithm 2).
 	selected, replaceList, err := s.selectBaseImage(baseID, baseSub, ps, rep.Meter)
@@ -395,8 +554,29 @@ func (s *System) publish(img *vmi.Image, workers int) (*PublishReport, error) {
 	}
 	rep.BaseID = selected
 
+	// Quota gate: enforced after the selection decision (so the charge is
+	// exact) and before the first master-graph mutation, crediting the
+	// record this publish replaces. A rejected publish leaves only
+	// orphan-side state behind — pre-commit packages and user data that
+	// the next Vacuum reclaims — never a half-committed graph.
+	willStoreBase := selected == baseID && !s.repo.HasBase(selected, rep.Meter)
+	charge := storedBytes
+	if willStoreBase {
+		charge += img.Disk.SerializedBytes()
+	}
+	if quota := s.opts.TenantQuotas[popts.Tenant]; popts.Tenant != "" && quota > 0 {
+		usage := s.repo.TenantUsage(popts.Tenant)
+		if hadMeta && oldMeta.Tenant == popts.Tenant {
+			usage -= oldMeta.ChargedBytes
+		}
+		if usage+charge > quota {
+			return nil, fmt.Errorf("core: publish %s: tenant %q needs %d of %d quota bytes: %w",
+				img.Name, popts.Tenant, usage+charge, quota, vmirepo.ErrQuotaExceeded)
+		}
+	}
+
 	var mg *master.Graph
-	if selected == baseID && !s.repo.HasBase(selected, rep.Meter) {
+	if willStoreBase {
 		// Lines 15–17: store this base image and create its master graph.
 		// The serialization streams straight into the blob store through a
 		// pipe — the decomposed base is never materialized as one buffer,
@@ -463,12 +643,60 @@ func (s *System) publish(img *vmi.Image, workers int) (*PublishReport, error) {
 		return nil, err
 	}
 
-	if err := s.repo.PutVMI(vmirepo.VMIRecord{
+	newRec := vmirepo.VMIRecord{
 		Name:      img.Name,
 		BaseID:    selected,
 		Primaries: append([]string(nil), img.Primaries...),
-	}, rep.Meter); err != nil {
+	}
+	if err := s.repo.PutVMI(newRec, rep.Meter); err != nil {
 		return nil, err
+	}
+
+	// Lifecycle commit, in the same lock window as the record it
+	// describes. Refs are added before the replaced record's are dropped,
+	// so a shared ref never transits zero; packages only the replaced
+	// record needed are collected here (the pins cover the new record's).
+	newRefSet, err := s.vmiPackageRefs(newRec)
+	if err != nil {
+		return nil, fmt.Errorf("core: publish %s: survey committed record: %w", img.Name, err)
+	}
+	newRefs := make([]string, 0, len(newRefSet))
+	for ref := range newRefSet {
+		newRefs = append(newRefs, ref)
+	}
+	sort.Strings(newRefs)
+	if err := s.repo.AddPackageRefs(img.Base.String(), newRefs, rep.Meter); err != nil {
+		return nil, err
+	}
+	if hadOld {
+		dead, err := s.repo.DropPackageRefs(oldClass, oldRefs, rep.Meter)
+		if err != nil {
+			return nil, err
+		}
+		for _, ref := range dead {
+			if _, err := s.removePackageUnlessPinned(ref); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if hadMeta {
+		if err := s.repo.ChargeTenant(oldMeta.Tenant, -oldMeta.ChargedBytes, rep.Meter); err != nil {
+			return nil, err
+		}
+	}
+	if popts.Tenant != "" || popts.ExpiresAt != 0 {
+		if err := s.repo.PutVMIMeta(img.Name, vmirepo.VMIMeta{
+			Tenant: popts.Tenant, ExpiresAt: popts.ExpiresAt, ChargedBytes: charge,
+		}, rep.Meter); err != nil {
+			return nil, err
+		}
+		if err := s.repo.ChargeTenant(popts.Tenant, charge, rep.Meter); err != nil {
+			return nil, err
+		}
+	} else if hadMeta {
+		if err := s.repo.RemoveVMIMeta(img.Name, rep.Meter); err != nil {
+			return nil, err
+		}
 	}
 	h.Close()
 	return rep, nil

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"expelliarmus/internal/vmi"
+	"expelliarmus/internal/vmirepo"
+)
+
+// TestExpiryUnderTraffic runs the TTL sweeper concurrently with
+// publishers and retrievers (the CI -race leg). Expiry rides the
+// ordinary striped Remove path, so the only acceptable reader-visible
+// effect is ErrNotFound on an image whose time came; afterwards tenant
+// accounting must reconcile exactly (a Vacuum's from-scratch survey
+// changes nothing) and every survivor must still retrieve.
+func TestExpiryUnderTraffic(t *testing.T) {
+	s, b := newSystem(t, Options{})
+	names := []string{"Mini", "Redis", "PostgreSql", "Django", "Tomcat", "MongoDb"}
+	images := map[string]*vmi.Image{}
+	for _, n := range names {
+		images[n] = buildImage(t, b, n)
+	}
+
+	var clock atomic.Int64
+	clock.Store(1000)
+	stop := make(chan struct{})
+	var pubs, aux sync.WaitGroup
+
+	// Publishers: one per template, republishing with short TTLs charged
+	// to alternating tenants while the sweeper runs underneath them.
+	for i, name := range names {
+		pubs.Add(1)
+		go func(i int, name string) {
+			defer pubs.Done()
+			rng := rand.New(rand.NewSource(int64(i)))
+			tenant := []string{"alice", "bob"}[i%2]
+			for round := 0; round < 10; round++ {
+				opts := PublishOpts{Tenant: tenant}
+				if rng.Intn(2) == 0 {
+					opts.ExpiresAt = clock.Load() + int64(rng.Intn(3)+1)
+				}
+				if _, err := s.PublishWith(images[name].Clone(), opts); err != nil {
+					t.Errorf("publish %s: %v", name, err)
+					return
+				}
+			}
+		}(i, name)
+	}
+
+	// Retrievers: an image vanishing mid-loop is the expected
+	// ErrNotFound; anything else — a torn read, a dangling package — is
+	// the bug this test exists to catch.
+	for i := 0; i < 3; i++ {
+		aux.Add(1)
+		go func(i int) {
+			defer aux.Done()
+			rng := rand.New(rand.NewSource(int64(100 + i)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				name := names[rng.Intn(len(names))]
+				if _, _, err := s.Retrieve(name); err != nil && !errors.Is(err, vmirepo.ErrNotFound) {
+					t.Errorf("retrieve %s: %v", name, err)
+					return
+				}
+			}
+		}(i)
+	}
+
+	// The sweeper: advance the logical clock and expire continuously.
+	aux.Add(1)
+	go func() {
+		defer aux.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := s.ExpireAt(clock.Add(1)); err != nil {
+				t.Errorf("expiry sweep: %v", err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	pubs.Wait()
+	close(stop)
+	aux.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Drain every outstanding TTL, then reconcile: the incremental
+	// charge/credit bookkeeping maintained under concurrency must equal
+	// the from-scratch survey Vacuum rewrites it with.
+	if _, err := s.ExpireAt(clock.Load() + 100); err != nil {
+		t.Fatalf("final sweep: %v", err)
+	}
+	before := fmt.Sprint(s.TenantStats())
+	if _, err := s.Vacuum(); err != nil {
+		t.Fatalf("vacuum: %v", err)
+	}
+	if after := fmt.Sprint(s.TenantStats()); after != before {
+		t.Fatalf("tenant accounting drifted under concurrent expiry: %s -> %s", before, after)
+	}
+	for _, name := range s.Repo().VMIs() {
+		if _, _, err := s.Retrieve(name); err != nil {
+			t.Fatalf("survivor %s not retrievable: %v", name, err)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package metawal
 import (
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 
 	"expelliarmus/internal/metadb"
@@ -73,6 +74,37 @@ func (f *Follower) Restart(epoch uint64, snapshot []byte) (*metadb.DB, error) {
 	defer f.mu.Unlock()
 	if epoch < f.epoch {
 		return nil, fmt.Errorf("%w: snapshot epoch %d behind current %d", ErrOutOfOrder, epoch, f.epoch)
+	}
+	db, err := metadb.Load(snapshot)
+	if err != nil {
+		return nil, fmt.Errorf("metawal: follower snapshot: %w", err)
+	}
+	f.db = db
+	f.epoch = epoch
+	f.applied = walHeaderLen
+	return db, nil
+}
+
+// RestartFrom is Restart fed from a stream of known length: the snapshot
+// is read into exactly one right-sized buffer (metadb.Load needs the full
+// image; the point is that nothing upstream buffers a second copy). A
+// stream that ends short, or a read error, is refused without touching
+// the current state.
+func (f *Follower) RestartFrom(epoch uint64, src io.Reader, size int64) (*metadb.DB, error) {
+	if epoch == 0 {
+		return nil, fmt.Errorf("metawal: follower restart at epoch 0")
+	}
+	if size < 0 {
+		return nil, fmt.Errorf("metawal: follower restart: negative snapshot size %d", size)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if epoch < f.epoch {
+		return nil, fmt.Errorf("%w: snapshot epoch %d behind current %d", ErrOutOfOrder, epoch, f.epoch)
+	}
+	snapshot := make([]byte, size)
+	if _, err := io.ReadFull(src, snapshot); err != nil {
+		return nil, fmt.Errorf("metawal: follower snapshot stream: %w", err)
 	}
 	db, err := metadb.Load(snapshot)
 	if err != nil {

@@ -1,0 +1,42 @@
+package replica
+
+// White-box regression for the cross-epoch lag report. LagBytes was
+// computed only when the follower's epoch matched the writer's last
+// polled commit — so a follower still on a retired epoch (the state
+// furthest behind) reported zero lag, indistinguishable from caught up.
+
+import (
+	"testing"
+
+	"expelliarmus/internal/blobstore"
+	"expelliarmus/internal/catalog"
+	"expelliarmus/internal/simio"
+	"expelliarmus/internal/wire"
+)
+
+func TestLagSpansEpochSwitch(t *testing.T) {
+	dev := simio.NewDevice(simio.PaperProfile().Scaled(catalog.ByteScale, catalog.FileScale))
+	r := New("http://127.0.0.1:0", blobstore.New(), dev, Options{})
+	defer r.Close()
+
+	// Never polled: the zero target must not fabricate lag.
+	if st := r.ReplicationStats(); st.LagBytes != 0 {
+		t.Fatalf("fresh follower lag = %d, want 0", st.LagBytes)
+	}
+
+	// Polled a writer on an epoch the follower has not loaded (fresh
+	// follower, or the writer compacted under it): every durable byte of
+	// the target epoch is outstanding, and that is the lag — the old
+	// behaviour reported 0 here, the most-behind state masquerading as
+	// caught up.
+	r.mu.Lock()
+	r.target = wire.ReplCommit{Epoch: 3, DurableBytes: 4096}
+	r.mu.Unlock()
+	st := r.ReplicationStats()
+	if st.LagBytes != 4096 {
+		t.Fatalf("cross-epoch lag = %d, want 4096 (target's full durable length)", st.LagBytes)
+	}
+	if st.DurableBytes != 4096 || st.AppliedBytes != 0 {
+		t.Fatalf("stats inconsistent: %+v", st)
+	}
+}

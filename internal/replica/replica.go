@@ -88,16 +88,21 @@ func (r *Replica) logf(format string, args ...any) {
 	}
 }
 
-// restart seeds the follower from the writer's current snapshot.
+// restart seeds the follower from the writer's current snapshot. The
+// snapshot streams from the wire into the follower's load path — trailer
+// verification happens as the bytes flow, and the only materialization
+// is the one exact-sized buffer the metadata load itself needs, so a
+// restart never holds the snapshot twice.
 func (r *Replica) restart(ctx context.Context) error {
-	epoch, snap, err := r.cl.ReplSnapshot(ctx)
+	epoch, rc, size, err := r.cl.ReplSnapshotReader(ctx)
 	if err != nil {
 		return fmt.Errorf("replica: fetch snapshot: %w", err)
 	}
-	if err := r.repo.ResetToSnapshot(epoch, snap); err != nil {
+	defer rc.Close()
+	if err := r.repo.ResetToSnapshotReader(epoch, rc, size); err != nil {
 		return fmt.Errorf("replica: load snapshot epoch %d: %w", epoch, err)
 	}
-	r.logf("replica: restarted from snapshot epoch %d (%d bytes)", epoch, len(snap))
+	r.logf("replica: restarted from snapshot epoch %d (%d bytes)", epoch, size)
 	return nil
 }
 
@@ -197,8 +202,18 @@ func (r *Replica) ReplicationStats() wire.ReplicationStats {
 		Ops:          ops,
 		WriterURL:    r.writerURL,
 	}
-	if target.Epoch == epoch && target.DurableBytes > applied {
-		st.LagBytes = target.DurableBytes - applied
+	switch {
+	case target.Epoch == epoch:
+		if target.DurableBytes > applied {
+			st.LagBytes = target.DurableBytes - applied
+		}
+	case target.Epoch != 0:
+		// The follower is on a retired (or not yet loaded) epoch: its
+		// applied offset counts bytes of a WAL the writer no longer
+		// appends to, so none of the target's durable bytes are applied
+		// yet — the whole target is outstanding. Reporting zero here
+		// (the old behaviour) made the most-behind state look caught up.
+		st.LagBytes = target.DurableBytes
 	}
 	return st
 }

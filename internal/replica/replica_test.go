@@ -206,6 +206,9 @@ func TestReplicaServesIdenticalRetrievals(t *testing.T) {
 	if fst.Repl == nil || fst.Repl.Role != "follower" || fst.Repl.Epoch != wst.Repl.Epoch || fst.Repl.WriterURL == "" {
 		t.Fatalf("follower stats lack replication section: %+v", fst.Repl)
 	}
+	if fst.Repl.LagBytes != 0 {
+		t.Fatalf("caught-up follower reports %d lag bytes", fst.Repl.LagBytes)
+	}
 }
 
 // TestReplicaRejectsMutatingRoutes pins the read-only contract over the
@@ -252,10 +255,11 @@ func TestReplicaRejectsMutatingRoutes(t *testing.T) {
 }
 
 // TestReplayEquivalenceProperty drives a random operation sequence
-// (publishes, removals, syncs, forced compactions) on the writer while a
-// follower catches up at random batch boundaries. At every catch-up
-// point the follower's metadata must be byte-identical to the writer's,
-// and at the end every surviving VMI must retrieve byte-identically.
+// (publishes — some with tenants and TTLs — removals, expiry sweeps,
+// vacuums, syncs, forced compactions) on the writer while a follower
+// catches up at random batch boundaries. At every catch-up point the
+// follower's metadata must be byte-identical to the writer's, and at the
+// end every surviving VMI must retrieve byte-identically.
 func TestReplayEquivalenceProperty(t *testing.T) {
 	names := []string{"Mini", "Redis", "PostgreSql", "Django", "Tomcat"}
 	for _, seed := range []int64{1, 7} {
@@ -275,8 +279,11 @@ func TestReplayEquivalenceProperty(t *testing.T) {
 
 			published := map[string]bool{}
 			compacted := false
-			for step := 0; step < 12; step++ {
-				switch op := rng.Intn(10); {
+			// Logical expiry clock (fixed base so runs are reproducible):
+			// TTL publishes expire a few ticks out, expiry sweeps advance it.
+			clock := int64(1000)
+			for step := 0; step < 14; step++ {
+				switch op := rng.Intn(13); {
 				case op < 4: // publish an unpublished template
 					var candidates []string
 					for _, n := range names {
@@ -288,7 +295,16 @@ func TestReplayEquivalenceProperty(t *testing.T) {
 						continue
 					}
 					n := candidates[rng.Intn(len(candidates))]
-					publish(t, wsys, b, n)
+					var opts core.PublishOpts
+					if rng.Intn(2) == 0 {
+						opts.Tenant = []string{"alice", "bob"}[rng.Intn(2)]
+					}
+					if rng.Intn(2) == 0 {
+						opts.ExpiresAt = clock + int64(rng.Intn(6)+1)
+					}
+					if _, err := wsys.PublishWith(buildImage(t, b, n), opts); err != nil {
+						t.Fatalf("publish %s: %v", n, err)
+					}
 					published[n] = true
 				case op < 6: // remove a published one
 					var have []string
@@ -303,7 +319,20 @@ func TestReplayEquivalenceProperty(t *testing.T) {
 						t.Fatalf("remove %s: %v", n, err)
 					}
 					delete(published, n)
-				case op < 8: // commit a batch
+				case op < 8: // expiry sweep at an advancing deadline
+					clock += int64(rng.Intn(4) + 1)
+					expired, err := wsys.ExpireAt(clock)
+					if err != nil {
+						t.Fatalf("expire at %d: %v", clock, err)
+					}
+					for _, n := range expired {
+						delete(published, n)
+					}
+				case op < 9: // vacuum (journaled accounting rewrite + GC)
+					if _, err := wsys.Vacuum(); err != nil {
+						t.Fatalf("vacuum: %v", err)
+					}
+				case op < 11: // commit a batch
 					if _, err := wsys.Sync(); err != nil {
 						t.Fatal(err)
 					}

@@ -75,6 +75,7 @@ func (s *Server) handleReplSnapshot(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set(HeaderEpoch, strconv.FormatUint(epoch, 10))
+	w.Header().Set(HeaderSize, strconv.FormatInt(size, 10))
 	streamVerified(w, rc, size)
 }
 

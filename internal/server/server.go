@@ -50,6 +50,11 @@ const (
 	HeaderErrorKind = "X-Expel-Error-Kind"
 	// HeaderEpoch carries the snapshot/WAL epoch of a replication stream.
 	HeaderEpoch = "X-Expel-Epoch"
+	// HeaderSize declares a replication stream's exact byte length up
+	// front (HeaderBytes arrives only in the trailers, after the body), so
+	// a follower can size its buffer once and consume the stream without
+	// growing an intermediate copy.
+	HeaderSize = "X-Expel-Size"
 )
 
 // Error kinds carried in HeaderErrorKind.
@@ -62,6 +67,9 @@ const (
 	// compaction has retired — the follower must restart from the current
 	// snapshot.
 	KindEpochGone = "epoch-gone"
+	// KindQuotaExceeded marks a publish rejected because it would push its
+	// tenant past the configured quota.
+	KindQuotaExceeded = "quota-exceeded"
 )
 
 // Server is an http.Handler serving one shared Expelliarmus system.
@@ -94,6 +102,7 @@ func New(sys *core.System) *Server {
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v1/sync", s.handleSync)
 	s.mux.HandleFunc("POST /v1/compact", s.handleCompact)
+	s.mux.HandleFunc("POST /v1/vacuum", s.handleVacuum)
 	s.mux.HandleFunc("GET /v1/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("GET /v1/graphs/dot", s.handleDOT)
 	s.mux.HandleFunc("GET /v1/repl/commit", s.handleReplCommit)
@@ -121,6 +130,9 @@ func writeError(w http.ResponseWriter, err error) {
 	case errors.Is(err, metawal.ErrEpochGone):
 		w.Header().Set(HeaderErrorKind, KindEpochGone)
 		status = http.StatusGone
+	case errors.Is(err, vmirepo.ErrQuotaExceeded):
+		w.Header().Set(HeaderErrorKind, KindQuotaExceeded)
+		status = http.StatusRequestEntityTooLarge
 	}
 	http.Error(w, err.Error(), status)
 }
@@ -189,12 +201,15 @@ func (s *Server) handleRetrieve(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
-	img, err := wire.ReadImage(r.Body)
+	img, meta, err := wire.ReadImageMeta(r.Body)
 	if err != nil {
 		http.Error(w, fmt.Sprintf("decode image: %v", err), http.StatusBadRequest)
 		return
 	}
-	rep, err := s.sys.Publish(img)
+	rep, err := s.sys.PublishWith(img, core.PublishOpts{
+		Tenant:    meta.Tenant,
+		ExpiresAt: meta.ExpiresAt,
+	})
 	if err != nil {
 		writeError(w, err)
 		return
@@ -245,6 +260,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		out.CacheEntries = cs.Entries
 		out.CacheBytes = cs.Bytes
 	}
+	if ts := s.sys.TenantStats(); len(ts) > 0 {
+		out.Tenants = ts
+	}
 	switch {
 	case s.repl != nil:
 		rs := s.repl.ReplicationStats()
@@ -277,6 +295,24 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeSyncStats(w, st)
+}
+
+// handleVacuum reclaims dangling repository state (unreferenced
+// packages, orphaned archives and lifecycle records, blob orphans) and
+// compacts the stores, replying with what the pass removed.
+func (s *Server) handleVacuum(w http.ResponseWriter, r *http.Request) {
+	st, err := s.sys.Vacuum()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, wire.VacuumStats{
+		PackagesRemoved: st.PackagesRemoved,
+		UserDataRemoved: st.UserDataRemoved,
+		MetaRemoved:     st.MetaRemoved,
+		BlobsReleased:   st.BlobsReleased,
+		BytesReclaimed:  st.BytesReclaimed,
+	})
 }
 
 func writeSyncStats(w http.ResponseWriter, st vmirepo.SyncStats) {

@@ -58,7 +58,31 @@ func (r *Repo) ResetToSnapshot(epoch uint64, snapshot []byte) error {
 	// The fixed buckets exist on any database a writer snapshots, but an
 	// empty writer's very first snapshot and a defensive reader disagree
 	// cheaply — ensure them like every other constructor does.
-	for _, b := range []string{bucketPackages, bucketBases, bucketMasters, bucketVMIs, bucketUserData} {
+	for _, b := range allBuckets {
+		db.CreateBucket(b)
+	}
+	done := r.mutate() // all stripes: nothing cached may survive the swap
+	r.db.Store(db)
+	done()
+	return nil
+}
+
+// ResetToSnapshotReader is ResetToSnapshot fed from a stream: the
+// snapshot bytes are read into one right-sized buffer (metadb.Load needs
+// the full image, but nothing upstream should have to materialize a
+// second copy). size must be the exact snapshot length; a short or long
+// stream is refused without touching the current metadata.
+func (r *Repo) ResetToSnapshotReader(epoch uint64, src io.Reader, size int64) error {
+	if !r.readOnly {
+		return fmt.Errorf("vmirepo: ResetToSnapshot on a writer repository")
+	}
+	r.opMu.Lock()
+	defer r.opMu.Unlock()
+	db, err := r.fol.RestartFrom(epoch, src, size)
+	if err != nil {
+		return err
+	}
+	for _, b := range allBuckets {
 		db.CreateBucket(b)
 	}
 	done := r.mutate() // all stripes: nothing cached may survive the swap
@@ -118,6 +142,12 @@ func stripeKeysFor(ops []metadb.Op) (keys []string, all bool) {
 				if op.Kind == metadb.OpDelete {
 					return nil, true
 				}
+			case bucketVMIMeta:
+				keys = append(keys, string(op.Key))
+			case bucketTenants, bucketPkgRefs:
+				// Accounting state: never read by the assembly path, and the
+				// writer's own mutators bump nothing for it (see
+				// lifecycle.go) — mirror that here.
 			default:
 				return nil, true
 			}

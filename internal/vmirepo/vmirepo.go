@@ -42,7 +42,20 @@ const (
 	bucketMasters  = "masters"
 	bucketVMIs     = "vmis"
 	bucketUserData = "userdata"
+	// Lifecycle buckets (see lifecycle.go): per-VMI lifecycle metadata
+	// (tenant, expiry, charged bytes), per-tenant live-byte accounting,
+	// and per-class package reference counts for striped removal.
+	bucketVMIMeta = "vmimeta"
+	bucketTenants = "tenants"
+	bucketPkgRefs = "pkgrefs"
 )
+
+// allBuckets is every fixed metadata bucket, (re)created by all repository
+// constructors and on follower snapshot resets.
+var allBuckets = []string{
+	bucketPackages, bucketBases, bucketMasters, bucketVMIs, bucketUserData,
+	bucketVMIMeta, bucketTenants, bucketPkgRefs,
+}
 
 // ErrNotFound marks lookups of records that are not in the repository.
 // Under concurrency it is transient in one specific case: base-image
@@ -56,6 +69,11 @@ var ErrNotFound = errors.New("not found")
 // snapshot + WAL batches, never by local mutation. Callers that need to
 // write must talk to the writer.
 var ErrReadOnly = errors.New("repository is read-only (follower)")
+
+// ErrQuotaExceeded marks a publish rejected because it would push its
+// tenant's live bytes past the configured quota. It lives here (not in
+// core) so the wire/server layers can map it without an import cycle.
+var ErrQuotaExceeded = errors.New("tenant quota exceeded")
 
 // Repo is the Expelliarmus repository. Its blob layer is pluggable: New
 // gives the in-memory sharded backend, OpenAt the durable on-disk one;
@@ -88,6 +106,10 @@ type Repo struct {
 	// udMu serialises user-data replacement, whose release-old/store-new
 	// pair must be atomic to keep blob reference counts exact.
 	udMu sync.Mutex
+	// lcMu serialises lifecycle accounting (tenant totals and package
+	// refcounts), whose read-modify-write must include the delete-at-zero
+	// step that Bucket.Update cannot express (see lifecycle.go).
+	lcMu sync.Mutex
 	// readOnly marks a follower repository (OpenFollower): every mutating
 	// entry point returns ErrReadOnly, and the metadata advances only
 	// through ResetToSnapshot/ApplyWAL.
@@ -239,7 +261,7 @@ func (r *Repo) meta() *metadb.DB { return r.db.Load() }
 // createBuckets ensures the repository's metadata buckets exist
 // (CreateBucket is idempotent, so this is safe on a loaded database too).
 func (r *Repo) createBuckets() {
-	for _, b := range []string{bucketPackages, bucketBases, bucketMasters, bucketVMIs, bucketUserData} {
+	for _, b := range allBuckets {
 		r.meta().CreateBucket(b)
 	}
 }
@@ -295,9 +317,9 @@ func OpenAtOpts(dir string, dev *simio.Device, o OpenOptions) (*Repo, error) {
 	}
 	r := &Repo{blobs: blobs, dev: dev, dir: dir, wal: wal}
 	r.db.Store(db)
-	// Bucket creation precedes the journal hookup: the five fixed buckets
-	// are (re)created by every open on both the live and the replay path,
-	// so journaling their creation would only append noise to the WAL.
+	// Bucket creation precedes the journal hookup: the fixed buckets are
+	// (re)created by every open on both the live and the replay path, so
+	// journaling their creation would only append noise to the WAL.
 	r.createBuckets()
 	db.SetJournal(wal.Record)
 	return r, nil
@@ -845,6 +867,17 @@ func (r *Repo) RemoveBase(id string, m *simio.Meter) error {
 	}
 	b.Delete([]byte(id))
 	return nil
+}
+
+// BaseInfo returns a stored base image's record (attributes, blob ID and
+// size) without opening its blob — the cheap class lookup removal and
+// lifecycle accounting need.
+func (r *Repo) BaseInfo(id string) (BaseRecord, error) {
+	val, ok := r.meta().Bucket(bucketBases).Get([]byte(id))
+	if !ok {
+		return BaseRecord{}, fmt.Errorf("vmirepo: base %s %w", id, ErrNotFound)
+	}
+	return decodeBaseRecord(id, val)
 }
 
 // Bases lists stored base images sorted by ID (Algorithm 2 line 3).

@@ -50,16 +50,37 @@ type ImageHeader struct {
 	Primaries []string
 	// DiskBytes is the exact length of the disk section that follows.
 	DiskBytes int64
+	// Tenant and ExpiresAt carry the publish's lifecycle options: the
+	// quota account to charge and the Unix-seconds expiry timestamp
+	// (zero = never). Omitted on the wire when unset, so envelopes from
+	// older clients decode identically.
+	Tenant    string `json:",omitempty"`
+	ExpiresAt int64  `json:",omitempty"`
+}
+
+// PublishMeta is the lifecycle metadata riding alongside an image upload:
+// the tenant to charge for the stored bytes and the optional expiry
+// timestamp (Unix seconds; zero = never expires).
+type PublishMeta struct {
+	Tenant    string
+	ExpiresAt int64
 }
 
 // WriteImage encodes img as one image envelope on w, streaming the disk
 // section straight from the virtual disk.
 func WriteImage(w io.Writer, img *vmi.Image) error {
+	return WriteImageMeta(w, img, PublishMeta{})
+}
+
+// WriteImageMeta is WriteImage with lifecycle metadata in the header.
+func WriteImageMeta(w io.Writer, img *vmi.Image, meta PublishMeta) error {
 	hdr := ImageHeader{
 		Name:      img.Name,
 		Base:      img.Base,
 		Primaries: img.Primaries,
 		DiskBytes: img.Disk.SerializedBytes(),
+		Tenant:    meta.Tenant,
+		ExpiresAt: meta.ExpiresAt,
 	}
 	hb, err := json.Marshal(hdr)
 	if err != nil {
@@ -91,45 +112,55 @@ func WriteImage(w io.Writer, img *vmi.Image) error {
 // section is read into one owned buffer — the single materialization the
 // receiving side needs for random access — and mounted lazily over it.
 func ReadImage(r io.Reader) (*vmi.Image, error) {
+	img, _, err := ReadImageMeta(r)
+	return img, err
+}
+
+// ReadImageMeta is ReadImage plus the envelope's lifecycle metadata.
+func ReadImageMeta(r io.Reader) (*vmi.Image, PublishMeta, error) {
 	var pre [12]byte
 	if _, err := io.ReadFull(r, pre[:]); err != nil {
-		return nil, fmt.Errorf("wire: read envelope: %w", err)
+		return nil, PublishMeta{}, fmt.Errorf("wire: read envelope: %w", err)
 	}
 	if string(pre[:8]) != Magic {
-		return nil, fmt.Errorf("wire: bad magic %q", pre[:8])
+		return nil, PublishMeta{}, fmt.Errorf("wire: bad magic %q", pre[:8])
 	}
 	hlen := binary.LittleEndian.Uint32(pre[8:])
 	if hlen == 0 || hlen > maxHeaderBytes {
-		return nil, fmt.Errorf("wire: header length %d out of range", hlen)
+		return nil, PublishMeta{}, fmt.Errorf("wire: header length %d out of range", hlen)
 	}
 	hb := make([]byte, hlen)
 	if _, err := io.ReadFull(r, hb); err != nil {
-		return nil, fmt.Errorf("wire: read header: %w", err)
+		return nil, PublishMeta{}, fmt.Errorf("wire: read header: %w", err)
 	}
 	var hdr ImageHeader
 	if err := json.Unmarshal(hb, &hdr); err != nil {
-		return nil, fmt.Errorf("wire: decode header: %w", err)
+		return nil, PublishMeta{}, fmt.Errorf("wire: decode header: %w", err)
 	}
 	if hdr.Name == "" {
-		return nil, fmt.Errorf("wire: envelope names no image")
+		return nil, PublishMeta{}, fmt.Errorf("wire: envelope names no image")
 	}
 	if hdr.DiskBytes < 0 {
-		return nil, fmt.Errorf("wire: negative disk length %d", hdr.DiskBytes)
+		return nil, PublishMeta{}, fmt.Errorf("wire: negative disk length %d", hdr.DiskBytes)
+	}
+	if hdr.ExpiresAt < 0 {
+		return nil, PublishMeta{}, fmt.Errorf("wire: negative expiry timestamp %d", hdr.ExpiresAt)
 	}
 	buf := make([]byte, hdr.DiskBytes)
 	if _, err := io.ReadFull(r, buf); err != nil {
-		return nil, fmt.Errorf("wire: read disk (%d bytes): %w", hdr.DiskBytes, err)
+		return nil, PublishMeta{}, fmt.Errorf("wire: read disk (%d bytes): %w", hdr.DiskBytes, err)
 	}
 	disk, err := vdisk.DeserializeLazy(hdr.Name, bytes.NewReader(buf), hdr.DiskBytes)
 	if err != nil {
-		return nil, fmt.Errorf("wire: open disk: %w", err)
+		return nil, PublishMeta{}, fmt.Errorf("wire: open disk: %w", err)
 	}
-	return &vmi.Image{
+	img := &vmi.Image{
 		Name:      hdr.Name,
 		Base:      hdr.Base,
 		Primaries: hdr.Primaries,
 		Disk:      disk,
-	}, nil
+	}
+	return img, PublishMeta{Tenant: hdr.Tenant, ExpiresAt: hdr.ExpiresAt}, nil
 }
 
 // PublishResult is the server's reply to a publish.
@@ -200,6 +231,11 @@ type Stats struct {
 	CacheEntries int
 	CacheBytes   int64
 
+	// Tenants maps each tenant to its recorded live bytes (the quota
+	// accounting publishes maintain). Nil when no tenant has ever been
+	// charged.
+	Tenants map[string]int64 `json:",omitempty"`
+
 	// Repl carries replication state when the server participates in
 	// snapshot + WAL shipping: as the writer (source of truth) or as a
 	// follower serving the replicated read path. Nil on servers that do
@@ -255,6 +291,16 @@ type SyncStats struct {
 	SegmentsCompacted int
 	BytesReclaimed    int64
 	DeadBytes         int64
+}
+
+// VacuumStats is the server's reply to a vacuum: what the pass reclaimed
+// (see core.VacuumStats for field semantics).
+type VacuumStats struct {
+	PackagesRemoved int
+	UserDataRemoved int
+	MetaRemoved     int
+	BlobsReleased   int
+	BytesReclaimed  int64
 }
 
 // AssembleRequest asks the server to build a VMI from stored packages

@@ -9,16 +9,18 @@ import (
 )
 
 // TestWALReplayEquivalence is the replay-equivalence property test for
-// the metadata WAL: a random Table II op sequence — fresh publishes,
-// republishes with fresh user data, removals, retrievals — applied
+// the metadata WAL: a random Table II op sequence — fresh publishes
+// (some charged to tenants, some with TTLs), republishes with fresh
+// user data, removals, TTL expiry sweeps, vacuums, retrievals — applied
 // identically to a memory-backed System (the always-rewrite reference
 // path: its Save() serialises the whole database) and to a disk-backed
 // System whose WAL is periodically synced and aggressively compacted
 // (a tiny threshold forces compactions mid-sequence). At every
 // checkpoint the two must agree on byte-identical Save() snapshots,
-// repository stats and retrieval reports, and the disk System must
-// still agree after Close and a real reopen — i.e. after its state has
-// been reconstructed purely from snapshot + WAL replay.
+// repository stats, tenant accounting and retrieval reports, and the
+// disk System must still agree after Close and a real reopen — i.e.
+// after its state has been reconstructed purely from snapshot + WAL
+// replay.
 func TestWALReplayEquivalence(t *testing.T) {
 	if testing.Short() {
 		t.Skip("replay-equivalence property test skipped in -short mode")
@@ -45,7 +47,7 @@ func TestWALReplayEquivalence(t *testing.T) {
 			built[key][n] = img
 		}
 	}
-	publish := func(name string, version int) error {
+	publish := func(name string, version int, opts PublishOptions) error {
 		for key, sys := range map[string]*System{"mem": mem, "dsk": dsk} {
 			img := &Image{inner: built[key][name].inner.Clone()}
 			if version > 0 {
@@ -53,7 +55,7 @@ func TestWALReplayEquivalence(t *testing.T) {
 					return err
 				}
 			}
-			memRes, err := sys.Publish(img)
+			memRes, err := sys.PublishWith(img, opts)
 			if err != nil {
 				return fmt.Errorf("%s publish %s v%d: %w", key, name, version, err)
 			}
@@ -77,18 +79,54 @@ func TestWALReplayEquivalence(t *testing.T) {
 		if ms != ds {
 			t.Fatalf("[%s] repo stats diverged: memory %+v, disk %+v", stage, ms, ds)
 		}
+		// fmt prints maps in sorted key order, so this is a stable compare.
+		if mt, dt := fmt.Sprint(mem.TenantStats()), fmt.Sprint(dsk.TenantStats()); mt != dt {
+			t.Fatalf("[%s] tenant accounting diverged: memory %s, disk %s", stage, mt, dt)
+		}
 	}
 
 	published := map[string]int{} // name -> latest user-data version
-	const steps = 30
+	clock := int64(1000)          // logical expiry clock; TTLs land a few ticks out
+	const steps = 34
 	for i := 0; i < steps; i++ {
 		name := names[rng.Intn(len(names))]
 		switch {
 		case published[name] == 0:
-			if err := publish(name, 1); err != nil {
+			var opts PublishOptions
+			if rng.Intn(2) == 0 {
+				opts.Tenant = []string{"alice", "bob"}[rng.Intn(2)]
+			}
+			if rng.Intn(3) == 0 {
+				opts.ExpiresAt = clock + int64(rng.Intn(8)+1)
+			}
+			if err := publish(name, 1, opts); err != nil {
 				t.Fatal(err)
 			}
 			published[name] = 1
+		case rng.Intn(6) == 0: // TTL sweep at an advancing deadline
+			clock += int64(rng.Intn(5) + 1)
+			memExp, err := mem.ExpireAt(clock)
+			if err != nil {
+				t.Fatalf("mem expire at %d: %v", clock, err)
+			}
+			dskExp, err := dsk.ExpireAt(clock)
+			if err != nil {
+				t.Fatalf("dsk expire at %d: %v", clock, err)
+			}
+			sort.Strings(memExp)
+			sort.Strings(dskExp)
+			if fmt.Sprint(memExp) != fmt.Sprint(dskExp) {
+				t.Fatalf("expiry diverged at %d: memory %v, disk %v", clock, memExp, dskExp)
+			}
+			for _, n := range memExp {
+				delete(published, n)
+			}
+		case rng.Intn(6) == 0: // vacuum (accounting rewrite + orphan sweep)
+			for key, sys := range map[string]*System{"mem": mem, "dsk": dsk} {
+				if _, err := sys.Vacuum(); err != nil {
+					t.Fatalf("%s vacuum: %v", key, err)
+				}
+			}
 		case rng.Intn(4) == 0 && len(published) > 1:
 			for key, sys := range map[string]*System{"mem": mem, "dsk": dsk} {
 				if err := sys.Remove(name); err != nil {
@@ -112,8 +150,17 @@ func TestWALReplayEquivalence(t *testing.T) {
 				t.Fatalf("retrieval reports for %s diverged", name)
 			}
 		default:
+			// Republish: fresh user data, and occasionally a fresh tenant or
+			// TTL — the new lifecycle record replaces the old one wholesale.
+			var opts PublishOptions
+			if rng.Intn(3) == 0 {
+				opts.Tenant = "carol"
+			}
+			if rng.Intn(4) == 0 {
+				opts.ExpiresAt = clock + int64(rng.Intn(8)+1)
+			}
 			v := published[name] + 1
-			if err := publish(name, v); err != nil {
+			if err := publish(name, v, opts); err != nil {
 				t.Fatal(err)
 			}
 			published[name] = v
